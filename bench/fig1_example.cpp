@@ -1,0 +1,72 @@
+/// Fig. 1-style demonstration: AOIG→MIG transposition vs optimized MIG.
+/// The paper's Fig. 1 shows that a function's AOIG-derived MIG (every
+/// node carrying a constant fanin) shrinks in size and depth once the
+/// majority algebra is exploited. This harness runs the rewriting engine
+/// over a set of small expressions and reports size / depth /
+/// multi-complement counts before and after, plus the PLiM program costs.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/verify.hpp"
+#include "expr/parser.hpp"
+#include "mig/rewriting.hpp"
+#include "mig/simulation.hpp"
+#include "util/table.hpp"
+
+int main() {
+  const std::vector<std::pair<std::string, std::string>> examples = {
+      {"fig1-style", "(x & y) | (x & z)"},
+      {"shared-and", "(x & y & u) | (x & y & v)"},
+      {"double-neg", "!(!x & !y) & !(!u & !v)"},
+      {"nor-chain", "!(x | y) & !(z | u) & !(v | w)"},
+      {"mux-tree", "ite(s, x & y, x & z) | ite(s, u, v)"},
+      {"xor-pair", "(x ^ y) & (y ^ z)"},
+  };
+
+  plim::util::TablePrinter table({"example", "#N before", "#N after",
+                                  "depth before", "depth after",
+                                  "multi-compl before", "multi-compl after",
+                                  "#I before", "#I after", "#R before",
+                                  "#R after"});
+
+  for (const auto& [name, text] : examples) {
+    const auto mig = plim::expr::build_from_expression(text);
+    plim::mig::RewriteStats stats;
+    const auto rewritten = plim::mig::rewrite_for_plim(mig, {}, &stats);
+
+    plim::util::Rng rng(3);
+    if (!plim::mig::random_equivalence_check(mig, rewritten, 16, rng)) {
+      std::cerr << name << ": rewriting changed the function!\n";
+      return 1;
+    }
+    const auto before = plim::core::compile(mig);
+    const auto after = plim::core::compile(rewritten);
+    for (const auto* r : {&before, &after}) {
+      const auto v = plim::core::verify_program(
+          r == &before ? mig : rewritten, r->program);
+      if (!v.ok) {
+        std::cerr << name << ": " << v.message << '\n';
+        return 1;
+      }
+    }
+
+    table.add_row({name, std::to_string(stats.gates_before),
+                   std::to_string(stats.gates_after),
+                   std::to_string(stats.depth_before),
+                   std::to_string(stats.depth_after),
+                   std::to_string(stats.multi_complement_before),
+                   std::to_string(stats.multi_complement_after),
+                   std::to_string(before.stats.num_instructions),
+                   std::to_string(after.stats.num_instructions),
+                   std::to_string(before.stats.num_rrams),
+                   std::to_string(after.stats.num_rrams)});
+  }
+
+  std::cout << "Fig. 1-style demonstration: AOIG-derived MIGs before/after "
+               "PLiM rewriting\n\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// Google-benchmark microbenchmarks of the core operations: network
+/// construction with structural hashing, rewriting passes, compilation,
+/// bit-parallel simulation, and machine execution throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/machine.hpp"
+#include "circuits/epfl.hpp"
+#include "core/compiler.hpp"
+#include "mig/rewriting.hpp"
+#include "mig/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_CreateMajStrash(benchmark::State& state) {
+  for (auto _ : state) {
+    plim::mig::Mig m;
+    std::vector<plim::mig::Signal> pool;
+    for (int i = 0; i < 16; ++i) {
+      pool.push_back(m.create_pi());
+    }
+    plim::util::Rng rng(1);
+    for (int i = 0; i < 4096; ++i) {
+      const auto a = pool[rng.below(pool.size())] ^ rng.flip();
+      const auto b = pool[rng.below(pool.size())] ^ rng.flip();
+      const auto c = pool[rng.below(pool.size())] ^ rng.flip();
+      pool.push_back(m.create_maj(a, b, c));
+    }
+    benchmark::DoNotOptimize(m.num_gates());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_CreateMajStrash);
+
+void BM_BuildAdder(benchmark::State& state) {
+  const auto bits = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const auto m = plim::circuits::make_adder(bits);
+    benchmark::DoNotOptimize(m.num_gates());
+  }
+}
+BENCHMARK(BM_BuildAdder)->Arg(32)->Arg(128);
+
+void BM_RewriteAdder(benchmark::State& state) {
+  const auto m = plim::circuits::make_adder(64);
+  for (auto _ : state) {
+    const auto r = plim::mig::rewrite_for_plim(m);
+    benchmark::DoNotOptimize(r.num_gates());
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_gates());
+}
+BENCHMARK(BM_RewriteAdder);
+
+void BM_CompileAdder(benchmark::State& state) {
+  const auto m = plim::mig::rewrite_for_plim(plim::circuits::make_adder(64));
+  for (auto _ : state) {
+    const auto r = plim::core::compile(m);
+    benchmark::DoNotOptimize(r.stats.num_instructions);
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_gates());
+}
+BENCHMARK(BM_CompileAdder);
+
+void BM_SimulateWords(benchmark::State& state) {
+  const auto m = plim::circuits::make_adder(64);
+  std::vector<std::uint64_t> in(m.num_pis());
+  plim::util::Rng rng(2);
+  for (auto& w : in) {
+    w = rng.next();
+  }
+  for (auto _ : state) {
+    const auto out = plim::mig::simulate_words(m, in);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_gates() * 64);
+}
+BENCHMARK(BM_SimulateWords);
+
+void BM_MachineRun(benchmark::State& state) {
+  const auto m = plim::mig::rewrite_for_plim(plim::circuits::make_adder(64));
+  const auto r = plim::core::compile(m);
+  plim::arch::Machine machine;
+  std::vector<std::uint64_t> in(m.num_pis());
+  plim::util::Rng rng(3);
+  for (auto& w : in) {
+    w = rng.next();
+  }
+  for (auto _ : state) {
+    const auto out = machine.run_words(r.program, in);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * r.program.num_instructions() *
+                          64);
+}
+BENCHMARK(BM_MachineRun);
+
+}  // namespace

@@ -1,0 +1,64 @@
+/// Extension (paper's future work): compilation under a hard RRAM
+/// capacity. For each benchmark this finds, by binary search, the
+/// smallest capacity under which compilation succeeds, for index-order vs
+/// smart candidate selection. Smart selection releases cells earlier and
+/// therefore fits into smaller arrays.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuits/epfl.hpp"
+#include "core/compiler.hpp"
+#include "mig/rewriting.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::uint32_t min_feasible_cap(const plim::mig::Mig& mig, bool smart) {
+  plim::core::CompileOptions probe;
+  probe.smart_candidates = smart;
+  const auto unconstrained = plim::core::compile(mig, probe);
+  std::uint32_t hi = unconstrained.stats.num_rrams;
+  std::uint32_t lo = 1;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    plim::core::CompileOptions opts = probe;
+    opts.rram_cap = mid;
+    try {
+      (void)plim::core::compile(mig, opts);
+      hi = mid;
+    } catch (const plim::core::RramCapExceeded&) {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> names = {"adder", "bar", "max", "cavlc",
+                                          "i2c",   "priority", "router",
+                                          "int2float", "ctrl"};
+  plim::util::TablePrinter table({"benchmark", "#R naive order", "min cap naive",
+                                  "#R smart", "min cap smart"});
+
+  for (const auto& name : names) {
+    const auto mig =
+        plim::mig::rewrite_for_plim(plim::circuits::build_benchmark(name));
+    plim::core::CompileOptions naive;
+    naive.smart_candidates = false;
+    const auto r_naive = plim::core::compile(mig, naive);
+    const auto r_smart = plim::core::compile(mig);
+    table.add_row({name, std::to_string(r_naive.stats.num_rrams),
+                   std::to_string(min_feasible_cap(mig, false)),
+                   std::to_string(r_smart.stats.num_rrams),
+                   std::to_string(min_feasible_cap(mig, true))});
+  }
+
+  std::cout << "Extension: minimum feasible RRAM capacity (binary search; "
+               "future work of the paper)\n\n";
+  table.print(std::cout);
+  return 0;
+}

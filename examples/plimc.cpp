@@ -1,0 +1,182 @@
+/// plimc — the PLiM compiler as a command-line tool.
+///
+/// Reads a combinational BLIF netlist (or a named EPFL-equivalent
+/// benchmark), runs the DAC'16 pipeline (MIG rewriting + smart
+/// compilation) and writes the RM3 program in the paper's listing syntax.
+///
+/// Usage:
+///   plimc --blif <file.blif> [options]
+///   plimc --benchmark <name> [options]
+/// Options:
+///   -o <file>        write the program there (default: stdout)
+///   --effort N       rewriting iterations (default 4, 0 disables)
+///   --naive          index-order candidates (Table-1 naïve column)
+///   --alloc fifo|lifo|fresh
+///   --cap N          RRAM capacity bound (fails if infeasible)
+///   --no-verify      skip the end-to-end machine verification
+///   --stats          print statistics to stderr
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "arch/text.hpp"
+#include "circuits/epfl.hpp"
+#include "core/compiler.hpp"
+#include "core/verify.hpp"
+#include "io/blif.hpp"
+#include "mig/cleanup.hpp"
+#include "mig/rewriting.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: plimc (--blif <file> | --benchmark <name>) "
+               "[-o <file>] [--effort N] [--naive]\n"
+               "             [--alloc fifo|lifo|fresh] [--cap N] "
+               "[--no-verify] [--stats]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string blif_path;
+  std::string benchmark;
+  std::string out_path;
+  unsigned effort = 4;
+  bool naive = false;
+  bool verify = true;
+  bool stats = false;
+  plim::core::CompileOptions copts;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string(argv[i]);
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--blif") {
+      if (const char* v = next()) {
+        blif_path = v;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--benchmark") {
+      if (const char* v = next()) {
+        benchmark = v;
+      } else {
+        return usage();
+      }
+    } else if (arg == "-o") {
+      if (const char* v = next()) {
+        out_path = v;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--effort") {
+      if (const char* v = next()) {
+        effort = static_cast<unsigned>(std::stoul(v));
+      } else {
+        return usage();
+      }
+    } else if (arg == "--naive") {
+      naive = true;
+    } else if (arg == "--alloc") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      if (std::strcmp(v, "fifo") == 0) {
+        copts.allocation = plim::core::AllocationPolicy::fifo;
+      } else if (std::strcmp(v, "lifo") == 0) {
+        copts.allocation = plim::core::AllocationPolicy::lifo;
+      } else if (std::strcmp(v, "fresh") == 0) {
+        copts.allocation = plim::core::AllocationPolicy::fresh;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--cap") {
+      if (const char* v = next()) {
+        copts.rram_cap = static_cast<std::uint32_t>(std::stoul(v));
+      } else {
+        return usage();
+      }
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      return usage();
+    }
+  }
+  if (blif_path.empty() == benchmark.empty()) {
+    return usage();  // exactly one source required
+  }
+
+  plim::mig::Mig mig;
+  try {
+    if (!blif_path.empty()) {
+      std::ifstream in(blif_path);
+      if (!in) {
+        std::cerr << "plimc: cannot open " << blif_path << '\n';
+        return 1;
+      }
+      mig = plim::io::read_blif(in);
+    } else {
+      mig = plim::circuits::build_benchmark(benchmark);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "plimc: " << e.what() << '\n';
+    return 1;
+  }
+
+  plim::mig::RewriteOptions ropts;
+  ropts.effort = effort;
+  plim::mig::RewriteStats rstats;
+  const auto optimized =
+      effort > 0 ? plim::mig::rewrite_for_plim(mig, ropts, &rstats)
+                 : plim::mig::cleanup_dangling(mig);
+
+  copts.smart_candidates = !naive;
+  plim::core::CompileResult result;
+  try {
+    result = plim::core::compile(optimized, copts);
+  } catch (const plim::core::RramCapExceeded& e) {
+    std::cerr << "plimc: " << e.what() << '\n';
+    return 1;
+  }
+
+  if (verify) {
+    const auto v = plim::core::verify_program(optimized, result.program);
+    if (!v.ok) {
+      std::cerr << "plimc: internal verification failed: " << v.message
+                << '\n';
+      return 1;
+    }
+  }
+
+  if (stats) {
+    std::cerr << "gates: " << mig.num_gates() << " -> "
+              << optimized.num_gates()
+              << " (multi-complement " << rstats.multi_complement_before
+              << " -> " << rstats.multi_complement_after << ")\n"
+              << "instructions: " << result.stats.num_instructions
+              << ", rrams: " << result.stats.num_rrams << " (peak live "
+              << result.stats.peak_live_rrams << ")\n";
+  }
+
+  const auto text = plim::arch::to_text(result.program);
+  if (out_path.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "plimc: cannot write " << out_path << '\n';
+      return 1;
+    }
+    out << text;
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// Inspect the compilation of any Table-1 benchmark: statistics of the
+/// three pipeline configurations, the head of the compiled program in the
+/// paper's listing syntax, and the write-count histogram after execution.
+///
+/// Usage: program_inspect [benchmark-name]   (default: cavlc)
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "arch/machine.hpp"
+#include "arch/text.hpp"
+#include "circuits/epfl.hpp"
+#include "core/pipeline.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "cavlc";
+  plim::mig::Mig mig;
+  try {
+    mig = plim::circuits::build_benchmark(name);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\navailable:";
+    for (const auto& spec : plim::circuits::epfl_suite()) {
+      std::cerr << ' ' << spec.name;
+    }
+    std::cerr << '\n';
+    return 2;
+  }
+
+  std::cout << name << ": " << mig.num_pis() << " PIs, " << mig.num_pos()
+            << " POs, " << mig.num_gates() << " gates, depth " << mig.depth()
+            << "\n\n";
+
+  using plim::core::PipelineConfig;
+  const char* labels[] = {"naive", "rewriting", "rewriting+compilation"};
+  const PipelineConfig configs[] = {PipelineConfig::naive,
+                                    PipelineConfig::rewriting,
+                                    PipelineConfig::rewriting_and_compilation};
+  plim::core::PipelineResult last;
+  for (int i = 0; i < 3; ++i) {
+    const auto r = plim::core::run_pipeline(mig, configs[i]);
+    std::cout << labels[i] << ": #N=" << r.mig_gates
+              << " #I=" << r.compiled.stats.num_instructions
+              << " #R=" << r.compiled.stats.num_rrams
+              << " peak-live=" << r.compiled.stats.peak_live_rrams << '\n';
+    if (i == 2) {
+      last = r;
+    }
+  }
+
+  const auto text = plim::arch::to_text(last.compiled.program);
+  std::cout << "\nprogram head (rewriting+compilation):\n";
+  std::size_t pos = 0;
+  for (int line = 0; line < 24 && pos != std::string::npos; ++line) {
+    const auto next = text.find('\n', pos);
+    std::cout << text.substr(pos, next - pos) << '\n';
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  std::cout << "...\n";
+
+  // Execute on random data and show wear distribution.
+  plim::arch::Machine machine;
+  plim::util::Rng rng(1);
+  std::vector<std::uint64_t> in(mig.num_pis());
+  for (auto& w : in) {
+    w = rng.next();
+  }
+  (void)machine.run_words(last.compiled.program, in);
+  auto writes = machine.write_counts();
+  std::sort(writes.begin(), writes.end());
+  const auto e = machine.endurance();
+  std::cout << "\nwrites/cell after one batch: min " << e.min << ", median "
+            << writes[writes.size() / 2] << ", max " << e.max << ", mean "
+            << e.mean << '\n';
+  return 0;
+}

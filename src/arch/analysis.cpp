@@ -1,0 +1,73 @@
+#include "arch/analysis.hpp"
+
+#include <algorithm>
+
+namespace plim::arch {
+
+ProgramAnalysis analyze(const Program& program) {
+  ProgramAnalysis a;
+  a.cells.resize(program.num_rrams());
+  const auto n = static_cast<std::uint32_t>(program.num_instructions());
+
+  const auto touch = [&](std::uint32_t cell, std::uint32_t index, bool write) {
+    auto& u = a.cells[cell];
+    if (!u.used) {
+      u.used = true;
+      u.first_write = index;
+      u.last_access = index;
+    }
+    u.last_access = std::max(u.last_access, index);
+    if (write) {
+      ++u.writes;
+    } else {
+      ++u.reads;
+    }
+  };
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& ins = program[i];
+    for (const Operand op : {ins.a, ins.b}) {
+      switch (op.kind()) {
+        case OperandKind::constant:
+          ++a.constant_operands;
+          break;
+        case OperandKind::input:
+          ++a.input_operands;
+          break;
+        case OperandKind::rram:
+          ++a.rram_operands;
+          touch(op.address(), i, /*write=*/false);
+          break;
+      }
+    }
+    touch(ins.z, i, /*write=*/true);
+  }
+
+  for (std::uint32_t i = 0; i < program.num_outputs(); ++i) {
+    auto& u = a.cells[program.output_cell(i)];
+    u.is_output = true;
+    if (u.used && n > 0) {
+      u.last_access = n - 1;  // outputs stay live to the end
+    }
+  }
+
+  // Sweep the live intervals.
+  a.live_after.assign(n, 0);
+  std::vector<std::int32_t> delta(n + 1, 0);
+  for (const auto& u : a.cells) {
+    if (!u.used) {
+      continue;
+    }
+    ++delta[u.first_write];
+    --delta[u.last_access + 1];
+  }
+  std::int32_t live = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    live += delta[i];
+    a.live_after[i] = static_cast<std::uint32_t>(live);
+    a.peak_live = std::max(a.peak_live, a.live_after[i]);
+  }
+  return a;
+}
+
+}  // namespace plim::arch

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/program.hpp"
+
+namespace plim::arch {
+
+/// Per-cell usage profile extracted from a program (static analysis — no
+/// execution involved).
+struct CellUsage {
+  std::uint32_t first_write = 0;  ///< instruction index of the first write
+  std::uint32_t last_access = 0;  ///< last read/write (or end if an output)
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  bool is_output = false;
+  bool used = false;
+};
+
+/// Static program profile: operand mix, per-cell usage, and the live-cell
+/// timeline (a cell is live from its first write to its last access;
+/// output cells stay live to the end). `peak_live` corresponds to the
+/// compiler's peak_live_rrams statistic.
+struct ProgramAnalysis {
+  std::vector<CellUsage> cells;
+  std::vector<std::uint32_t> live_after;  ///< live cells after instruction i
+  std::uint32_t peak_live = 0;
+  std::uint64_t constant_operands = 0;
+  std::uint64_t input_operands = 0;
+  std::uint64_t rram_operands = 0;
+};
+
+[[nodiscard]] ProgramAnalysis analyze(const Program& program);
+
+}  // namespace plim::arch

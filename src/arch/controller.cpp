@@ -1,0 +1,163 @@
+#include "arch/controller.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace plim::arch {
+
+namespace {
+
+std::uint64_t encode_operand(Operand op) {
+  const std::uint64_t kind = static_cast<std::uint64_t>(op.kind());
+  const std::uint64_t payload =
+      op.is_constant() ? (op.constant_value() ? 1u : 0u) : op.address();
+  assert(payload < (std::uint64_t{1} << 30));
+  return kind | (payload << 2);
+}
+
+Operand decode_operand(std::uint64_t word) {
+  const auto kind = static_cast<OperandKind>(word & 3u);
+  const auto payload = static_cast<std::uint32_t>(word >> 2);
+  switch (kind) {
+    case OperandKind::constant:
+      return Operand::constant(payload != 0);
+    case OperandKind::input:
+      return Operand::input(payload);
+    case OperandKind::rram:
+      return Operand::rram(payload);
+  }
+  return Operand::constant(false);
+}
+
+}  // namespace
+
+std::uint64_t Controller::encode_operands(Operand a, Operand b) {
+  return encode_operand(a) | (encode_operand(b) << 32);
+}
+
+Controller::Controller(const Program& program)
+    : program_(program),
+      cells_(program.num_rrams(), 0),
+      inputs_(program.num_inputs(), false),
+      write_counts_(program.num_rrams(), 0) {
+  instruction_region_.reserve(program.num_instructions());
+  destination_region_.reserve(program.num_instructions());
+  for (const auto& ins : program.instructions()) {
+    instruction_region_.push_back(encode_operands(ins.a, ins.b));
+    destination_region_.push_back(ins.z);
+  }
+}
+
+void Controller::set_lim_enable(bool enable) {
+  if (enable && !lim_enable_) {
+    state_ = State::fetch;
+    pc_ = 0;
+  } else if (!enable) {
+    state_ = State::idle;
+  }
+  lim_enable_ = enable;
+}
+
+bool Controller::read_cell(std::uint32_t cell) const {
+  return cells_.at(cell) != 0;
+}
+
+void Controller::write_cell(std::uint32_t cell, bool value) {
+  if (lim_enable_) {
+    throw std::logic_error("RAM-mode write while LiM is enabled");
+  }
+  cells_.at(cell) = value ? 1 : 0;
+}
+
+void Controller::set_inputs(std::vector<bool> inputs) {
+  if (inputs.size() != program_.num_inputs()) {
+    throw std::invalid_argument("Controller::set_inputs: wrong input count");
+  }
+  inputs_ = std::move(inputs);
+}
+
+void Controller::reset() {
+  pc_ = 0;
+  cycles_ = 0;
+  state_ = lim_enable_ ? State::fetch : State::idle;
+}
+
+bool Controller::operand_value(Operand op) const {
+  switch (op.kind()) {
+    case OperandKind::constant:
+      return op.constant_value();
+    case OperandKind::input:
+      return inputs_[op.address()];
+    case OperandKind::rram:
+      return cells_[op.address()] != 0;
+  }
+  return false;
+}
+
+bool Controller::step() {
+  switch (state_) {
+    case State::idle:
+    case State::halted:
+      return false;
+    case State::fetch: {
+      ++cycles_;
+      if (pc_ >= instruction_region_.size()) {
+        state_ = State::halted;
+        return false;
+      }
+      const std::uint64_t word = instruction_region_[pc_];
+      cur_a_ = decode_operand(word & 0xffffffffu);
+      cur_b_ = decode_operand(word >> 32);
+      cur_z_ = destination_region_[pc_];
+      state_ = State::read_a;
+      return true;
+    }
+    case State::read_a:
+      ++cycles_;
+      val_a_ = operand_value(cur_a_);
+      state_ = State::read_b;
+      return true;
+    case State::read_b:
+      ++cycles_;
+      val_b_ = operand_value(cur_b_);
+      state_ = State::write_back;
+      return true;
+    case State::write_back: {
+      ++cycles_;
+      const bool z_old = cells_[cur_z_] != 0;
+      cells_[cur_z_] = rm3(val_a_, val_b_, z_old) ? 1 : 0;
+      ++write_counts_[cur_z_];
+      // The program counter increments as part of the write phase; the
+      // next cycle fetches the next instruction.
+      ++pc_;
+      state_ = State::fetch;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<bool> Controller::run_to_halt() {
+  while (step()) {
+  }
+  std::vector<bool> out(program_.num_outputs());
+  for (std::uint32_t i = 0; i < program_.num_outputs(); ++i) {
+    out[i] = cells_[program_.output_cell(i)] != 0;
+  }
+  return out;
+}
+
+std::vector<bool> Controller::execute(const std::vector<bool>& inputs,
+                                      const std::vector<bool>& initial) {
+  set_lim_enable(false);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    write_cell(static_cast<std::uint32_t>(i),
+               i < initial.size() ? static_cast<bool>(initial[i]) : false);
+  }
+  set_inputs(inputs);
+  set_lim_enable(true);
+  reset();
+  return run_to_halt();
+}
+
+}  // namespace plim::arch

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/program.hpp"
+
+namespace plim::arch {
+
+/// Cycle-accurate model of the PLiM controller of Fig. 2: a finite state
+/// machine wrapped around the RRAM array that fetches RM3 instructions
+/// *from the array itself* (the program resides in an instruction region,
+/// as in the PLiM computer [Gaillardon et al., DATE'16]) and applies them
+/// to the data region.
+///
+/// When `lim_enable` is false the device behaves as a plain RAM
+/// (read_cell / write_cell); raising it starts execution at PC 0. Each
+/// instruction takes four phases — fetch, read A, read B, write — which is
+/// also the constant the functional Machine model uses, so cycle counts
+/// agree between the two models.
+class Controller {
+ public:
+  enum class State : std::uint8_t {
+    idle,        ///< LiM disabled; array acts as RAM
+    fetch,       ///< read instruction word at PC from the instruction region
+    read_a,      ///< drive operand A
+    read_b,      ///< drive operand B
+    write_back,  ///< apply RM3 to the destination cell
+    halted,      ///< PC ran past the program
+  };
+
+  explicit Controller(const Program& program);
+
+  // ---- RAM mode --------------------------------------------------------
+
+  void set_lim_enable(bool enable);
+  [[nodiscard]] bool lim_enable() const noexcept { return lim_enable_; }
+
+  [[nodiscard]] bool read_cell(std::uint32_t cell) const;
+  /// Plain RAM write (only while LiM is disabled).
+  void write_cell(std::uint32_t cell, bool value);
+
+  /// Latches the primary-input values (the PLiM wrapper exposes them to
+  /// the operand multiplexers).
+  void set_inputs(std::vector<bool> inputs);
+
+  // ---- execution ---------------------------------------------------------
+
+  /// Resets PC and FSM; memory contents are preserved (call write_cell /
+  /// the constructor default of all-zero to set them up).
+  void reset();
+
+  /// Advances one clock cycle; returns false once halted (or idle).
+  bool step();
+
+  /// Runs until halted; returns the declared outputs.
+  std::vector<bool> run_to_halt();
+
+  /// Convenience: reset + enable + run; equivalent to Machine::run.
+  [[nodiscard]] std::vector<bool> execute(const std::vector<bool>& inputs,
+                                          const std::vector<bool>& initial = {});
+
+  // ---- observability -------------------------------------------------------
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& write_counts()
+      const noexcept {
+    return write_counts_;
+  }
+  /// The fetched instruction words live in the array's instruction
+  /// region; this returns the raw encoded word (for tests and debugging).
+  [[nodiscard]] std::uint64_t instruction_word(std::uint32_t index) const {
+    return instruction_region_[index];
+  }
+
+  /// Instruction word encoding (7 bytes used):
+  /// bits [1:0] A kind, [31:2] A address/value, [33:32] B kind,
+  /// [63:34] B address/value — destination is kept in a parallel word to
+  /// stay within 64 bits; see implementation.
+  [[nodiscard]] static std::uint64_t encode_operands(Operand a, Operand b);
+
+ private:
+  [[nodiscard]] bool operand_value(Operand op) const;
+
+  const Program& program_;
+  std::vector<std::uint64_t> instruction_region_;
+  std::vector<std::uint32_t> destination_region_;
+  std::vector<std::uint8_t> cells_;
+  std::vector<bool> inputs_;
+  std::vector<std::uint64_t> write_counts_;
+
+  State state_ = State::idle;
+  bool lim_enable_ = false;
+  std::uint32_t pc_ = 0;
+  std::uint64_t cycles_ = 0;
+
+  // Latches of the in-flight instruction.
+  Operand cur_a_;
+  Operand cur_b_;
+  std::uint32_t cur_z_ = 0;
+  bool val_a_ = false;
+  bool val_b_ = false;
+};
+
+}  // namespace plim::arch

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+
+namespace plim::arch {
+
+/// The PLiM architecture executes a single instruction, RM3 [Gaillardon et
+/// al., DATE'16]: applying operands P and Q to the top/bottom electrodes of
+/// a resistive memory cell holding Z updates the cell to
+///
+///   Z ← P·Z ∨ Q̄·Z ∨ P·Q̄ = ⟨P Q̄ Z⟩
+///
+/// i.e. a majority-of-three with the second operand intrinsically
+/// inverted. Programs are sequences of RM3 instructions; operands are read
+/// either as immediate constants, from primary-input latches, or from RRAM
+/// cells; the destination is always an RRAM cell.
+
+enum class OperandKind : std::uint8_t {
+  constant,  ///< immediate 0/1
+  input,     ///< primary input, addressed by input index
+  rram,      ///< RRAM cell, addressed by cell id
+};
+
+/// A source operand of an RM3 instruction.
+class Operand {
+ public:
+  constexpr Operand() noexcept : kind_(OperandKind::constant), value_(0) {}
+
+  [[nodiscard]] static constexpr Operand constant(bool v) noexcept {
+    return Operand(OperandKind::constant, v ? 1u : 0u);
+  }
+  [[nodiscard]] static constexpr Operand input(std::uint32_t index) noexcept {
+    return Operand(OperandKind::input, index);
+  }
+  [[nodiscard]] static constexpr Operand rram(std::uint32_t cell) noexcept {
+    return Operand(OperandKind::rram, cell);
+  }
+
+  [[nodiscard]] constexpr OperandKind kind() const noexcept { return kind_; }
+  [[nodiscard]] constexpr bool is_constant() const noexcept {
+    return kind_ == OperandKind::constant;
+  }
+  [[nodiscard]] constexpr bool is_input() const noexcept {
+    return kind_ == OperandKind::input;
+  }
+  [[nodiscard]] constexpr bool is_rram() const noexcept {
+    return kind_ == OperandKind::rram;
+  }
+
+  /// Constant value (only for constant operands).
+  [[nodiscard]] constexpr bool constant_value() const noexcept {
+    assert(is_constant());
+    return value_ != 0;
+  }
+  /// Input index or RRAM cell id.
+  [[nodiscard]] constexpr std::uint32_t address() const noexcept {
+    assert(!is_constant());
+    return value_;
+  }
+
+  friend constexpr bool operator==(Operand, Operand) noexcept = default;
+
+ private:
+  constexpr Operand(OperandKind k, std::uint32_t v) noexcept
+      : kind_(k), value_(v) {}
+
+  OperandKind kind_;
+  std::uint32_t value_;
+};
+
+/// One RM3 instruction: Z ← ⟨A B̄ Z⟩ where Z addresses an RRAM cell.
+struct Instruction {
+  Operand a;
+  Operand b;
+  std::uint32_t z = 0;
+
+  friend constexpr bool operator==(const Instruction&,
+                                   const Instruction&) noexcept = default;
+};
+
+/// The RM3 update rule itself (shared by machine and tests).
+[[nodiscard]] constexpr bool rm3(bool a, bool b, bool z) noexcept {
+  const bool nb = !b;
+  return (a && nb) || (a && z) || (nb && z);
+}
+
+/// Bitwise RM3 over 64 lanes.
+[[nodiscard]] constexpr std::uint64_t rm3_words(std::uint64_t a,
+                                                std::uint64_t b,
+                                                std::uint64_t z) noexcept {
+  const std::uint64_t nb = ~b;
+  return (a & nb) | (a & z) | (nb & z);
+}
+
+}  // namespace plim::arch

@@ -1,0 +1,75 @@
+#include "arch/machine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace plim::arch {
+
+std::vector<std::uint64_t> Machine::run_words(
+    const Program& program, const std::vector<std::uint64_t>& inputs,
+    const std::vector<std::uint64_t>& initial) {
+  if (inputs.size() != program.num_inputs()) {
+    throw std::invalid_argument("Machine::run_words: wrong input count");
+  }
+  std::vector<std::uint64_t> cells(program.num_rrams(), 0);
+  for (std::size_t i = 0; i < initial.size() && i < cells.size(); ++i) {
+    cells[i] = initial[i];
+  }
+  if (write_counts_.size() < cells.size()) {
+    write_counts_.resize(cells.size(), 0);
+  }
+
+  const auto read = [&](Operand op) -> std::uint64_t {
+    switch (op.kind()) {
+      case OperandKind::constant:
+        return op.constant_value() ? ~std::uint64_t{0} : 0;
+      case OperandKind::input:
+        return inputs[op.address()];
+      case OperandKind::rram:
+        return cells[op.address()];
+    }
+    return 0;  // unreachable
+  };
+
+  for (const auto& ins : program.instructions()) {
+    const std::uint64_t a = read(ins.a);
+    const std::uint64_t b = read(ins.b);
+    cells[ins.z] = rm3_words(a, b, cells[ins.z]);
+    ++write_counts_[ins.z];
+    ++instructions_;
+    cycles_ += phases_per_instruction;
+  }
+
+  std::vector<std::uint64_t> out(program.num_outputs());
+  for (std::uint32_t i = 0; i < program.num_outputs(); ++i) {
+    out[i] = cells[program.output_cell(i)];
+  }
+  return out;
+}
+
+std::vector<bool> Machine::run(const Program& program,
+                               const std::vector<bool>& inputs,
+                               const std::vector<bool>& initial) {
+  std::vector<std::uint64_t> in_words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    in_words[i] = inputs[i] ? ~std::uint64_t{0} : 0;
+  }
+  std::vector<std::uint64_t> init_words(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    init_words[i] = initial[i] ? ~std::uint64_t{0} : 0;
+  }
+  const auto out_words = run_words(program, in_words, init_words);
+  std::vector<bool> out(out_words.size());
+  for (std::size_t i = 0; i < out_words.size(); ++i) {
+    out[i] = (out_words[i] & 1) != 0;
+  }
+  return out;
+}
+
+void Machine::reset_counters() {
+  write_counts_.clear();
+  cycles_ = 0;
+  instructions_ = 0;
+}
+
+}  // namespace plim::arch

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/program.hpp"
+#include "util/stats.hpp"
+
+namespace plim::arch {
+
+/// Functional + endurance model of the PLiM architecture (Fig. 2 of the
+/// paper): an RRAM array wrapped by a controller that fetches RM3
+/// instructions and applies them to the array.
+///
+/// The model is cycle-approximate: each instruction takes a fixed number
+/// of controller phases (fetch, read A, read B, execute/write), and every
+/// destination update increments a per-cell write counter — the endurance
+/// proxy that the paper's FIFO allocation policy is designed to level.
+class Machine {
+ public:
+  /// Controller phases per RM3 instruction (fetch, read A, read B, write).
+  static constexpr std::uint64_t phases_per_instruction = 4;
+
+  Machine() = default;
+
+  /// Executes `program` on a single input vector. The RRAM array is
+  /// (re)initialized to `initial` (cells beyond the vector start at 0).
+  /// Returns the declared outputs. Write counters accumulate across runs.
+  [[nodiscard]] std::vector<bool> run(
+      const Program& program, const std::vector<bool>& inputs,
+      const std::vector<bool>& initial = {});
+
+  /// 64-lane bit-parallel execution: each bit position is an independent
+  /// run. `initial` optionally seeds the array per lane.
+  [[nodiscard]] std::vector<std::uint64_t> run_words(
+      const Program& program, const std::vector<std::uint64_t>& inputs,
+      const std::vector<std::uint64_t>& initial = {});
+
+  /// Per-cell write counts accumulated over all runs (endurance proxy).
+  [[nodiscard]] const std::vector<std::uint64_t>& write_counts()
+      const noexcept {
+    return write_counts_;
+  }
+  /// Summary of the write distribution (max = worst-cell wear).
+  [[nodiscard]] util::Summary endurance() const {
+    return util::summarize(write_counts_);
+  }
+
+  /// Total controller cycles spent (instructions × phases).
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t instructions_executed() const noexcept {
+    return instructions_;
+  }
+
+  /// Clears write counters and cycle statistics.
+  void reset_counters();
+
+ private:
+  std::vector<std::uint64_t> write_counts_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace plim::arch

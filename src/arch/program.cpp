@@ -1,0 +1,56 @@
+#include "arch/program.hpp"
+
+#include <algorithm>
+
+namespace plim::arch {
+
+std::uint32_t Program::add_input(std::string name) {
+  input_names_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(input_names_.size() - 1);
+}
+
+void Program::append(Instruction instr) {
+  num_rrams_ = std::max(num_rrams_, instr.z + 1);
+  for (const Operand op : {instr.a, instr.b}) {
+    if (op.is_rram()) {
+      num_rrams_ = std::max(num_rrams_, op.address() + 1);
+    }
+  }
+  instructions_.push_back(instr);
+}
+
+void Program::add_output(std::string name, std::uint32_t cell) {
+  num_rrams_ = std::max(num_rrams_, cell + 1);
+  outputs_.emplace_back(std::move(name), cell);
+}
+
+void Program::ensure_rram_count(std::uint32_t count) {
+  num_rrams_ = std::max(num_rrams_, count);
+}
+
+std::string Program::validate() const {
+  for (std::size_t i = 0; i < instructions_.size(); ++i) {
+    const auto& ins = instructions_[i];
+    for (const Operand op : {ins.a, ins.b}) {
+      if (op.is_input() && op.address() >= num_inputs()) {
+        return "instruction " + std::to_string(i) +
+               ": input operand out of range";
+      }
+      if (op.is_rram() && op.address() >= num_rrams_) {
+        return "instruction " + std::to_string(i) +
+               ": rram operand out of range";
+      }
+    }
+    if (ins.z >= num_rrams_) {
+      return "instruction " + std::to_string(i) + ": destination out of range";
+    }
+  }
+  for (std::uint32_t i = 0; i < num_outputs(); ++i) {
+    if (output_cell(i) >= num_rrams_) {
+      return "output " + std::to_string(i) + " refers to nonexistent cell";
+    }
+  }
+  return {};
+}
+
+}  // namespace plim::arch

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/program.hpp"
+
+namespace plim::arch {
+
+/// Renders a program in the paper's listing syntax, e.g.
+///
+///   01: 0, 1, @X1
+///   02: 1, i3, @X1
+///   03: i1, i2, @X1
+///
+/// Inputs print by their declared names; RRAM cells print as "@X<k>"
+/// (1-based, as in the paper). A trailing comment block lists the
+/// output-name → cell mapping.
+[[nodiscard]] std::string to_text(const Program& program);
+void write_text(const Program& program, std::ostream& os);
+
+/// Parses the textual form back (round-trip of `to_text`). Input operands
+/// must use the names declared in the "# input" header lines that
+/// `to_text` emits. Throws std::runtime_error on malformed input.
+[[nodiscard]] Program parse_program(const std::string& text);
+
+}  // namespace plim::arch

@@ -1,0 +1,298 @@
+#include "circuits/components.hpp"
+
+#include <cassert>
+
+namespace plim::circuits {
+
+using mig::Mig;
+using mig::Signal;
+
+Bus input_bus(Mig& m, unsigned width, const std::string& prefix) {
+  Bus bus(width);
+  for (unsigned i = 0; i < width; ++i) {
+    bus[i] = m.create_pi(prefix + std::to_string(i));
+  }
+  return bus;
+}
+
+void output_bus(Mig& m, const Bus& bus, const std::string& prefix) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    m.create_po(bus[i], prefix + std::to_string(i));
+  }
+}
+
+Bus constant_bus(Mig& m, unsigned width, std::uint64_t value) {
+  Bus bus(width);
+  for (unsigned i = 0; i < width; ++i) {
+    bus[i] = m.get_constant(i < 64 && ((value >> i) & 1) != 0);
+  }
+  return bus;
+}
+
+Bus mux_bus(Mig& m, Signal sel, const Bus& t, const Bus& e) {
+  assert(t.size() == e.size());
+  Bus out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = m.create_ite(sel, t[i], e[i]);
+  }
+  return out;
+}
+
+namespace {
+
+Signal reduce_tree(Mig& m, const Bus& bus, Signal empty_value,
+                   Signal (Mig::*op)(Signal, Signal)) {
+  if (bus.empty()) {
+    return empty_value;
+  }
+  // Balanced tree keeps depth logarithmic.
+  Bus layer = bus;
+  while (layer.size() > 1) {
+    Bus next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back((m.*op)(layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2 != 0) {
+      next.push_back(layer.back());
+    }
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+}  // namespace
+
+Signal reduce_or(Mig& m, const Bus& bus) {
+  return reduce_tree(m, bus, m.get_constant(false), &Mig::create_or);
+}
+
+Signal reduce_and(Mig& m, const Bus& bus) {
+  return reduce_tree(m, bus, m.get_constant(true), &Mig::create_and);
+}
+
+Signal reduce_xor(Mig& m, const Bus& bus) {
+  return reduce_tree(m, bus, m.get_constant(false), &Mig::create_xor);
+}
+
+Signal equals(Mig& m, const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus same(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    same[i] = m.create_xnor(a[i], b[i]);
+  }
+  return reduce_and(m, same);
+}
+
+FullAdderBits full_adder(Mig& m, Signal a, Signal b, Signal c,
+                         bool native_maj) {
+  if (native_maj) {
+    const auto fa = m.create_full_adder(a, b, c);
+    return {fa.sum, fa.carry};
+  }
+  // AOIG decomposition: every created node has a constant fanin, matching
+  // the paper's AOIG→MIG transposed starting networks.
+  const Signal ab_or = m.create_or(a, b);
+  const Signal ab_and = m.create_and(a, b);
+  const Signal carry = m.create_or(ab_and, m.create_and(c, ab_or));
+  const Signal ab_xor = m.create_and(ab_or, !ab_and);
+  const Signal sum = m.create_xor(ab_xor, c);
+  return {sum, carry};
+}
+
+AddResult add(Mig& m, const Bus& a, const Bus& b, Signal carry_in,
+              bool native_maj) {
+  assert(a.size() == b.size());
+  Bus sum(a.size());
+  Signal carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto fa = full_adder(m, a[i], b[i], carry, native_maj);
+    sum[i] = fa.sum;
+    carry = fa.carry;
+  }
+  return {std::move(sum), carry};
+}
+
+SubResult subtract(Mig& m, const Bus& a, const Bus& b, bool native_maj) {
+  assert(a.size() == b.size());
+  Bus not_b(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    not_b[i] = !b[i];
+  }
+  auto r = add(m, a, not_b, m.get_constant(true), native_maj);
+  return {std::move(r.sum), r.carry};
+}
+
+Signal unsigned_ge(Mig& m, const Bus& a, const Bus& b, bool native_maj) {
+  return subtract(m, a, b, native_maj).no_borrow;
+}
+
+Bus multiply(Mig& m, const Bus& a, const Bus& b, bool native_maj) {
+  const std::size_t width = a.size() + b.size();
+  Bus acc(width, m.get_constant(false));
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    Bus addend(width, m.get_constant(false));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      addend[i + j] = m.create_and(a[i], b[j]);
+    }
+    acc = add(m, acc, addend, m.get_constant(false), native_maj).sum;
+  }
+  return acc;
+}
+
+DivResult divide(Mig& m, const Bus& a, const Bus& b, bool native_maj) {
+  const std::size_t n = a.size();
+  // Working remainder has one guard bit; the restoring invariant
+  // rem < b keeps the dropped top bit zero.
+  Bus rem(b.size() + 1, m.get_constant(false));
+  Bus divisor(b);
+  divisor.push_back(m.get_constant(false));
+  Bus quotient(n, m.get_constant(false));
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = n - 1 - step;
+    Bus shifted(rem.size());
+    shifted[0] = a[i];
+    for (std::size_t j = 1; j < rem.size(); ++j) {
+      shifted[j] = rem[j - 1];
+    }
+    auto sub = subtract(m, shifted, divisor, native_maj);
+    quotient[i] = sub.no_borrow;
+    rem = mux_bus(m, sub.no_borrow, sub.difference, shifted);
+  }
+  rem.resize(b.size());
+  return {std::move(quotient), std::move(rem)};
+}
+
+Bus isqrt(Mig& m, const Bus& a, bool native_maj) {
+  assert(a.size() % 2 == 0);
+  const std::size_t n = a.size();
+  const std::size_t nb = n / 2;
+  Bus root(nb, m.get_constant(false));
+  Bus rem = a;
+  for (std::size_t step = 0; step < nb; ++step) {
+    const std::size_t i = nb - 1 - step;
+    // trial = (root_so_far << (i+1)) | (1 << 2i); root bits below i are
+    // still constant 0, so the wiring below is exact.
+    Bus trial(n, m.get_constant(false));
+    for (std::size_t j = 0; j < nb; ++j) {
+      if (j + i + 1 < n) {
+        trial[j + i + 1] = root[j];
+      }
+    }
+    trial[2 * i] = m.get_constant(true);
+    auto sub = subtract(m, rem, trial, native_maj);
+    rem = mux_bus(m, sub.no_borrow, sub.difference, rem);
+    root[i] = sub.no_borrow;
+  }
+  return root;
+}
+
+Bus popcount(Mig& m, const Bus& bus, bool native_maj) {
+  if (bus.empty()) {
+    return Bus{m.get_constant(false)};
+  }
+  std::vector<Bus> columns(1, bus);
+  // Note: carry_to may grow `columns` and invalidate references into it,
+  // so columns[w] is always re-indexed after calling it.
+  const auto carry_to = [&columns](std::size_t w, Signal s) {
+    if (w + 1 == columns.size()) {
+      columns.emplace_back();
+    }
+    columns[w + 1].push_back(s);
+  };
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    while (columns[w].size() >= 3) {
+      const Signal a = columns[w][columns[w].size() - 1];
+      const Signal b = columns[w][columns[w].size() - 2];
+      const Signal c = columns[w][columns[w].size() - 3];
+      columns[w].resize(columns[w].size() - 3);
+      const auto fa = full_adder(m, a, b, c, native_maj);
+      columns[w].push_back(fa.sum);
+      carry_to(w, fa.carry);
+    }
+    if (columns[w].size() == 2) {
+      const Signal a = columns[w][0];
+      const Signal b = columns[w][1];
+      columns[w].clear();
+      columns[w].push_back(m.create_xor(a, b));
+      carry_to(w, m.create_and(a, b));
+    }
+  }
+  Bus result(columns.size());
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    result[w] = columns[w].empty() ? m.get_constant(false) : columns[w][0];
+  }
+  return result;
+}
+
+Bus barrel_shift(Mig& m, const Bus& bus, const Bus& amount, ShiftKind kind) {
+  const std::size_t n = bus.size();
+  if (kind == ShiftKind::rotate_left) {
+    assert((n & (n - 1)) == 0 && "rotation needs power-of-two width");
+  }
+  Bus cur = bus;
+  for (std::size_t k = 0; k < amount.size(); ++k) {
+    const std::size_t s = std::size_t{1} << k;
+    Bus shifted(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (kind) {
+        case ShiftKind::logical_left:
+          shifted[i] = (i >= s) ? cur[i - s] : m.get_constant(false);
+          break;
+        case ShiftKind::logical_right:
+          shifted[i] = (i + s < n) ? cur[i + s] : m.get_constant(false);
+          break;
+        case ShiftKind::rotate_left:
+          shifted[i] = cur[(i + n - (s % n)) % n];
+          break;
+      }
+    }
+    cur = mux_bus(m, amount[k], shifted, cur);
+  }
+  return cur;
+}
+
+PriorityResult priority_encode(Mig& m, const Bus& bus, PriorityOrder order) {
+  const std::size_t n = bus.size();
+  std::size_t index_bits = 0;
+  while ((std::size_t{1} << index_bits) < n) {
+    ++index_bits;
+  }
+  Bus index(index_bits, m.get_constant(false));
+  Signal none_before = m.get_constant(true);
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i =
+        order == PriorityOrder::lsb_first ? step : n - 1 - step;
+    const Signal wins = m.create_and(bus[i], none_before);
+    for (std::size_t j = 0; j < index_bits; ++j) {
+      if ((i >> j) & 1) {
+        index[j] = m.create_or(index[j], wins);
+      }
+    }
+    none_before = m.create_and(none_before, !bus[i]);
+  }
+  return {std::move(index), !none_before};
+}
+
+Bus decode(Mig& m, const Bus& addr) {
+  // Recursive halving shares subterms: decode(lo) × decode(hi).
+  if (addr.empty()) {
+    return Bus{m.get_constant(true)};
+  }
+  if (addr.size() == 1) {
+    return Bus{!addr[0], addr[0]};
+  }
+  const std::size_t half = addr.size() / 2;
+  const Bus lo = decode(m, Bus(addr.begin(), addr.begin() + half));
+  const Bus hi = decode(m, Bus(addr.begin() + half, addr.end()));
+  Bus out;
+  out.reserve(lo.size() * hi.size());
+  for (const auto h : hi) {
+    for (const auto l : lo) {
+      out.push_back(m.create_and(h, l));
+    }
+  }
+  return out;
+}
+
+}  // namespace plim::circuits

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+namespace plim::circuits {
+
+/// A little-endian signal vector: bus[0] is the least significant bit.
+using Bus = std::vector<mig::Signal>;
+
+// ---- bus plumbing -----------------------------------------------------------
+
+/// Creates `width` primary inputs named `<prefix>0 … <prefix><width-1>`.
+[[nodiscard]] Bus input_bus(mig::Mig& m, unsigned width,
+                            const std::string& prefix);
+
+/// Registers every bus bit as a primary output `<prefix><i>`.
+void output_bus(mig::Mig& m, const Bus& bus, const std::string& prefix);
+
+/// Constant bus holding `value` (little endian, truncated to width).
+[[nodiscard]] Bus constant_bus(mig::Mig& m, unsigned width,
+                               std::uint64_t value);
+
+/// Per-bit multiplexer: sel ? t : e.
+[[nodiscard]] Bus mux_bus(mig::Mig& m, mig::Signal sel, const Bus& t,
+                          const Bus& e);
+
+[[nodiscard]] mig::Signal reduce_or(mig::Mig& m, const Bus& bus);
+[[nodiscard]] mig::Signal reduce_and(mig::Mig& m, const Bus& bus);
+[[nodiscard]] mig::Signal reduce_xor(mig::Mig& m, const Bus& bus);
+
+/// True iff the two equally wide buses are equal.
+[[nodiscard]] mig::Signal equals(mig::Mig& m, const Bus& a, const Bus& b);
+
+// ---- arithmetic -------------------------------------------------------------
+
+struct FullAdderBits {
+  mig::Signal sum;
+  mig::Signal carry;
+};
+
+/// Full adder. With `native_maj` the carry is a single majority gate and
+/// the sum uses the 3-gate MAJ decomposition (3 gates/bit); otherwise the
+/// AOIG decomposition is used (10 gates/bit) — the paper's starting point,
+/// where every MIG node has a constant fanin.
+[[nodiscard]] FullAdderBits full_adder(mig::Mig& m, mig::Signal a,
+                                       mig::Signal b, mig::Signal c,
+                                       bool native_maj = false);
+
+struct AddResult {
+  Bus sum;
+  mig::Signal carry;
+};
+
+/// Ripple-carry addition of equal-width buses.
+[[nodiscard]] AddResult add(mig::Mig& m, const Bus& a, const Bus& b,
+                            mig::Signal carry_in, bool native_maj = false);
+
+struct SubResult {
+  Bus difference;
+  mig::Signal no_borrow;  ///< carry out of a + ~b + 1, i.e. a ≥ b
+};
+
+/// Two's-complement subtraction a − b of equal-width buses.
+[[nodiscard]] SubResult subtract(mig::Mig& m, const Bus& a, const Bus& b,
+                                 bool native_maj = false);
+
+/// Unsigned comparison a ≥ b (borrow logic only).
+[[nodiscard]] mig::Signal unsigned_ge(mig::Mig& m, const Bus& a, const Bus& b,
+                                      bool native_maj = false);
+
+/// Array multiplier; result width = |a| + |b|.
+[[nodiscard]] Bus multiply(mig::Mig& m, const Bus& a, const Bus& b,
+                           bool native_maj = false);
+
+struct DivResult {
+  Bus quotient;   ///< |a| bits
+  Bus remainder;  ///< |b| bits
+};
+
+/// Restoring long division (unsigned). For b == 0 the hardware yields
+/// quotient = all-ones and remainder = a, which the tests' reference
+/// model replicates.
+[[nodiscard]] DivResult divide(mig::Mig& m, const Bus& a, const Bus& b,
+                               bool native_maj = false);
+
+/// Integer square root of an even-width bus; result has |a|/2 bits.
+[[nodiscard]] Bus isqrt(mig::Mig& m, const Bus& a, bool native_maj = false);
+
+/// Number of set bits (CSA reduction tree + final half/full adders).
+[[nodiscard]] Bus popcount(mig::Mig& m, const Bus& bus,
+                           bool native_maj = false);
+
+// ---- shifters ---------------------------------------------------------------
+
+enum class ShiftKind { logical_left, logical_right, rotate_left };
+
+/// Barrel shifter: amount is a log2(|bus|)-bit bus. Rotation requires a
+/// power-of-two width.
+[[nodiscard]] Bus barrel_shift(mig::Mig& m, const Bus& bus, const Bus& amount,
+                               ShiftKind kind);
+
+// ---- encoders / decoders ----------------------------------------------------
+
+struct PriorityResult {
+  Bus index;         ///< binary index of the winning bit
+  mig::Signal valid;  ///< any input set
+};
+
+enum class PriorityOrder { lsb_first, msb_first };
+
+/// Priority encoder over `bus`, winner = first set bit in `order`.
+[[nodiscard]] PriorityResult priority_encode(mig::Mig& m, const Bus& bus,
+                                             PriorityOrder order);
+
+/// Binary → one-hot decoder (2^|addr| outputs, built as a shared tree).
+[[nodiscard]] Bus decode(mig::Mig& m, const Bus& addr);
+
+}  // namespace plim::circuits

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+namespace plim::circuits {
+
+/// Generators for functionally comparable stand-ins of the EPFL benchmark
+/// suite used in the paper's Table 1 (the original netlists are
+/// downloads; offline we re-synthesize the same functions / interface
+/// shapes — see DESIGN.md "Substitutions").
+///
+/// All circuits are built AOIG-style by default (every majority node has
+/// a constant fanin), mirroring the paper's AOIG→MIG transposed starting
+/// networks. Arithmetic generators take a width so tests can validate the
+/// function exhaustively at small scale and the harness can build the
+/// paper-sized interface.
+
+mig::Mig make_adder(unsigned bits = 128);       // 2n   PI, n+1 PO
+mig::Mig make_bar(unsigned bits = 128);         // n+log2(n) PI, n PO
+mig::Mig make_div(unsigned bits = 64);          // 2n PI, 2n PO
+mig::Mig make_log2(unsigned frac_bits = 27);    // 32 PI, 5+frac PO
+mig::Mig make_max(unsigned bits = 128);         // 4n PI, n+2 PO
+mig::Mig make_multiplier(unsigned bits = 64);   // 2n PI, 2n PO
+mig::Mig make_sin();                            // 24 PI, 25 PO
+mig::Mig make_sqrt(unsigned bits = 128);        // n PI, n/2 PO
+mig::Mig make_square(unsigned bits = 64);       // n PI, 2n PO
+mig::Mig make_cavlc();                          // 10 PI, 11 PO
+mig::Mig make_ctrl();                           // 7 PI, 26 PO
+mig::Mig make_dec(unsigned addr_bits = 8);      // n PI, 2^n PO
+mig::Mig make_i2c();                            // 147 PI, 142 PO
+mig::Mig make_int2float();                      // 11 PI, 7 PO
+mig::Mig make_mem_ctrl();                       // 1204 PI, 1231 PO
+mig::Mig make_priority(unsigned bits = 128);    // n PI, log2(n)+1 PO
+mig::Mig make_router();                         // 60 PI, 30 PO
+mig::Mig make_voter(unsigned inputs = 1001);    // n PI, 1 PO
+
+/// Values the paper reports in Table 1 for one benchmark (for the
+/// harness's paper-vs-measured output and EXPERIMENTS.md).
+struct PaperRow {
+  std::uint32_t n_naive, i_naive, r_naive;  // naïve on the initial MIG
+  std::uint32_t n_rw, i_rw, r_rw;           // after MIG rewriting
+  std::uint32_t i_cmp, r_cmp;               // rewriting + compilation
+};
+
+struct BenchmarkSpec {
+  std::string name;
+  unsigned pis;  ///< paper interface widths (our generators match them)
+  unsigned pos;
+  PaperRow paper;
+  mig::Mig (*build)();  ///< paper-sized instance
+};
+
+/// The 18 benchmarks of Table 1, in the paper's order.
+[[nodiscard]] const std::vector<BenchmarkSpec>& epfl_suite();
+
+/// Builds a paper-sized benchmark by name; throws std::invalid_argument
+/// for unknown names.
+[[nodiscard]] mig::Mig build_benchmark(const std::string& name);
+
+}  // namespace plim::circuits

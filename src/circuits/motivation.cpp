@@ -1,0 +1,34 @@
+#include "circuits/motivation.hpp"
+
+namespace plim::circuits {
+
+mig::Mig make_fig3a() {
+  mig::Mig m;
+  const auto i1 = m.create_pi("i1");
+  const auto i2 = m.create_pi("i2");
+  const auto i3 = m.create_pi("i3");
+  const auto i4 = m.create_pi("i4");
+  const auto n1 = m.create_maj(i1, !i2, !i3);
+  const auto n2 = m.create_maj(i2, !i4, !n1);
+  m.create_po(n2, "f");
+  return m;
+}
+
+mig::Mig make_fig3b() {
+  mig::Mig m;
+  const auto i1 = m.create_pi("i1");
+  const auto i2 = m.create_pi("i2");
+  const auto i3 = m.create_pi("i3");
+  const auto zero = m.get_constant(false);
+  const auto one = m.get_constant(true);
+  const auto n1 = m.create_maj(zero, i1, i2);
+  const auto n2 = m.create_maj(one, !i2, i3);
+  const auto n3 = m.create_maj(i1, i2, i3);
+  const auto n4 = m.create_maj(n1, i3, one);
+  const auto n5 = m.create_maj(n1, !n2, n3);
+  const auto n6 = m.create_maj(n4, !n5, n1);
+  m.create_po(n6, "f");
+  return m;
+}
+
+}  // namespace plim::circuits

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "mig/mig.hpp"
+
+namespace plim::circuits {
+
+/// The two-node MIG of the paper's Fig. 3(a) (left): N1 = ⟨i1 ī2 ī3⟩ with
+/// two complemented fanins, N2 = ⟨i2 ī4 N̄1⟩; output N2. Rewriting turns
+/// its 6-instruction / 2-RRAM program into 4 instructions / 1 RRAM.
+[[nodiscard]] mig::Mig make_fig3a();
+
+/// The six-node MIG of Fig. 3(b), reconstructed from the paper's naïve
+/// program listing (fanin order matters for the textbook translation):
+/// N1=⟨0 i1 i2⟩, N2=⟨1 ī2 i3⟩, N3=⟨i1 i2 i3⟩, N4=⟨N1 i3 1⟩,
+/// N5=⟨N1 N̄2 N3⟩, N6=⟨N4 N̄5 N1⟩; output N6. Naïve translation takes 19
+/// instructions / 7 RRAMs, smart compilation 15 / 4.
+[[nodiscard]] mig::Mig make_fig3b();
+
+}  // namespace plim::circuits

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+namespace plim::circuits {
+
+/// Bit-exact software models of the non-trivial benchmark circuits, used
+/// by the test suite to validate the generators. Plain arithmetic blocks
+/// (adder, multiplier, divider, sqrt, shifter, …) are checked against
+/// built-in integer operations instead.
+
+/// Model of make_log2(frac_bits): returns {e(5) : f_0…f_{frac-1}} packed
+/// little-endian exactly like the circuit's PO order (f first, e on top).
+[[nodiscard]] std::uint64_t ref_log2(std::uint32_t x, unsigned frac_bits);
+
+/// Model of make_sin(): 24-bit turn fraction → 25-bit two's-complement
+/// 1.23 sine value (low 25 bits of the result).
+[[nodiscard]] std::uint32_t ref_sin(std::uint32_t t);
+
+/// Model of make_int2float(): 11-bit two's-complement input → 7-bit
+/// {s, e[3], m[3]} packed little-endian (s = bit 0).
+[[nodiscard]] std::uint32_t ref_int2float(std::uint32_t x11);
+
+}  // namespace plim::circuits

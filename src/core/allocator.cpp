@@ -1,0 +1,33 @@
+#include "core/allocator.hpp"
+
+#include <algorithm>
+
+namespace plim::core {
+
+std::uint32_t RramAllocator::request() {
+  std::uint32_t cell;
+  if (policy_ != AllocationPolicy::fresh && !free_.empty()) {
+    if (policy_ == AllocationPolicy::fifo) {
+      cell = free_.front();
+      free_.pop_front();
+    } else {
+      cell = free_.back();
+      free_.pop_back();
+    }
+  } else {
+    if (cap_ && next_ >= *cap_) {
+      throw RramCapExceeded(*cap_);
+    }
+    cell = next_++;
+  }
+  ++live_;
+  peak_ = std::max(peak_, live_);
+  return cell;
+}
+
+void RramAllocator::release(std::uint32_t cell) {
+  free_.push_back(cell);
+  --live_;
+}
+
+}  // namespace plim::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+namespace plim::core {
+
+/// Reuse discipline for released RRAM cells (§4.2.3 of the paper).
+enum class AllocationPolicy : std::uint8_t {
+  /// The oldest released cell is reused first. This is the paper's
+  /// endurance-aware choice: recently released cells rest longest, so
+  /// writes spread evenly over the array (wear levelling).
+  fifo,
+  /// The most recently released cell is reused first (stack discipline);
+  /// minimizes address churn but concentrates wear. Ablation baseline.
+  lifo,
+  /// Never reuse: every request allocates a fresh cell. Ablation baseline
+  /// showing how much the free list saves (#R explodes without it).
+  fresh,
+};
+
+/// Thrown when an `rram_cap` constraint (future-work extension of the
+/// paper) is violated during compilation.
+class RramCapExceeded : public std::runtime_error {
+ public:
+  explicit RramCapExceeded(std::uint32_t cap)
+      : std::runtime_error("RRAM capacity exceeded (cap = " +
+                           std::to_string(cap) + ")") {}
+};
+
+/// The RRAM allocation interface of §4.2.3: `request` returns a ready
+/// cell (reusing released ones per policy), `release` returns a cell to
+/// the free list.
+class RramAllocator {
+ public:
+  explicit RramAllocator(AllocationPolicy policy = AllocationPolicy::fifo,
+                         std::optional<std::uint32_t> cap = std::nullopt)
+      : policy_(policy), cap_(cap) {}
+
+  /// Returns a cell id ready for use. Throws RramCapExceeded if a fresh
+  /// cell would exceed the configured capacity.
+  [[nodiscard]] std::uint32_t request();
+
+  /// Returns a cell to the free list. The caller guarantees the cell's
+  /// value is dead.
+  void release(std::uint32_t cell);
+
+  /// Total distinct cells ever allocated — the paper's #R metric.
+  [[nodiscard]] std::uint32_t total_allocated() const noexcept {
+    return next_;
+  }
+  /// Cells currently holding live values.
+  [[nodiscard]] std::uint32_t live() const noexcept { return live_; }
+  /// High-water mark of live cells.
+  [[nodiscard]] std::uint32_t peak_live() const noexcept { return peak_; }
+
+  [[nodiscard]] AllocationPolicy policy() const noexcept { return policy_; }
+
+ private:
+  AllocationPolicy policy_;
+  std::optional<std::uint32_t> cap_;
+  std::deque<std::uint32_t> free_;
+  std::uint32_t next_ = 0;
+  std::uint32_t live_ = 0;
+  std::uint32_t peak_ = 0;
+};
+
+}  // namespace plim::core

@@ -1,0 +1,614 @@
+#include "core/compiler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "mig/views.hpp"
+
+namespace plim::core {
+
+namespace {
+
+using mig::Mig;
+using mig::Signal;
+using arch::Operand;
+
+/// Everything the §4.2.2 case analysis needs to know about one fanin.
+struct ChildRef {
+  Signal edge;
+  mig::node n = 0;
+  bool is_const = false;
+  bool cval = false;  ///< constant edge value (complement folded in)
+  bool is_pi = false;
+  bool is_gate = false;
+  bool compl_edge = false;  ///< non-constant fanin with complemented edge
+};
+
+class Compiler {
+ public:
+  Compiler(const Mig& m, const CompileOptions& opts)
+      : mig_(m),
+        opts_(opts),
+        fanout_(m),
+        alloc_(opts.allocation, opts.rram_cap),
+        level_(m.levels()),
+        reach_(m.size(), false),
+        remaining_uses_(m.size(), 0),
+        pending_children_(m.size(), 0),
+        value_cell_(m.size(), -1),
+        compl_cell_(m.size(), -1),
+        computed_(m.size(), false),
+        max_parent_level_(m.size(), 0) {}
+
+  CompileResult run() {
+    prepare();
+    mig_.foreach_pi(
+        [&](mig::node n) { program_.add_input(mig_.pi_name(mig_.pi_index(n))); });
+
+    if (opts_.smart_candidates) {
+      run_smart_order();
+    } else {
+      run_index_order();
+    }
+    finalize_outputs();
+
+    CompileStats stats;
+    stats.num_instructions =
+        static_cast<std::uint32_t>(program_.num_instructions());
+    stats.num_rrams = alloc_.total_allocated();
+    stats.num_gates = translated_;
+    stats.peak_live_rrams = alloc_.peak_live();
+    stats.complement_materializations = complement_materializations_;
+    return CompileResult{std::move(program_), stats};
+  }
+
+ private:
+  // ---- preparation ---------------------------------------------------------
+
+  void prepare() {
+    // Reachability from POs.
+    reach_[0] = true;
+    std::vector<mig::node> stack;
+    mig_.foreach_pi([&](mig::node n) { reach_[n] = true; });
+    mig_.foreach_po([&](Signal f, std::uint32_t) {
+      if (!reach_[f.index()]) {
+        reach_[f.index()] = true;
+        stack.push_back(f.index());
+      }
+    });
+    while (!stack.empty()) {
+      const mig::node n = stack.back();
+      stack.pop_back();
+      if (!mig_.is_gate(n)) {
+        continue;
+      }
+      for (const auto f : mig_.fanins(n)) {
+        if (!reach_[f.index()]) {
+          reach_[f.index()] = true;
+          stack.push_back(f.index());
+        }
+      }
+    }
+
+    // Uses = reachable parent gates (to be computed) + PO references
+    // (permanent pins, so output cells are never reclaimed).
+    const std::uint32_t depth = *std::max_element(level_.begin(), level_.end());
+    mig_.foreach_node([&](mig::node n) {
+      if (!reach_[n] || mig_.is_constant(n)) {
+        return;
+      }
+      std::uint32_t uses = fanout_.num_po_refs(n);
+      std::uint32_t max_plevel = 0;
+      bool has_parent = false;
+      for (const auto p : fanout_.parents(n)) {
+        if (!reach_[p]) {
+          continue;
+        }
+        ++uses;
+        has_parent = true;
+        max_plevel = std::max(max_plevel, level_[p]);
+      }
+      remaining_uses_[n] = uses;
+      // Nodes only referenced by POs are needed until the very end; rank
+      // them past the deepest gate so they are not rushed.
+      max_parent_level_[n] = has_parent ? max_plevel : depth + 1;
+    });
+
+    mig_.foreach_gate([&](mig::node n) {
+      if (!reach_[n]) {
+        return;
+      }
+      std::uint32_t pending = 0;
+      for (const auto f : mig_.fanins(n)) {
+        if (mig_.is_gate(f.index())) {
+          ++pending;
+        }
+      }
+      pending_children_[n] = pending;
+    });
+  }
+
+  // ---- candidate selection (§4.2.1) ----------------------------------------
+
+  /// Number of fanins whose RRAMs this translation would release.
+  std::uint32_t releasing_children(mig::node v) const {
+    std::uint32_t count = 0;
+    for (const auto f : mig_.fanins(v)) {
+      if (!mig_.is_constant(f.index()) && remaining_uses_[f.index()] == 1) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  struct Key {
+    std::uint32_t releasing;
+    std::uint32_t max_parent_level;
+    mig::node index;
+
+    friend bool operator==(const Key&, const Key&) = default;
+
+    /// "worse-than" for a max-heap: fewer releasing children, then higher
+    /// fanout level, then higher index.
+    bool operator<(const Key& o) const {
+      if (releasing != o.releasing) {
+        return releasing < o.releasing;
+      }
+      if (max_parent_level != o.max_parent_level) {
+        return max_parent_level > o.max_parent_level;
+      }
+      return index > o.index;
+    }
+  };
+
+  Key make_key(mig::node v) const {
+    return Key{releasing_children(v), max_parent_level_[v], v};
+  }
+
+  void run_smart_order() {
+    // Lazy priority queue: keys are snapshots; stale entries are re-keyed
+    // at pop time (the paper's criteria change as RRAMs are released).
+    std::priority_queue<std::pair<Key, mig::node>> queue;
+    mig_.foreach_gate([&](mig::node n) {
+      if (reach_[n] && pending_children_[n] == 0) {
+        queue.emplace(make_key(n), n);
+      }
+    });
+    while (!queue.empty()) {
+      const auto [key, v] = queue.top();
+      queue.pop();
+      if (computed_[v]) {
+        continue;  // duplicate entry
+      }
+      const Key fresh = make_key(v);
+      if (fresh != key) {
+        queue.emplace(fresh, v);
+        continue;
+      }
+      translate(v);
+      for (const auto p : fanout_.parents(v)) {
+        if (reach_[p] && --pending_children_[p] == 0) {
+          queue.emplace(make_key(p), p);
+        }
+      }
+    }
+  }
+
+  void run_index_order() {
+    // Node indices are a topological order, so translating gates in index
+    // order is always feasible — this is the paper's "naïve" schedule.
+    mig_.foreach_gate([&](mig::node n) {
+      if (reach_[n]) {
+        translate(n);
+      }
+    });
+  }
+
+  // ---- instruction emission -------------------------------------------------
+
+  void emit(Operand a, Operand b, std::uint32_t z) { program_.append(a, b, z); }
+
+  Operand value_operand(mig::node n) const {
+    if (mig_.is_pi(n)) {
+      return Operand::input(mig_.pi_index(n));
+    }
+    assert(mig_.is_gate(n) && computed_[n] && value_cell_[n] >= 0);
+    return Operand::rram(static_cast<std::uint32_t>(value_cell_[n]));
+  }
+
+  /// Fresh cell loaded with a constant: Z←⟨0 1̄ Z⟩=0 or Z←⟨1 0̄ Z⟩=1.
+  /// Works for any previous cell content, so reused cells are fine.
+  std::uint32_t emit_const_cell(bool v) {
+    const auto cell = alloc_.request();
+    if (v) {
+      emit(Operand::constant(true), Operand::constant(false), cell);
+    } else {
+      emit(Operand::constant(false), Operand::constant(true), cell);
+    }
+    return cell;
+  }
+
+  /// Fresh cell loaded with the complement of a node's value
+  /// (cases (g)/(h) of Fig. 5): Z←0; Z←⟨1 v̄ 0⟩ = v̄.
+  std::uint32_t emit_complement_of(mig::node n) {
+    const auto cell = alloc_.request();
+    emit(Operand::constant(false), Operand::constant(true), cell);
+    emit(Operand::constant(true), value_operand(n), cell);
+    ++complement_materializations_;
+    return cell;
+  }
+
+  /// Fresh cell loaded with a copy of a node's value
+  /// (case (e) of Fig. 6): Z←1; Z←⟨v 1̄ 1⟩ = v.
+  std::uint32_t emit_copy_of(mig::node n) {
+    const auto cell = alloc_.request();
+    emit(Operand::constant(true), Operand::constant(false), cell);
+    emit(value_operand(n), Operand::constant(true), cell);
+    return cell;
+  }
+
+  // ---- node translation (§4.2.2) --------------------------------------------
+
+  ChildRef child_ref(Signal f) const {
+    ChildRef c;
+    c.edge = f;
+    c.n = f.index();
+    if (mig_.is_constant(c.n)) {
+      c.is_const = true;
+      c.cval = f.complemented();  // complemented constant-0 edge is 1
+    } else {
+      c.is_pi = mig_.is_pi(c.n);
+      c.is_gate = !c.is_pi;
+      c.compl_edge = f.complemented();
+    }
+    return c;
+  }
+
+  void translate(mig::node v) {
+    assert(!computed_[v]);
+    const auto& fanins = mig_.fanins(v);
+    std::array<ChildRef, 3> ch{child_ref(fanins[0]), child_ref(fanins[1]),
+                               child_ref(fanins[2])};
+    std::vector<std::uint32_t> temps;
+    Operand a_op;
+    Operand b_op;
+    std::uint32_t z_cell;
+
+    if (opts_.textbook_slots) {
+      select_slots_textbook(ch, temps, a_op, b_op, z_cell);
+    } else {
+      std::array<bool, 3> taken{false, false, false};
+      b_op = select_operand_b(ch, taken, temps);
+      z_cell = select_destination_z(ch, taken, temps);
+      a_op = select_operand_a(ch, taken, temps);
+    }
+
+    emit(a_op, b_op, z_cell);
+    value_cell_[v] = static_cast<std::int64_t>(z_cell);
+    computed_[v] = true;
+    ++translated_;
+
+    for (const auto t : temps) {
+      alloc_.release(t);
+    }
+    for (const auto& c : ch) {
+      if (c.is_const) {
+        continue;
+      }
+      assert(remaining_uses_[c.n] > 0);
+      if (--remaining_uses_[c.n] == 0) {
+        release_node(c.n);
+      }
+    }
+  }
+
+  void release_node(mig::node n) {
+    if (value_cell_[n] >= 0 && mig_.is_gate(n)) {
+      alloc_.release(static_cast<std::uint32_t>(value_cell_[n]));
+      value_cell_[n] = -1;
+    }
+    if (compl_cell_[n] >= 0) {
+      alloc_.release(static_cast<std::uint32_t>(compl_cell_[n]));
+      compl_cell_[n] = -1;
+    }
+  }
+
+  /// Operand B selection, cases (a)–(h) of Fig. 5. The selected child is
+  /// marked in `taken`; extra instructions/cells are emitted as needed.
+  Operand select_operand_b(const std::array<ChildRef, 3>& ch,
+                           std::array<bool, 3>& taken,
+                           std::vector<std::uint32_t>& temps) {
+    std::array<int, 3> nc{};  // complemented non-constant children
+    int num_nc = 0;
+    int const_idx = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (ch[i].is_const) {
+        const_idx = i;
+      } else if (ch[i].compl_edge) {
+        nc[num_nc++] = i;
+      }
+    }
+
+    // (a) exactly one complemented child: its cell feeds B; the intrinsic
+    //     inversion of RM3 produces the edge value for free.
+    if (num_nc == 1) {
+      taken[nc[0]] = true;
+      return value_operand(ch[nc[0]].n);
+    }
+    // (b) several complemented children plus a constant child: pick the
+    //     first non-constant complemented child (constants keep the most
+    //     flexibility for the remaining slots).
+    if (num_nc >= 2 && const_idx >= 0) {
+      taken[nc[0]] = true;
+      return value_operand(ch[nc[0]].n);
+    }
+    // (c) no complemented child but a constant child: B is the inverse of
+    //     the constant (B̄ reproduces the constant fanin).
+    if (num_nc == 0 && const_idx >= 0) {
+      taken[const_idx] = true;
+      return Operand::constant(!ch[const_idx].cval);
+    }
+    // (d) several complemented children, one with multiple fanout: prefer
+    //     it — it cannot serve as destination anyway.
+    // (e) several complemented children, none with multiple fanout: first.
+    if (num_nc >= 2) {
+      int pick = nc[0];
+      for (int k = 0; k < num_nc; ++k) {
+        if (remaining_uses_[ch[nc[k]].n] > 1) {
+          pick = nc[k];
+          break;
+        }
+      }
+      taken[pick] = true;
+      return value_operand(ch[pick].n);
+    }
+    // No complemented and no constant children.
+    // (f) a child's complemented value is already cached in a cell.
+    for (int i = 0; i < 3; ++i) {
+      if (compl_cell_[ch[i].n] >= 0) {
+        taken[i] = true;
+        return Operand::rram(static_cast<std::uint32_t>(compl_cell_[ch[i].n]));
+      }
+    }
+    // (g) a child with multiple fanout (it cannot be the destination, so
+    //     spending the inversion on it costs nothing extra), else
+    // (h) the first child. Both materialize the complement in a fresh
+    //     cell, remembered for future use when caching is enabled.
+    int pick = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (remaining_uses_[ch[i].n] > 1) {
+        pick = i;
+        break;
+      }
+    }
+    const std::uint32_t xi = emit_complement_of(ch[pick].n);
+    if (opts_.cache_complements) {
+      compl_cell_[ch[pick].n] = xi;
+    } else {
+      temps.push_back(xi);
+    }
+    taken[pick] = true;
+    return Operand::rram(xi);
+  }
+
+  /// Destination Z selection, cases (a)–(e) of Fig. 6. Returns the cell
+  /// that holds the third-operand value and will receive the result.
+  std::uint32_t select_destination_z(const std::array<ChildRef, 3>& ch,
+                                     std::array<bool, 3>& taken,
+                                     std::vector<std::uint32_t>& temps) {
+    (void)temps;
+    // (a) complemented child on its last use whose complement is cached:
+    //     that cell holds the edge value and is safe to overwrite.
+    for (int i = 0; i < 3; ++i) {
+      const auto& c = ch[i];
+      if (!taken[i] && !c.is_const && c.compl_edge &&
+          remaining_uses_[c.n] == 1 && compl_cell_[c.n] >= 0) {
+        taken[i] = true;
+        const auto cell = static_cast<std::uint32_t>(compl_cell_[c.n]);
+        compl_cell_[c.n] = -1;  // consumed: the RM3 overwrites it
+        return cell;
+      }
+    }
+    // (b) non-complemented gate child on its last use: reuse its cell.
+    for (int i = 0; i < 3; ++i) {
+      const auto& c = ch[i];
+      if (!taken[i] && c.is_gate && !c.compl_edge &&
+          remaining_uses_[c.n] == 1) {
+        taken[i] = true;
+        assert(value_cell_[c.n] >= 0);
+        const auto cell = static_cast<std::uint32_t>(value_cell_[c.n]);
+        value_cell_[c.n] = -1;  // overwritten by the RM3
+        return cell;
+      }
+    }
+    // (c) constant child: fresh cell initialized to the constant.
+    for (int i = 0; i < 3; ++i) {
+      if (!taken[i] && ch[i].is_const) {
+        taken[i] = true;
+        return emit_const_cell(ch[i].cval);
+      }
+    }
+    // (d) complemented child: fresh cell loaded with its complement.
+    for (int i = 0; i < 3; ++i) {
+      if (!taken[i] && ch[i].compl_edge) {
+        taken[i] = true;
+        return emit_complement_of(ch[i].n);
+      }
+    }
+    // (e) non-complemented child (a PI, or a gate with more fanout):
+    //     fresh cell loaded with a copy of its value.
+    for (int i = 0; i < 3; ++i) {
+      if (!taken[i]) {
+        taken[i] = true;
+        return emit_copy_of(ch[i].n);
+      }
+    }
+    assert(false && "destination selection must succeed");
+    return 0;
+  }
+
+  /// Operand A: the one remaining child (cases (a)–(d) of §4.2.2).
+  Operand select_operand_a(const std::array<ChildRef, 3>& ch,
+                           std::array<bool, 3>& taken,
+                           std::vector<std::uint32_t>& temps) {
+    for (int i = 0; i < 3; ++i) {
+      if (taken[i]) {
+        continue;
+      }
+      taken[i] = true;
+      const auto& c = ch[i];
+      if (c.is_const) {
+        return Operand::constant(c.cval);
+      }
+      if (!c.compl_edge) {
+        return value_operand(c.n);
+      }
+      if (compl_cell_[c.n] >= 0) {
+        return Operand::rram(static_cast<std::uint32_t>(compl_cell_[c.n]));
+      }
+      const std::uint32_t xi = emit_complement_of(c.n);
+      if (opts_.cache_complements) {
+        compl_cell_[c.n] = xi;
+      } else {
+        temps.push_back(xi);
+      }
+      return Operand::rram(xi);
+    }
+    assert(false && "exactly one child must remain for operand A");
+    return Operand::constant(false);
+  }
+
+  /// §3 exposition mode: A←child1, B←child2, Z←child3 verbatim.
+  void select_slots_textbook(const std::array<ChildRef, 3>& ch,
+                             std::vector<std::uint32_t>& temps, Operand& a_op,
+                             Operand& b_op, std::uint32_t& z_cell) {
+    // Destination from the third child.
+    const auto& zc = ch[2];
+    if (zc.is_gate && !zc.compl_edge && remaining_uses_[zc.n] == 1) {
+      assert(value_cell_[zc.n] >= 0);
+      z_cell = static_cast<std::uint32_t>(value_cell_[zc.n]);
+      value_cell_[zc.n] = -1;
+    } else if (zc.is_const) {
+      z_cell = emit_const_cell(zc.cval);
+    } else if (zc.compl_edge) {
+      z_cell = emit_complement_of(zc.n);
+    } else {
+      z_cell = emit_copy_of(zc.n);
+    }
+    // Operand B from the second child (no complement caching here).
+    const auto& bc = ch[1];
+    if (bc.is_const) {
+      b_op = Operand::constant(!bc.cval);
+    } else if (bc.compl_edge) {
+      b_op = value_operand(bc.n);
+    } else {
+      const std::uint32_t xi = emit_complement_of(bc.n);
+      temps.push_back(xi);
+      b_op = Operand::rram(xi);
+    }
+    // Operand A from the first child.
+    const auto& ac = ch[0];
+    if (ac.is_const) {
+      a_op = Operand::constant(ac.cval);
+    } else if (!ac.compl_edge) {
+      a_op = value_operand(ac.n);
+    } else {
+      const std::uint32_t xi = emit_complement_of(ac.n);
+      temps.push_back(xi);
+      a_op = Operand::rram(xi);
+    }
+  }
+
+  // ---- outputs ---------------------------------------------------------------
+
+  void finalize_outputs() {
+    mig_.foreach_po([&](Signal f, std::uint32_t i) {
+      program_.add_output(mig_.po_name(i), output_cell(f));
+    });
+  }
+
+  std::uint32_t output_cell(Signal f) {
+    const mig::node n = f.index();
+    if (mig_.is_constant(n)) {
+      const bool v = f.complemented();
+      auto& cached = v ? const_one_cell_ : const_zero_cell_;
+      if (!cached) {
+        cached = emit_const_cell(v);
+      }
+      return *cached;
+    }
+    if (mig_.is_pi(n)) {
+      if (f.complemented()) {
+        if (compl_cell_[n] < 0) {
+          compl_cell_[n] = emit_complement_of(n);
+        }
+        return static_cast<std::uint32_t>(compl_cell_[n]);
+      }
+      const auto it = pi_copy_.find(n);
+      if (it != pi_copy_.end()) {
+        return it->second;
+      }
+      const auto cell = emit_copy_of(n);
+      pi_copy_.emplace(n, cell);
+      return cell;
+    }
+    // Gate: PO references pin remaining_uses_ ≥ 1, so the value cell (and
+    // any complement cache) can never have been released or overwritten.
+    assert(computed_[n]);
+    if (!f.complemented()) {
+      assert(value_cell_[n] >= 0);
+      return static_cast<std::uint32_t>(value_cell_[n]);
+    }
+    if (compl_cell_[n] < 0) {
+      compl_cell_[n] = emit_complement_of(n);
+    }
+    return static_cast<std::uint32_t>(compl_cell_[n]);
+  }
+
+  // ---- state ------------------------------------------------------------------
+
+  const Mig& mig_;
+  CompileOptions opts_;
+  mig::FanoutView fanout_;
+  RramAllocator alloc_;
+  arch::Program program_;
+  std::vector<std::uint32_t> level_;
+  std::vector<bool> reach_;
+  std::vector<std::uint32_t> remaining_uses_;
+  std::vector<std::uint32_t> pending_children_;
+  std::vector<std::int64_t> value_cell_;
+  std::vector<std::int64_t> compl_cell_;
+  std::vector<bool> computed_;
+  std::vector<std::uint32_t> max_parent_level_;
+  std::unordered_map<mig::node, std::uint32_t> pi_copy_;
+  std::optional<std::uint32_t> const_zero_cell_;
+  std::optional<std::uint32_t> const_one_cell_;
+  std::uint32_t translated_ = 0;
+  std::uint32_t complement_materializations_ = 0;
+};
+
+}  // namespace
+
+CompileResult compile(const mig::Mig& mig, const CompileOptions& opts) {
+  Compiler compiler(mig, opts);
+  return compiler.run();
+}
+
+CompileResult translate_naive_textbook(const mig::Mig& mig) {
+  CompileOptions opts;
+  opts.smart_candidates = false;
+  opts.cache_complements = false;
+  opts.textbook_slots = true;
+  // The §3 example programs never reuse released cells (X1…X7 all stay
+  // distinct in the 19-instruction listing), so the textbook baseline
+  // allocates fresh cells only.
+  opts.allocation = AllocationPolicy::fresh;
+  return compile(mig, opts);
+}
+
+}  // namespace plim::core

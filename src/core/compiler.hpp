@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "arch/program.hpp"
+#include "core/allocator.hpp"
+#include "mig/mig.hpp"
+
+namespace plim::core {
+
+/// Options of the MIG → PLiM compilation (Algorithm 2 of the paper).
+struct CompileOptions {
+  /// §4.2.1 candidate selection: pick the translatable node with the most
+  /// releasing children (ties: lowest maximum fanout level, then lowest
+  /// index). When false, nodes are translated in index order — this is
+  /// exactly the paper's Table-1 "naïve" configuration ("only the
+  /// candidate selection scheme is disabled").
+  bool smart_candidates = true;
+
+  /// §4.2.3 free-list discipline; the paper uses FIFO for endurance.
+  AllocationPolicy allocation = AllocationPolicy::fifo;
+
+  /// Remember complemented copies of node values for later reuse (cases
+  /// (f)/(g)/(h) of operand-B selection and case (c)/(d) of operand-A
+  /// selection keep an inverted value "for future use").
+  bool cache_complements = true;
+
+  /// §3 exposition mode: fixed slot assignment A←child1, B←child2,
+  /// Z←child3 ("in order of their children from left to right") instead
+  /// of the §4.2.2 case analysis. Used to reproduce Fig. 3(b)'s 19- vs
+  /// 15-instruction comparison; prefer translate_naive_textbook().
+  bool textbook_slots = false;
+
+  /// Future-work extension: hard upper bound on distinct RRAM cells.
+  /// Compilation throws RramCapExceeded when it cannot stay within it.
+  std::optional<std::uint32_t> rram_cap = std::nullopt;
+};
+
+/// Outcome metrics (#I and #R are the paper's quality measures).
+struct CompileStats {
+  std::uint32_t num_instructions = 0;  ///< #I
+  std::uint32_t num_rrams = 0;         ///< #R (distinct work cells)
+  std::uint32_t num_gates = 0;         ///< reachable MIG gates translated
+  std::uint32_t peak_live_rrams = 0;   ///< high-water mark of live cells
+  /// Explicit complement materializations (2-instruction inversions) —
+  /// the quantity MIG rewriting attacks.
+  std::uint32_t complement_materializations = 0;
+};
+
+struct CompileResult {
+  arch::Program program;
+  CompileStats stats;
+};
+
+/// Compiles an MIG into a PLiM program (Algorithm 2): candidates are
+/// selected per CompileOptions, each node is translated with the operand
+/// B / destination Z / operand A case analysis of §4.2.2, and RRAM cells
+/// are managed by the §4.2.3 allocator. Unreachable gates are skipped.
+/// Named outputs are materialized into RRAM cells (complemented / PI /
+/// constant outputs get the needed copy or inversion instructions).
+[[nodiscard]] CompileResult compile(const mig::Mig& mig,
+                                    const CompileOptions& opts = {});
+
+/// The fully naïve translation used for exposition in §3: nodes in index
+/// order, RM3 slots assigned from the children left to right, no
+/// complement caching. Destination cells of single-fanout gate children
+/// are still reused (as in the paper's 19-instruction example program).
+[[nodiscard]] CompileResult translate_naive_textbook(const mig::Mig& mig);
+
+}  // namespace plim::core

@@ -1,0 +1,30 @@
+#include "core/pipeline.hpp"
+
+#include "mig/cleanup.hpp"
+
+namespace plim::core {
+
+PipelineResult run_pipeline(const mig::Mig& mig, PipelineConfig config,
+                            const mig::RewriteOptions& rewrite_opts,
+                            const CompileOptions& base_compile_opts) {
+  PipelineResult result;
+
+  CompileOptions copts = base_compile_opts;
+  copts.smart_candidates =
+      (config == PipelineConfig::rewriting_and_compilation);
+
+  if (config == PipelineConfig::naive) {
+    const auto cleaned = mig::cleanup_dangling(mig);
+    result.mig_gates = cleaned.num_gates();
+    result.compiled = compile(cleaned, copts);
+    return result;
+  }
+
+  const auto rewritten =
+      mig::rewrite_for_plim(mig, rewrite_opts, &result.rewrite_stats);
+  result.mig_gates = rewritten.num_gates();
+  result.compiled = compile(rewritten, copts);
+  return result;
+}
+
+}  // namespace plim::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/compiler.hpp"
+#include "mig/rewriting.hpp"
+
+namespace plim::core {
+
+/// The three experimental configurations of Table 1.
+enum class PipelineConfig {
+  /// Unrewritten MIG, index-order candidates (§4.2.2 translation and the
+  /// FIFO allocator stay on — the paper's "naïve" column disables only
+  /// the candidate selection scheme and MIG rewriting).
+  naive,
+  /// MIG rewriting (Algorithm 1, effort 4) + index-order candidates.
+  rewriting,
+  /// MIG rewriting + smart candidate selection (the full compiler).
+  rewriting_and_compilation,
+};
+
+struct PipelineResult {
+  mig::RewriteStats rewrite_stats;  ///< zeroed when rewriting is off
+  CompileResult compiled;
+  std::uint32_t mig_gates = 0;  ///< #N of the network that was compiled
+};
+
+/// Runs one Table-1 configuration on a benchmark MIG.
+[[nodiscard]] PipelineResult run_pipeline(
+    const mig::Mig& mig, PipelineConfig config,
+    const mig::RewriteOptions& rewrite_opts = {},
+    const CompileOptions& base_compile_opts = {});
+
+}  // namespace plim::core

@@ -1,0 +1,50 @@
+#include "core/verify.hpp"
+
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "mig/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace plim::core {
+
+VerificationResult verify_program(const mig::Mig& mig,
+                                  const arch::Program& program,
+                                  unsigned rounds, std::uint64_t seed) {
+  if (program.num_inputs() != mig.num_pis()) {
+    return {false, "input count mismatch"};
+  }
+  if (program.num_outputs() != mig.num_pos()) {
+    return {false, "output count mismatch"};
+  }
+  if (const auto err = program.validate(); !err.empty()) {
+    return {false, "invalid program: " + err};
+  }
+
+  util::Rng rng(seed);
+  arch::Machine machine;
+  std::vector<std::uint64_t> inputs(mig.num_pis());
+  std::vector<std::uint64_t> initial(program.num_rrams());
+
+  for (unsigned round = 0; round < rounds; ++round) {
+    for (auto& w : inputs) {
+      w = rng.next();
+    }
+    for (auto& w : initial) {
+      w = rng.next();
+    }
+    const auto expected = mig::simulate_words(mig, inputs);
+    const auto got = machine.run_words(program, inputs, initial);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (expected[i] != got[i]) {
+        return {false, "output '" + program.output_name(
+                           static_cast<std::uint32_t>(i)) +
+                           "' differs from MIG simulation (round " +
+                           std::to_string(round) + ")"};
+      }
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace plim::core

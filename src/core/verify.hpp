@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/program.hpp"
+#include "mig/mig.hpp"
+
+namespace plim::core {
+
+/// Result of an end-to-end program check.
+struct VerificationResult {
+  bool ok = true;
+  std::string message;  ///< first mismatch description when !ok
+};
+
+/// End-to-end compiler verification: executes `program` on the PLiM
+/// machine model for `rounds` × 64 random input vectors and compares the
+/// declared outputs against bit-parallel simulation of `mig`. Each round
+/// also randomizes the initial RRAM array content — compiled programs must
+/// be correct for any pre-existing memory state, because every fresh cell
+/// is explicitly initialized before use.
+[[nodiscard]] VerificationResult verify_program(const mig::Mig& mig,
+                                                const arch::Program& program,
+                                                unsigned rounds = 8,
+                                                std::uint64_t seed = 1);
+
+}  // namespace plim::core

@@ -1,0 +1,168 @@
+#include "expr/parser.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace plim::expr {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(mig::Mig& mig, const std::string& text) : mig_(mig), text_(text) {
+    mig_.foreach_pi([&](mig::node n) {
+      vars_.emplace(mig_.pi_name(mig_.pi_index(n)), mig::Signal(n, false));
+    });
+  }
+
+  mig::Signal parse() {
+    const auto result = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing input");
+    }
+    return result;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what + " at position " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool accept(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!accept(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  mig::Signal parse_or() {
+    auto lhs = parse_xor();
+    while (accept('|')) {
+      lhs = mig_.create_or(lhs, parse_xor());
+    }
+    return lhs;
+  }
+
+  mig::Signal parse_xor() {
+    auto lhs = parse_and();
+    while (accept('^')) {
+      lhs = mig_.create_xor(lhs, parse_and());
+    }
+    return lhs;
+  }
+
+  mig::Signal parse_and() {
+    auto lhs = parse_unary();
+    while (accept('&')) {
+      lhs = mig_.create_and(lhs, parse_unary());
+    }
+    return lhs;
+  }
+
+  mig::Signal parse_unary() {
+    if (accept('!') || accept('~')) {
+      return !parse_unary();
+    }
+    return parse_primary();
+  }
+
+  mig::Signal parse_primary() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of expression");
+    }
+    const char c = text_[pos_];
+    if (c == '0') {
+      ++pos_;
+      return mig_.get_constant(false);
+    }
+    if (c == '1') {
+      ++pos_;
+      return mig_.get_constant(true);
+    }
+    if (c == '(') {
+      ++pos_;
+      const auto inner = parse_or();
+      expect(')');
+      return inner;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      const std::string name = parse_ident();
+      if (name == "maj" || name == "ite" || name == "xor3") {
+        expect('(');
+        const auto x = parse_or();
+        expect(',');
+        const auto y = parse_or();
+        expect(',');
+        const auto z = parse_or();
+        expect(')');
+        if (name == "maj") {
+          return mig_.create_maj(x, y, z);
+        }
+        if (name == "ite") {
+          return mig_.create_ite(x, y, z);
+        }
+        return mig_.create_xor3(x, y, z);
+      }
+      const auto it = vars_.find(name);
+      if (it != vars_.end()) {
+        return it->second;
+      }
+      const auto s = mig_.create_pi(name);
+      vars_.emplace(name, s);
+      return s;
+    }
+    fail("unexpected character");
+  }
+
+  std::string parse_ident() {
+    std::string name;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') {
+        break;
+      }
+      name.push_back(c);
+      ++pos_;
+    }
+    return name;
+  }
+
+  mig::Mig& mig_;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, mig::Signal> vars_;
+};
+
+}  // namespace
+
+mig::Signal parse_expression(mig::Mig& mig, const std::string& text) {
+  Parser parser(mig, text);
+  return parser.parse();
+}
+
+mig::Mig build_from_expression(const std::string& text,
+                               const std::string& po_name) {
+  mig::Mig mig;
+  const auto f = parse_expression(mig, text);
+  mig.create_po(f, po_name);
+  return mig;
+}
+
+}  // namespace plim::expr

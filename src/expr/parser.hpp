@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+namespace plim::expr {
+
+/// Raised on malformed expressions (with position information).
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a Boolean expression into `mig`, creating primary inputs for
+/// identifiers on first use (in order of appearance) and returning the
+/// root signal. Grammar (precedence low → high):
+///
+///   expr   := xor ( '|' xor )*
+///   xor    := and ( '^' and )*
+///   and    := unary ( '&' unary )*
+///   unary  := ('!' | '~') unary | primary
+///   primary:= '0' | '1' | ident | '(' expr ')'
+///           | 'maj' '(' expr ',' expr ',' expr ')'
+///           | 'ite' '(' expr ',' expr ',' expr ')'
+///           | 'xor3' '(' expr ',' expr ',' expr ')'
+///
+/// Identifiers match [A-Za-z_][A-Za-z0-9_]*; the function names above are
+/// reserved. Whitespace is insignificant.
+[[nodiscard]] mig::Signal parse_expression(mig::Mig& mig,
+                                           const std::string& text);
+
+/// Convenience: builds a single-output MIG from an expression.
+[[nodiscard]] mig::Mig build_from_expression(const std::string& text,
+                                             const std::string& po_name = "f");
+
+}  // namespace plim::expr

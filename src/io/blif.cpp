@@ -1,0 +1,227 @@
+#include "io/blif.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace plim::io {
+
+namespace {
+
+std::string node_symbol(const mig::Mig& mig, mig::node n) {
+  if (mig.is_constant(n)) {
+    return "const0";
+  }
+  if (mig.is_pi(n)) {
+    return mig.pi_name(mig.pi_index(n));
+  }
+  return "n" + std::to_string(n);
+}
+
+}  // namespace
+
+void write_blif(const mig::Mig& mig, std::ostream& os,
+                const std::string& model_name) {
+  os << ".model " << model_name << '\n';
+  os << ".inputs";
+  mig.foreach_pi([&](mig::node n) { os << ' ' << node_symbol(mig, n); });
+  os << '\n';
+  os << ".outputs";
+  mig.foreach_po(
+      [&](mig::Signal, std::uint32_t i) { os << ' ' << mig.po_name(i); });
+  os << '\n';
+  os << ".names const0\n";  // constant-0 driver: empty cover
+
+  mig.foreach_gate([&](mig::node n) {
+    const auto& f = mig.fanins(n);
+    os << ".names";
+    for (const auto s : f) {
+      os << ' ' << node_symbol(mig, s.index());
+    }
+    os << ' ' << node_symbol(mig, n) << '\n';
+    // Cover of MAJ with per-fanin complements: rows where at least two
+    // (complement-adjusted) fanins are 1.
+    const auto bit = [&](int i, bool v) {
+      return (v ^ f[static_cast<std::size_t>(i)].complemented()) ? '1' : '0';
+    };
+    os << bit(0, true) << bit(1, true) << '-' << " 1\n";
+    os << bit(0, true) << '-' << bit(2, true) << " 1\n";
+    os << '-' << bit(1, true) << bit(2, true) << " 1\n";
+  });
+
+  mig.foreach_po([&](mig::Signal f, std::uint32_t i) {
+    os << ".names " << node_symbol(mig, f.index()) << ' ' << mig.po_name(i)
+       << '\n';
+    os << (f.complemented() ? "0 1\n" : "1 1\n");
+  });
+  os << ".end\n";
+}
+
+std::string to_blif(const mig::Mig& mig, const std::string& model_name) {
+  std::ostringstream os;
+  write_blif(mig, os, model_name);
+  return os.str();
+}
+
+namespace {
+
+struct Cover {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::pair<std::string, char>> rows;  // plane, output value
+};
+
+}  // namespace
+
+mig::Mig read_blif(std::istream& is) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<Cover> covers;
+
+  // Tokenize with continuation-line handling.
+  std::string line;
+  std::string pending;
+  std::vector<std::string> logical_lines;
+  while (std::getline(is, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      pending += line;
+      continue;
+    }
+    pending += line;
+    if (!pending.empty()) {
+      logical_lines.push_back(pending);
+    }
+    pending.clear();
+  }
+
+  Cover* current = nullptr;
+  for (const auto& l : logical_lines) {
+    std::istringstream ls(l);
+    std::string tok;
+    ls >> tok;
+    if (tok == ".model" || tok == ".end") {
+      continue;
+    }
+    if (tok == ".inputs") {
+      std::string name;
+      while (ls >> name) {
+        input_names.push_back(name);
+      }
+      continue;
+    }
+    if (tok == ".outputs") {
+      std::string name;
+      while (ls >> name) {
+        output_names.push_back(name);
+      }
+      continue;
+    }
+    if (tok == ".names") {
+      covers.emplace_back();
+      current = &covers.back();
+      std::vector<std::string> names;
+      std::string name;
+      while (ls >> name) {
+        names.push_back(name);
+      }
+      if (names.empty()) {
+        throw std::runtime_error(".names without signals");
+      }
+      current->output = names.back();
+      names.pop_back();
+      current->inputs = std::move(names);
+      continue;
+    }
+    if (!tok.empty() && tok[0] == '.') {
+      throw std::runtime_error("unsupported BLIF construct: " + tok);
+    }
+    // Cover row.
+    if (current == nullptr) {
+      throw std::runtime_error("cover row outside .names");
+    }
+    if (current->inputs.empty()) {
+      // Constant driver: single-column row is the output value.
+      current->rows.emplace_back("", tok.empty() ? '0' : tok[0]);
+    } else {
+      std::string out;
+      ls >> out;
+      if (tok.size() != current->inputs.size() || out.size() != 1) {
+        throw std::runtime_error("malformed cover row: " + l);
+      }
+      current->rows.emplace_back(tok, out[0]);
+    }
+  }
+
+  mig::Mig result;
+  std::map<std::string, mig::Signal> signals;
+  for (const auto& name : input_names) {
+    signals.emplace(name, result.create_pi(name));
+  }
+
+  // Covers may be listed out of dependency order in general BLIF; this
+  // reader requires topological order (which write_blif produces).
+  for (const auto& cover : covers) {
+    // Split rows into on-set and off-set; BLIF requires a uniform output
+    // plane per cover.
+    bool on_set = true;
+    if (!cover.rows.empty()) {
+      on_set = cover.rows.front().second == '1';
+    }
+    mig::Signal acc = result.get_constant(false);
+    if (cover.inputs.empty()) {
+      // ".names x" with no rows = constant 0; row "1" = constant 1.
+      acc = result.get_constant(!cover.rows.empty() && on_set);
+      signals[cover.output] = acc;
+      continue;
+    }
+    std::vector<mig::Signal> fanins;
+    for (const auto& name : cover.inputs) {
+      const auto it = signals.find(name);
+      if (it == signals.end()) {
+        throw std::runtime_error("cover uses undefined signal " + name);
+      }
+      fanins.push_back(it->second);
+    }
+    for (const auto& [plane, out] : cover.rows) {
+      if ((out == '1') != on_set) {
+        throw std::runtime_error("mixed on/off covers are unsupported");
+      }
+      mig::Signal term = result.get_constant(true);
+      for (std::size_t i = 0; i < plane.size(); ++i) {
+        if (plane[i] == '-') {
+          continue;
+        }
+        const mig::Signal lit =
+            plane[i] == '1' ? fanins[i] : !fanins[i];
+        term = result.create_and(term, lit);
+      }
+      acc = result.create_or(acc, term);
+    }
+    signals[cover.output] = on_set ? acc : !acc;
+  }
+
+  for (const auto& name : output_names) {
+    const auto it = signals.find(name);
+    if (it == signals.end()) {
+      throw std::runtime_error("undriven output " + name);
+    }
+    result.create_po(it->second, name);
+  }
+  return result;
+}
+
+mig::Mig read_blif_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_blif(is);
+}
+
+}  // namespace plim::io

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mig/mig.hpp"
+
+namespace plim::io {
+
+/// Writes the MIG in Berkeley Logic Interchange Format. Every majority
+/// gate becomes a `.names` entry whose cover encodes ⟨abc⟩ with fanin
+/// complements folded in; PO complements become one-row inverter covers.
+void write_blif(const mig::Mig& mig, std::ostream& os,
+                const std::string& model_name = "mig");
+[[nodiscard]] std::string to_blif(const mig::Mig& mig,
+                                  const std::string& model_name = "mig");
+
+/// Reads a combinational BLIF model back into an MIG. Each `.names` cover
+/// is synthesized as OR-of-AND terms (AOIG style, so the result mirrors
+/// the paper's AOIG→MIG transposition). Supports single-output covers
+/// with '0'/'1'/'-' input plane entries and output plane '1' or '0'.
+/// Throws std::runtime_error on unsupported or malformed input.
+[[nodiscard]] mig::Mig read_blif(std::istream& is);
+[[nodiscard]] mig::Mig read_blif_text(const std::string& text);
+
+}  // namespace plim::io

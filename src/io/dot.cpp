@@ -1,0 +1,45 @@
+#include "io/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace plim::io {
+
+void write_dot(const mig::Mig& mig, std::ostream& os) {
+  os << "digraph mig {\n  rankdir=BT;\n";
+  os << "  n0 [label=\"0\", shape=box];\n";
+  mig.foreach_pi([&](mig::node n) {
+    os << "  n" << n << " [label=\"" << mig.pi_name(mig.pi_index(n))
+       << "\", shape=box];\n";
+  });
+  mig.foreach_gate([&](mig::node n) {
+    os << "  n" << n << " [label=\"MAJ\\nn" << n << "\", shape=circle];\n";
+  });
+  mig.foreach_gate([&](mig::node n) {
+    for (const auto f : mig.fanins(n)) {
+      os << "  n" << f.index() << " -> n" << n;
+      if (f.complemented()) {
+        os << " [style=dashed]";
+      }
+      os << ";\n";
+    }
+  });
+  mig.foreach_po([&](mig::Signal f, std::uint32_t i) {
+    os << "  po" << i << " [label=\"" << mig.po_name(i)
+       << "\", shape=invtriangle];\n";
+    os << "  n" << f.index() << " -> po" << i;
+    if (f.complemented()) {
+      os << " [style=dashed]";
+    }
+    os << ";\n";
+  });
+  os << "}\n";
+}
+
+std::string to_dot(const mig::Mig& mig) {
+  std::ostringstream os;
+  write_dot(mig, os);
+  return os.str();
+}
+
+}  // namespace plim::io

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mig/mig.hpp"
+
+namespace plim::io {
+
+/// Graphviz export: PIs as boxes, gates as circles, complemented edges
+/// dashed (the usual MIG paper rendering, cf. Fig. 1/3 of the paper).
+void write_dot(const mig::Mig& mig, std::ostream& os);
+[[nodiscard]] std::string to_dot(const mig::Mig& mig);
+
+}  // namespace plim::io

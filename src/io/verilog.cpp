@@ -1,0 +1,82 @@
+#include "io/verilog.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace plim::io {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (auto& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      c = '_';
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), 's');
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_verilog(const mig::Mig& mig, std::ostream& os,
+                   const std::string& module_name) {
+  os << "module " << sanitize(module_name) << " (\n";
+  bool first = true;
+  mig.foreach_pi([&](mig::node n) {
+    os << (first ? "  " : ",\n  ") << sanitize(mig.pi_name(mig.pi_index(n)));
+    first = false;
+  });
+  mig.foreach_po([&](mig::Signal, std::uint32_t i) {
+    os << (first ? "  " : ",\n  ") << sanitize(mig.po_name(i));
+    first = false;
+  });
+  os << "\n);\n";
+
+  mig.foreach_pi([&](mig::node n) {
+    os << "  input " << sanitize(mig.pi_name(mig.pi_index(n))) << ";\n";
+  });
+  mig.foreach_po([&](mig::Signal, std::uint32_t i) {
+    os << "  output " << sanitize(mig.po_name(i)) << ";\n";
+  });
+
+  const auto ref = [&](mig::Signal s) {
+    std::string base;
+    if (mig.is_constant(s.index())) {
+      return std::string(s.complemented() ? "1'b1" : "1'b0");
+    }
+    if (mig.is_pi(s.index())) {
+      base = sanitize(mig.pi_name(mig.pi_index(s.index())));
+    } else {
+      base = "n" + std::to_string(s.index());
+    }
+    return s.complemented() ? "~" + base : base;
+  };
+
+  mig.foreach_gate([&](mig::node n) { os << "  wire n" << n << ";\n"; });
+  mig.foreach_gate([&](mig::node n) {
+    const auto& f = mig.fanins(n);
+    const auto a = ref(f[0]);
+    const auto b = ref(f[1]);
+    const auto c = ref(f[2]);
+    os << "  assign n" << n << " = (" << a << " & " << b << ") | (" << a
+       << " & " << c << ") | (" << b << " & " << c << ");\n";
+  });
+  mig.foreach_po([&](mig::Signal f, std::uint32_t i) {
+    os << "  assign " << sanitize(mig.po_name(i)) << " = " << ref(f) << ";\n";
+  });
+  os << "endmodule\n";
+}
+
+std::string to_verilog(const mig::Mig& mig, const std::string& module_name) {
+  std::ostringstream os;
+  write_verilog(mig, os, module_name);
+  return os.str();
+}
+
+}  // namespace plim::io

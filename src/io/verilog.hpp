@@ -1,0 +1,18 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mig/mig.hpp"
+
+namespace plim::io {
+
+/// Writes the MIG as structural Verilog: one `assign` per majority gate
+/// using the two-level form (a&b)|(a&c)|(b&c) with `~` for complemented
+/// edges. Identifier-unsafe characters in port names are replaced by '_'.
+void write_verilog(const mig::Mig& mig, std::ostream& os,
+                   const std::string& module_name = "mig");
+[[nodiscard]] std::string to_verilog(const mig::Mig& mig,
+                                     const std::string& module_name = "mig");
+
+}  // namespace plim::io

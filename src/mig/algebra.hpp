@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "mig/mig.hpp"
+
+namespace plim::mig::algebra {
+
+/// The MIG Boolean algebra Ω [Amarù et al., DAC'14]:
+///
+///   Ω.C  ⟨xyz⟩ = ⟨yxz⟩ = ⟨zyx⟩                 (commutativity)
+///   Ω.M  ⟨xxz⟩ = x,  ⟨xx̄z⟩ = z                  (majority)
+///   Ω.A  ⟨xu⟨yuz⟩⟩ = ⟨zu⟨yux⟩⟩                  (associativity)
+///   Ω.D  ⟨xy⟨uvz⟩⟩ = ⟨⟨xyu⟩⟨xyv⟩z⟩              (distributivity)
+///   Ω.I  ¬⟨xyz⟩ = ⟨x̄ȳz̄⟩                        (inverter propagation)
+///
+/// This header provides the axioms as *checked local rewrites* used by the
+/// PLiM rewriting pass (mig/rewriting.hpp) during network reconstruction.
+/// All helpers operate on a destination network under construction; fanin
+/// signals passed in must already live in that network.
+
+/// Fanins of the gate behind `s` with the edge complement of `s` pushed
+/// into them (Ω.I view): if `s` is complemented, every fanin is returned
+/// complemented, so that MAJ over the returned triple equals the function
+/// of `s` itself. Precondition: `s` points to a gate.
+[[nodiscard]] std::array<Signal, 3> virtual_fanins(const Mig& mig, Signal s);
+
+/// Number of complemented *non-constant* fanins of the triple — the PLiM
+/// cost driver (exactly one is free in RM3). Complements on constant
+/// fanins are ignored: a complemented constant edge is just the other
+/// constant value.
+[[nodiscard]] unsigned complement_count(const Mig& mig, Signal a, Signal b,
+                                        Signal c);
+
+/// Ω.D right-to-left: if two of the fanins are gates whose virtual fanins
+/// share a common pair {x, y}, returns ⟨x y ⟨u v z⟩⟩ built in `dest`
+/// (u, v the leftover inner fanins, z the remaining outer fanin).
+/// `require_free` restricts the rewrite to forms that need no new node.
+[[nodiscard]] std::optional<Signal> try_distributivity_rl(
+    Mig& dest, Signal a, Signal b, Signal c,
+    const std::array<bool, 3>& inner_is_expendable, bool require_free);
+
+/// Ω.A (plus Ω.C): for ⟨x u C⟩ with gate C = ⟨y u z⟩ sharing a fanin u,
+/// tries the associative swaps ⟨z u ⟨y u x⟩⟩ and ⟨y u ⟨z u x⟩⟩ and returns
+/// the first variant whose inner node already exists (strash hit), so the
+/// reshape is free or size-reducing. Returns std::nullopt otherwise.
+[[nodiscard]] std::optional<Signal> try_associativity(
+    Mig& dest, Signal a, Signal b, Signal c,
+    const std::array<bool, 3>& inner_is_expendable);
+
+}  // namespace plim::mig::algebra

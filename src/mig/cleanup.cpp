@@ -1,0 +1,55 @@
+#include "mig/cleanup.hpp"
+
+#include <vector>
+
+namespace plim::mig {
+
+Mig cleanup_dangling(const Mig& mig) {
+  Mig out;
+  // old signal -> new signal for non-complemented node roots
+  std::vector<Signal> map(mig.size(), out.get_constant(false));
+  std::vector<bool> reachable(mig.size(), false);
+
+  mig.foreach_pi([&](node n) {
+    map[n] = out.create_pi(mig.pi_name(mig.pi_index(n)));
+  });
+
+  // Mark transitive fanin of all POs.
+  reachable[0] = true;
+  mig.foreach_pi([&](node n) { reachable[n] = true; });
+  {
+    std::vector<node> stack;
+    mig.foreach_po([&](Signal f, std::uint32_t) {
+      if (!reachable[f.index()]) {
+        reachable[f.index()] = true;
+        stack.push_back(f.index());
+      }
+    });
+    while (!stack.empty()) {
+      const node n = stack.back();
+      stack.pop_back();
+      for (const auto f : mig.fanins(n)) {
+        if (!reachable[f.index()]) {
+          reachable[f.index()] = true;
+          stack.push_back(f.index());
+        }
+      }
+    }
+  }
+
+  mig.foreach_gate([&](node n) {
+    if (!reachable[n]) {
+      return;
+    }
+    const auto& f = mig.fanins(n);
+    const auto get = [&](Signal s) { return map[s.index()] ^ s.complemented(); };
+    map[n] = out.create_maj(get(f[0]), get(f[1]), get(f[2]));
+  });
+
+  mig.foreach_po([&](Signal f, std::uint32_t i) {
+    out.create_po(map[f.index()] ^ f.complemented(), mig.po_name(i));
+  });
+  return out;
+}
+
+}  // namespace plim::mig

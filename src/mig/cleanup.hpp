@@ -1,0 +1,13 @@
+#pragma once
+
+#include "mig/mig.hpp"
+
+namespace plim::mig {
+
+/// Returns a compacted copy of `mig` containing only the constant, all PIs
+/// (order and names preserved) and the gates in the transitive fanin of the
+/// POs. Gate re-creation goes through `create_maj`, so trivially redundant
+/// gates also disappear. PO order and names are preserved.
+[[nodiscard]] Mig cleanup_dangling(const Mig& mig);
+
+}  // namespace plim::mig

@@ -1,0 +1,180 @@
+#include "mig/mig.hpp"
+
+#include <algorithm>
+
+namespace plim::mig {
+
+Mig::Mig() {
+  // Node 0: the constant-0 node.
+  Node constant_node;
+  constant_node.kind = NodeKind::constant;
+  nodes_.push_back(constant_node);
+}
+
+Signal Mig::create_pi(std::string name) {
+  const node n = static_cast<node>(nodes_.size());
+  Node pi_node;
+  pi_node.kind = NodeKind::pi;
+  pi_node.aux = static_cast<std::uint32_t>(pis_.size());
+  nodes_.push_back(pi_node);
+  pis_.push_back(n);
+  if (name.empty()) {
+    name = "i" + std::to_string(pis_.size());
+  }
+  pi_names_.push_back(std::move(name));
+  return Signal(n, false);
+}
+
+std::uint32_t Mig::create_po(Signal f, std::string name) {
+  assert(f.index() < nodes_.size());
+  const auto id = static_cast<std::uint32_t>(pos_.size());
+  pos_.push_back(f);
+  if (name.empty()) {
+    name = "o" + std::to_string(id + 1);
+  }
+  po_names_.push_back(std::move(name));
+  return id;
+}
+
+Signal Mig::create_maj(Signal a, Signal b, Signal c) {
+  assert(a.index() < nodes_.size());
+  assert(b.index() < nodes_.size());
+  assert(c.index() < nodes_.size());
+
+  // Trivial Ω.M simplifications. These also fold constant pairs, e.g.
+  // ⟨01z⟩ = z and ⟨00z⟩ = 0.
+  if (a == b) {
+    return a;
+  }
+  if (a == !b) {
+    return c;
+  }
+  if (a == c) {
+    return a;
+  }
+  if (a == !c) {
+    return b;
+  }
+  if (b == c) {
+    return b;
+  }
+  if (b == !c) {
+    return a;
+  }
+
+  // The strash key uses the fanins sorted by raw value (Ω.C: MAJ is fully
+  // commutative), but the node stores them in *creation order*: the
+  // paper's naïve translation assigns RM3 slots "in order of the node's
+  // children from left to right", so child order is meaningful and must
+  // survive construction. Complement bits stay exactly where the caller
+  // put them (see class comment).
+  std::array<Signal, 3> sorted{a, b, c};
+  std::sort(sorted.begin(), sorted.end(),
+            [](Signal x, Signal y) { return x.raw() < y.raw(); });
+
+  const StrashKey key{sorted[0].raw(), sorted[1].raw(), sorted[2].raw()};
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    ++strash_hits_;
+    return Signal(it->second, false);
+  }
+
+  const node n = static_cast<node>(nodes_.size());
+  Node gate;
+  gate.kind = NodeKind::gate;
+  gate.fanin = {a, b, c};
+  nodes_.push_back(gate);
+  strash_.emplace(key, n);
+  ++num_gates_;
+  return Signal(n, false);
+}
+
+std::optional<Signal> Mig::find_maj(Signal a, Signal b, Signal c) const {
+  if (a == b) {
+    return a;
+  }
+  if (a == !b) {
+    return c;
+  }
+  if (a == c) {
+    return a;
+  }
+  if (a == !c) {
+    return b;
+  }
+  if (b == c) {
+    return b;
+  }
+  if (b == !c) {
+    return a;
+  }
+  std::array<Signal, 3> fanin{a, b, c};
+  std::sort(fanin.begin(), fanin.end(),
+            [](Signal x, Signal y) { return x.raw() < y.raw(); });
+  const StrashKey key{fanin[0].raw(), fanin[1].raw(), fanin[2].raw()};
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    return Signal(it->second, false);
+  }
+  return std::nullopt;
+}
+
+Signal Mig::create_and(Signal a, Signal b) {
+  return create_maj(a, b, get_constant(false));
+}
+
+Signal Mig::create_or(Signal a, Signal b) {
+  // De Morgan (AIG-style) form ¬⟨ā b̄ 0⟩: initial networks use only the
+  // constant-0 fanin, exactly like the paper's transposed starting MIGs;
+  // complements live on edges where the rewriting engine can move them.
+  return !create_and(!a, !b);
+}
+
+Signal Mig::create_xor(Signal a, Signal b) {
+  // AIG decomposition (a ∧ b̄) ∨ (ā ∧ b); 3 MAJ gates.
+  return create_or(create_and(a, !b), create_and(!a, b));
+}
+
+Signal Mig::create_ite(Signal sel, Signal t, Signal e) {
+  // (sel ∧ t) ∨ (¬sel ∧ e); 3 MAJ gates.
+  return create_or(create_and(sel, t), create_and(!sel, e));
+}
+
+Signal Mig::create_xor3(Signal a, Signal b, Signal c) {
+  // a⊕b⊕c = ⟨¬⟨abc⟩, ⟨a b c̄⟩, c⟩ — the majority-native 3-gate form
+  // (shared with create_full_adder where ⟨abc⟩ is the carry).
+  const Signal m = create_maj(a, b, c);
+  const Signal u = create_maj(a, b, !c);
+  return create_maj(!m, u, c);
+}
+
+Mig::FullAdder Mig::create_full_adder(Signal a, Signal b, Signal c) {
+  const Signal carry = create_maj(a, b, c);
+  const Signal u = create_maj(a, b, !c);
+  const Signal sum = create_maj(!carry, u, c);
+  return FullAdder{sum, carry};
+}
+
+std::vector<std::uint32_t> Mig::levels() const {
+  std::vector<std::uint32_t> level(nodes_.size(), 0);
+  for (node n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].kind != NodeKind::gate) {
+      continue;
+    }
+    std::uint32_t max_child = 0;
+    for (const auto f : nodes_[n].fanin) {
+      max_child = std::max(max_child, level[f.index()]);
+    }
+    level[n] = max_child + 1;
+  }
+  return level;
+}
+
+std::uint32_t Mig::depth() const {
+  const auto level = levels();
+  std::uint32_t d = 0;
+  for (const auto po : pos_) {
+    d = std::max(d, level[po.index()]);
+  }
+  return d;
+}
+
+}  // namespace plim::mig

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mig/mig.hpp"
+#include "util/rng.hpp"
+
+namespace plim::mig {
+
+/// Parameters for random MIG generation (property-based testing).
+struct RandomMigOptions {
+  std::uint32_t num_pis = 6;
+  std::uint32_t num_gates = 40;
+  std::uint32_t num_pos = 3;
+  /// Probability (percent) that a fanin edge is complemented.
+  unsigned complement_percent = 30;
+  /// Probability (percent) that a gate gets a constant fanin, mimicking
+  /// the AND/OR-rich structure of AOIG-derived MIGs.
+  unsigned constant_percent = 35;
+};
+
+/// Generates a connected random MIG. Gates draw fanins from all earlier
+/// nodes (biased toward recent ones so depth grows); POs reference the
+/// last gates. Deterministic in (options, seed).
+[[nodiscard]] Mig random_mig(const RandomMigOptions& opts, std::uint64_t seed);
+
+/// Re-emits the network with gates in a random (but still topological)
+/// order: Kahn's algorithm with randomized ready-set choice. Function,
+/// interface and gate count are preserved exactly.
+///
+/// The benchmark registry applies this to every generated circuit: real
+/// netlist files (like the paper's EPFL AIGs) arrive in tool-determined
+/// node order, whereas our constructors would otherwise emit an unusually
+/// cache-friendly depth-first order that makes the index-order "naïve"
+/// baseline look better than it is in practice.
+[[nodiscard]] Mig shuffle_topological(const Mig& mig, std::uint64_t seed);
+
+}  // namespace plim::mig

@@ -1,0 +1,363 @@
+#include "mig/rewriting.hpp"
+
+#include <array>
+#include <vector>
+
+#include "mig/algebra.hpp"
+#include "mig/cleanup.hpp"
+#include "mig/views.hpp"
+
+namespace plim::mig {
+
+namespace {
+
+/// Nodes in the transitive fanin of any PO (plus constant and PIs).
+std::vector<bool> reachable_flags(const Mig& src) {
+  std::vector<bool> reach(src.size(), false);
+  reach[0] = true;
+  src.foreach_pi([&](node n) { reach[n] = true; });
+  std::vector<node> stack;
+  src.foreach_po([&](Signal f, std::uint32_t) {
+    if (!reach[f.index()]) {
+      reach[f.index()] = true;
+      stack.push_back(f.index());
+    }
+  });
+  while (!stack.empty()) {
+    const node n = stack.back();
+    stack.pop_back();
+    if (!src.is_gate(n)) {
+      continue;
+    }
+    for (const auto f : src.fanins(n)) {
+      if (!reach[f.index()]) {
+        reach[f.index()] = true;
+        stack.push_back(f.index());
+      }
+    }
+  }
+  return reach;
+}
+
+/// Shared reconstruction skeleton: maps PIs, walks reachable gates in
+/// topological order calling `gate_fn(n, a, b, c, expendable)` for the
+/// mapped fanins, then re-creates the POs. `gate_fn` returns the dest
+/// signal implementing the source gate's function.
+template <typename GateFn>
+Mig reconstruct(const Mig& src, GateFn&& gate_fn) {
+  const FanoutView fanout(src);
+  const auto reach = reachable_flags(src);
+  Mig dest;
+  std::vector<Signal> map(src.size(), dest.get_constant(false));
+  src.foreach_pi(
+      [&](node n) { map[n] = dest.create_pi(src.pi_name(src.pi_index(n))); });
+  src.foreach_gate([&](node n) {
+    if (!reach[n]) {
+      return;
+    }
+    const auto& f = src.fanins(n);
+    std::array<Signal, 3> mapped{};
+    std::array<bool, 3> expendable{};
+    for (int i = 0; i < 3; ++i) {
+      mapped[i] = map[f[i].index()] ^ f[i].complemented();
+      expendable[i] =
+          src.is_gate(f[i].index()) && fanout.fanout_count(f[i].index()) == 1;
+    }
+    map[n] = gate_fn(dest, n, mapped[0], mapped[1], mapped[2], expendable);
+  });
+  src.foreach_po([&](Signal f, std::uint32_t i) {
+    dest.create_po(map[f.index()] ^ f.complemented(), src.po_name(i));
+  });
+  return dest;
+}
+
+/// Explicit negations needed to translate one gate into RM3 instructions,
+/// as a function of k = number of complemented non-constant fanins:
+/// exactly one complemented fanin is free (operand B), a constant fanin
+/// also yields a free B (case (c) of the paper), and every further
+/// complement costs one explicit inversion (two instructions + one RRAM).
+int negation_cost(unsigned k, bool has_constant_fanin) {
+  if (k >= 2) {
+    return static_cast<int>(k) - 1;
+  }
+  if (k == 1) {
+    return 0;
+  }
+  return has_constant_fanin ? 0 : 1;
+}
+
+}  // namespace
+
+Mig pass_size(const Mig& src) {
+  auto dest = reconstruct(
+      src, [](Mig& d, node, Signal a, Signal b, Signal c,
+              const std::array<bool, 3>& expendable) {
+        if (const auto r = algebra::try_distributivity_rl(
+                d, a, b, c, expendable, /*require_free=*/false)) {
+          return *r;
+        }
+        return d.create_maj(a, b, c);
+      });
+  return cleanup_dangling(dest);
+}
+
+Mig pass_reshape(const Mig& src) {
+  auto dest = reconstruct(
+      src, [](Mig& d, node, Signal a, Signal b, Signal c,
+              const std::array<bool, 3>& expendable) {
+        if (const auto r = algebra::try_associativity(d, a, b, c, expendable)) {
+          return *r;
+        }
+        return d.create_maj(a, b, c);
+      });
+  return cleanup_dangling(dest);
+}
+
+Mig pass_inverters(const Mig& src, bool conditional) {
+  const FanoutView fanout(src);
+  const auto reach = reachable_flags(src);
+
+  // Per-node PO reference complement tallies (for the profitability
+  // estimate: flipping a node toggles every referencing PO edge).
+  std::vector<std::uint32_t> po_plain(src.size(), 0);
+  std::vector<std::uint32_t> po_compl(src.size(), 0);
+  src.foreach_po([&](Signal f, std::uint32_t) {
+    (f.complemented() ? po_compl : po_plain)[f.index()]++;
+  });
+
+  // flip[n]: the reconstructed gate computes the complement of the source
+  // node's function (all fanin complements toggled; map entry complemented
+  // back so parents see the toggle on their edges).
+  std::vector<bool> flip(src.size(), false);
+
+  const auto edge_complemented = [&](Signal f) {
+    return f.complemented() ^ static_cast<bool>(flip[f.index()]);
+  };
+  const auto gate_profile = [&](node g, node toggled_child, unsigned& k,
+                                unsigned& non_const, bool& has_const,
+                                bool& child_edge_compl) {
+    k = 0;
+    non_const = 0;
+    has_const = false;
+    child_edge_compl = false;
+    for (const auto f : src.fanins(g)) {
+      if (src.is_constant(f.index())) {
+        has_const = true;
+        continue;
+      }
+      ++non_const;
+      const bool compl_now = edge_complemented(f);
+      if (f.index() == toggled_child) {
+        child_edge_compl = compl_now;
+      }
+      if (compl_now) {
+        ++k;
+      }
+    }
+  };
+
+  src.foreach_gate([&](node n) {
+    if (!reach[n]) {
+      return;
+    }
+    unsigned k = 0;
+    unsigned non_const = 0;
+    bool has_const = false;
+    bool unused = false;
+    gate_profile(n, /*toggled_child=*/n, k, non_const, has_const, unused);
+    if (k < 2) {
+      return;  // rules (1)-(3) only target multi-complement gates
+    }
+    if (!conditional) {
+      // Final Ω.I_R→L sweep: always remove the most costly case (all
+      // non-constant fanins complemented).
+      if (k == non_const) {
+        flip[n] = true;
+      }
+      return;
+    }
+    // Conditional Ω.I_R→L(1-3): flip when the estimated total number of
+    // explicit negations (this gate + fanout gates + PO edges) decreases.
+    int delta =
+        negation_cost(non_const - k, has_const) - negation_cost(k, has_const);
+    for (const node p : fanout.parents(n)) {
+      unsigned kp = 0;
+      unsigned ncp = 0;
+      bool hcp = false;
+      bool edge_compl = false;
+      gate_profile(p, n, kp, ncp, hcp, edge_compl);
+      const unsigned kp_after = edge_compl ? kp - 1 : kp + 1;
+      delta += negation_cost(kp_after, hcp) - negation_cost(kp, hcp);
+    }
+    // Toggling PO edges: complemented PO edges must be materialized with
+    // an explicit inversion at program end.
+    delta += static_cast<int>(po_plain[n]) - static_cast<int>(po_compl[n]);
+    if (delta < 0) {
+      flip[n] = true;
+    }
+  });
+
+  auto dest = reconstruct(
+      src, [&](Mig& d, node n, Signal a, Signal b, Signal c,
+               const std::array<bool, 3>&) {
+        if (flip[n]) {
+          return !d.create_maj(!a, !b, !c);
+        }
+        return d.create_maj(a, b, c);
+      });
+  return cleanup_dangling(dest);
+}
+
+std::uint32_t count_multi_complement(const Mig& mig) {
+  std::uint32_t count = 0;
+  mig.foreach_gate([&](node n) {
+    const auto& f = mig.fanins(n);
+    if (algebra::complement_count(mig, f[0], f[1], f[2]) >= 2) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+namespace {
+
+/// One depth pass: for every gate, try the Ω.A exchange that hoists the
+/// deepest operand of an expendable inner gate.
+Mig pass_depth(const Mig& src) {
+  // Incremental level cache for the growing destination network: nodes
+  // are appended topologically, so new entries only depend on old ones.
+  std::vector<std::uint32_t> levels;
+  const auto ensure_levels = [&levels](const Mig& d) {
+    for (node n = static_cast<node>(levels.size()); n < d.size(); ++n) {
+      std::uint32_t level = 0;
+      if (d.is_gate(n)) {
+        for (const auto f : d.fanins(n)) {
+          level = std::max(level, levels[f.index()] + 1);
+        }
+      }
+      levels.push_back(level);
+    }
+  };
+
+  auto dest = reconstruct(
+      src, [&](Mig& d, node, Signal a, Signal b, Signal c,
+               const std::array<bool, 3>& expendable) {
+        ensure_levels(d);
+        const std::array<Signal, 3> outer{a, b, c};
+        const auto lvl = [&](Signal s) { return levels[s.index()]; };
+
+        Signal best = d.get_constant(false);
+        bool found = false;
+        // Baseline local depth.
+        std::uint32_t best_depth = 1 + std::max({lvl(a), lvl(b), lvl(c)});
+        for (int ci = 0; ci < 3; ++ci) {
+          const Signal inner_sig = outer[ci];
+          if (!d.is_gate(inner_sig.index()) || !expendable[ci]) {
+            continue;
+          }
+          const Signal s0 = outer[(ci + 1) % 3];
+          const Signal s1 = outer[(ci + 2) % 3];
+          const auto inner_f = algebra::virtual_fanins(d, inner_sig);
+          for (const Signal u : inner_f) {
+            if (u != s0 && u != s1) {
+              continue;
+            }
+            const Signal x = (u == s0) ? s1 : s0;
+            std::array<Signal, 2> rest{};
+            int r = 0;
+            bool skipped = false;
+            for (const Signal f : inner_f) {
+              if (f == u && !skipped) {
+                skipped = true;
+                continue;
+              }
+              rest[static_cast<std::size_t>(r++)] = f;
+            }
+            if (r != 2) {
+              continue;
+            }
+            // ⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩: hoisting z pays off when z is
+            // deeper than x.
+            for (int zi = 0; zi < 2; ++zi) {
+              const Signal z = rest[static_cast<std::size_t>(zi)];
+              const Signal y = rest[static_cast<std::size_t>(1 - zi)];
+              const std::uint32_t new_depth =
+                  1 + std::max({lvl(z), lvl(u),
+                                1 + std::max({lvl(y), lvl(u), lvl(x)})});
+              if (new_depth < best_depth) {
+                best_depth = new_depth;
+                const Signal new_inner = d.create_maj(y, u, x);
+                ensure_levels(d);
+                best = d.create_maj(z, u, new_inner);
+                ensure_levels(d);
+                found = true;
+              }
+            }
+          }
+        }
+        if (found) {
+          return best;
+        }
+        const Signal plain = d.create_maj(a, b, c);
+        ensure_levels(d);
+        return plain;
+      });
+  return cleanup_dangling(dest);
+}
+
+}  // namespace
+
+Mig rewrite_depth(const Mig& mig, unsigned effort, RewriteStats* stats) {
+  Mig cur = cleanup_dangling(mig);
+  if (stats != nullptr) {
+    stats->gates_before = cur.num_gates();
+    stats->depth_before = cur.depth();
+    stats->multi_complement_before = count_multi_complement(cur);
+  }
+  for (unsigned cycle = 0; cycle < effort; ++cycle) {
+    const auto next = pass_depth(cur);
+    if (next.depth() >= cur.depth() && next.num_gates() >= cur.num_gates()) {
+      break;  // converged
+    }
+    cur = next;
+  }
+  if (stats != nullptr) {
+    stats->gates_after = cur.num_gates();
+    stats->depth_after = cur.depth();
+    stats->multi_complement_after = count_multi_complement(cur);
+  }
+  return cur;
+}
+
+Mig rewrite_for_plim(const Mig& mig, const RewriteOptions& opts,
+                     RewriteStats* stats) {
+  Mig cur = cleanup_dangling(mig);
+  if (stats != nullptr) {
+    stats->gates_before = cur.num_gates();
+    stats->depth_before = cur.depth();
+    stats->multi_complement_before = count_multi_complement(cur);
+  }
+  for (unsigned cycle = 0; cycle < opts.effort; ++cycle) {
+    if (opts.size_rules) {
+      cur = pass_size(cur);  // Ω.M; Ω.D_R→L
+    }
+    if (opts.reshaping) {
+      cur = pass_reshape(cur);  // Ω.A; Ω.C
+    }
+    if (opts.size_rules) {
+      cur = pass_size(cur);  // Ω.M; Ω.D_R→L
+    }
+    if (opts.inverter_rules) {
+      cur = pass_inverters(cur, /*conditional=*/true);   // Ω.I_R→L(1-3)
+      cur = pass_inverters(cur, /*conditional=*/false);  // Ω.I_R→L
+    }
+  }
+  if (stats != nullptr) {
+    stats->gates_after = cur.num_gates();
+    stats->depth_after = cur.depth();
+    stats->multi_complement_after = count_multi_complement(cur);
+  }
+  return cur;
+}
+
+}  // namespace plim::mig

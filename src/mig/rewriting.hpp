@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mig/mig.hpp"
+
+namespace plim::mig {
+
+/// Knobs for the PLiM-oriented rewriting (Algorithm 1 of the DAC'16
+/// paper). Individual rule groups can be disabled for ablation studies.
+struct RewriteOptions {
+  /// Number of iterations of the full rewriting cycle (the paper's
+  /// `effort`; the experiments use 4).
+  unsigned effort = 4;
+  /// Ω.M and Ω.D (right-to-left) node-elimination rules.
+  bool size_rules = true;
+  /// Ω.A / Ω.C reshaping between the two size passes.
+  bool reshaping = true;
+  /// Ω.I complement-redistribution passes (conditional Ω.I(1–3) followed
+  /// by the unconditional elimination of the most costly case).
+  bool inverter_rules = true;
+};
+
+/// Before/after metrics of one rewriting run.
+struct RewriteStats {
+  std::uint32_t gates_before = 0;
+  std::uint32_t gates_after = 0;
+  std::uint32_t depth_before = 0;
+  std::uint32_t depth_after = 0;
+  std::uint32_t multi_complement_before = 0;
+  std::uint32_t multi_complement_after = 0;
+};
+
+/// Algorithm 1: for (cycles < effort) { Ω.M; Ω.D_R→L; Ω.A; Ω.C; Ω.M;
+/// Ω.D_R→L; Ω.I_R→L(1–3); Ω.I_R→L; }. Returns a functionally equivalent
+/// network optimized for PLiM compilation (small, few multi-complement
+/// gates).
+[[nodiscard]] Mig rewrite_for_plim(const Mig& mig,
+                                   const RewriteOptions& opts = {},
+                                   RewriteStats* stats = nullptr);
+
+/// One size pass: Ω.M folding (inside create_maj) plus Ω.D right-to-left
+/// node merging. Output is cleaned of dangling gates.
+[[nodiscard]] Mig pass_size(const Mig& mig);
+
+/// One reshape pass: Ω.A associativity swaps (with Ω.C normalization via
+/// structural hashing) adopted only when they hit existing structure.
+[[nodiscard]] Mig pass_reshape(const Mig& mig);
+
+/// One inverter-propagation pass.
+///
+/// `conditional == true` implements Ω.I_R→L(1–3): gates with ≥2
+/// complemented non-constant fanins are flipped (all fanin complements
+/// toggled, output complemented) when a profitability estimate over the
+/// gate itself, its fanout gates and its PO references says the total
+/// number of explicit negations decreases.
+///
+/// `conditional == false` implements the final Ω.I_R→L sweep: the most
+/// costly case — all three non-constant fanins complemented — is always
+/// eliminated.
+[[nodiscard]] Mig pass_inverters(const Mig& mig, bool conditional);
+
+/// Number of gates with ≥2 complemented non-constant fanins (the
+/// expensive gates for RM3 translation).
+[[nodiscard]] std::uint32_t count_multi_complement(const Mig& mig);
+
+/// Depth-oriented rewriting ([Amarù et al.] and Fig. 1 of the paper,
+/// whose optimized MIG improves both size and depth): Ω.A swaps pull the
+/// critical (deepest) inner operand of ⟨x u ⟨y u z⟩⟩ one level up when the
+/// exchanged outer operand arrives earlier, iterated `effort` times. Size
+/// never increases (the inner gate is only rebuilt when expendable).
+/// PLiM programs are serial, so depth does not change #I — this pass
+/// exists for the Fig. 1 claim and as a classic-MIG baseline.
+[[nodiscard]] Mig rewrite_depth(const Mig& mig, unsigned effort = 4,
+                                RewriteStats* stats = nullptr);
+
+}  // namespace plim::mig

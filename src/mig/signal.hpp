@@ -1,0 +1,65 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace plim::mig {
+
+/// Index of a node inside a Mig. Node 0 is always the constant-0 node;
+/// primary inputs and majority gates follow in creation order, which is
+/// guaranteed to be a topological order (gates only reference existing
+/// nodes).
+using node = std::uint32_t;
+
+/// An edge into the network: a node index plus a complement bit.
+///
+/// A complemented signal represents the Boolean negation of the node's
+/// function. Complement placement is semantically transparent but is the
+/// key cost driver for PLiM compilation (exactly one complemented fanin
+/// per majority gate is free in the RM3 instruction), so the library never
+/// silently re-normalizes complements — only explicit rewriting moves them.
+class Signal {
+ public:
+  /// Default: constant 0 (node 0, non-complemented).
+  constexpr Signal() noexcept : data_(0) {}
+
+  constexpr Signal(node index, bool complemented) noexcept
+      : data_((index << 1) | static_cast<std::uint32_t>(complemented)) {}
+
+  static constexpr Signal from_raw(std::uint32_t raw) noexcept {
+    Signal s;
+    s.data_ = raw;
+    return s;
+  }
+
+  [[nodiscard]] constexpr node index() const noexcept { return data_ >> 1; }
+  [[nodiscard]] constexpr bool complemented() const noexcept {
+    return (data_ & 1u) != 0;
+  }
+  [[nodiscard]] constexpr std::uint32_t raw() const noexcept { return data_; }
+
+  /// Boolean negation of this signal.
+  [[nodiscard]] constexpr Signal operator!() const noexcept {
+    return from_raw(data_ ^ 1u);
+  }
+
+  /// Conditionally complemented copy: `s ^ true == !s`, `s ^ false == s`.
+  [[nodiscard]] constexpr Signal operator^(bool c) const noexcept {
+    return from_raw(data_ ^ static_cast<std::uint32_t>(c));
+  }
+
+  friend constexpr auto operator<=>(Signal, Signal) noexcept = default;
+
+ private:
+  std::uint32_t data_;
+};
+
+}  // namespace plim::mig
+
+template <>
+struct std::hash<plim::mig::Signal> {
+  std::size_t operator()(plim::mig::Signal s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.raw());
+  }
+};

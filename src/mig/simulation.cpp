@@ -1,0 +1,89 @@
+#include "mig/simulation.hpp"
+
+#include <cassert>
+
+namespace plim::mig {
+
+std::vector<std::uint64_t> simulate_nodes_words(
+    const Mig& mig, const std::vector<std::uint64_t>& pi_words) {
+  assert(pi_words.size() == mig.num_pis());
+  std::vector<std::uint64_t> value(mig.size(), 0);
+  mig.foreach_pi([&](node n) { value[n] = pi_words[mig.pi_index(n)]; });
+  mig.foreach_gate([&](node n) {
+    const auto& f = mig.fanins(n);
+    std::uint64_t v[3];
+    for (int i = 0; i < 3; ++i) {
+      v[i] = value[f[i].index()];
+      if (f[i].complemented()) {
+        v[i] = ~v[i];
+      }
+    }
+    value[n] = (v[0] & v[1]) | (v[0] & v[2]) | (v[1] & v[2]);
+  });
+  return value;
+}
+
+std::vector<std::uint64_t> simulate_words(
+    const Mig& mig, const std::vector<std::uint64_t>& pi_words) {
+  const auto value = simulate_nodes_words(mig, pi_words);
+  std::vector<std::uint64_t> out(mig.num_pos());
+  mig.foreach_po([&](Signal f, std::uint32_t i) {
+    out[i] = f.complemented() ? ~value[f.index()] : value[f.index()];
+  });
+  return out;
+}
+
+std::vector<bool> simulate_vector(const Mig& mig,
+                                  const std::vector<bool>& pi_values) {
+  assert(pi_values.size() == mig.num_pis());
+  std::vector<std::uint64_t> words(pi_values.size());
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    words[i] = pi_values[i] ? ~std::uint64_t{0} : 0;
+  }
+  const auto out_words = simulate_words(mig, words);
+  std::vector<bool> out(out_words.size());
+  for (std::size_t i = 0; i < out_words.size(); ++i) {
+    out[i] = (out_words[i] & 1) != 0;
+  }
+  return out;
+}
+
+std::vector<TruthTable> simulate_truth_tables(const Mig& mig) {
+  const auto nv = mig.num_pis();
+  std::vector<TruthTable> value(mig.size(), TruthTable(nv));
+  mig.foreach_pi(
+      [&](node n) { value[n] = TruthTable::nth_var(nv, mig.pi_index(n)); });
+  mig.foreach_gate([&](node n) {
+    const auto& f = mig.fanins(n);
+    const auto get = [&](Signal s) {
+      return s.complemented() ? ~value[s.index()] : value[s.index()];
+    };
+    value[n] = TruthTable::maj(get(f[0]), get(f[1]), get(f[2]));
+  });
+  std::vector<TruthTable> out;
+  out.reserve(mig.num_pos());
+  mig.foreach_po([&](Signal f, std::uint32_t) {
+    out.push_back(f.complemented() ? ~value[f.index()] : value[f.index()]);
+  });
+  return out;
+}
+
+bool random_equivalence_check(const Mig& a, const Mig& b, unsigned rounds,
+                              util::Rng& rng) {
+  assert(a.num_pis() == b.num_pis());
+  assert(a.num_pos() == b.num_pos());
+  std::vector<std::uint64_t> pi_words(a.num_pis());
+  for (unsigned r = 0; r < rounds; ++r) {
+    for (auto& w : pi_words) {
+      w = rng.next();
+    }
+    const auto oa = simulate_words(a, pi_words);
+    const auto ob = simulate_words(b, pi_words);
+    if (oa != ob) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace plim::mig

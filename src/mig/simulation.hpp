@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mig/mig.hpp"
+#include "mig/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace plim::mig {
+
+/// 64-way bit-parallel simulation: one 64-bit word per PI, each bit lane an
+/// independent input vector. Returns one word per node.
+[[nodiscard]] std::vector<std::uint64_t> simulate_nodes_words(
+    const Mig& mig, const std::vector<std::uint64_t>& pi_words);
+
+/// Bit-parallel simulation returning only PO words.
+[[nodiscard]] std::vector<std::uint64_t> simulate_words(
+    const Mig& mig, const std::vector<std::uint64_t>& pi_words);
+
+/// Simulates a single input vector; returns PO values.
+[[nodiscard]] std::vector<bool> simulate_vector(
+    const Mig& mig, const std::vector<bool>& pi_values);
+
+/// Exhaustive simulation (requires num_pis() ≤ 26 — practical ≤ ~20):
+/// returns the truth table of every PO.
+[[nodiscard]] std::vector<TruthTable> simulate_truth_tables(const Mig& mig);
+
+/// Draws `rounds` random 64-lane patterns and checks that both networks
+/// (with identical PI counts and PO counts) agree on all POs; returns true
+/// when no mismatch was observed. This is the fast refutation filter used
+/// before (or instead of, for large circuits) SAT equivalence checking.
+[[nodiscard]] bool random_equivalence_check(const Mig& a, const Mig& b,
+                                            unsigned rounds,
+                                            util::Rng& rng);
+
+}  // namespace plim::mig

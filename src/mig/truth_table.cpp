@@ -1,0 +1,154 @@
+#include "mig/truth_table.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace plim::mig {
+
+namespace {
+
+std::size_t word_count(std::uint32_t num_vars) {
+  return num_vars < 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+}
+
+}  // namespace
+
+TruthTable::TruthTable(std::uint32_t num_vars)
+    : num_vars_(num_vars), words_(word_count(num_vars), 0) {
+  assert(num_vars <= 26 && "truth tables limited to 26 variables");
+}
+
+void TruthTable::mask_top_word() {
+  if (num_vars_ < 6) {
+    words_[0] &= (std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1;
+  }
+}
+
+TruthTable TruthTable::constants(std::uint32_t num_vars, bool v) {
+  TruthTable tt(num_vars);
+  if (v) {
+    for (auto& w : tt.words_) {
+      w = ~std::uint64_t{0};
+    }
+    tt.mask_top_word();
+  }
+  return tt;
+}
+
+TruthTable TruthTable::nth_var(std::uint32_t num_vars, std::uint32_t var) {
+  assert(var < num_vars);
+  TruthTable tt(num_vars);
+  if (var < 6) {
+    // Periodic pattern within each word.
+    static constexpr std::uint64_t patterns[6] = {
+        0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+        0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL};
+    for (auto& w : tt.words_) {
+      w = patterns[var];
+    }
+    tt.mask_top_word();
+  } else {
+    // Whole words alternate in blocks of 2^(var-6).
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < tt.words_.size(); ++i) {
+      tt.words_[i] = ((i / block) & 1) ? ~std::uint64_t{0} : 0;
+    }
+  }
+  return tt;
+}
+
+bool TruthTable::get_bit(std::uint64_t pos) const {
+  assert(pos < num_bits());
+  return ((words_[pos >> 6] >> (pos & 63)) & 1) != 0;
+}
+
+void TruthTable::set_bit(std::uint64_t pos, bool value) {
+  assert(pos < num_bits());
+  const std::uint64_t mask = std::uint64_t{1} << (pos & 63);
+  if (value) {
+    words_[pos >> 6] |= mask;
+  } else {
+    words_[pos >> 6] &= ~mask;
+  }
+}
+
+std::uint64_t TruthTable::count_ones() const {
+  std::uint64_t n = 0;
+  for (const auto w : words_) {
+    n += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return n;
+}
+
+bool TruthTable::is_constant(bool v) const {
+  return *this == constants(num_vars_, v);
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable r(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    r.words_[i] = ~words_[i];
+  }
+  r.mask_top_word();
+  return r;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  assert(num_vars_ == o.num_vars_);
+  TruthTable r(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    r.words_[i] = words_[i] & o.words_[i];
+  }
+  return r;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  assert(num_vars_ == o.num_vars_);
+  TruthTable r(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    r.words_[i] = words_[i] | o.words_[i];
+  }
+  return r;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+  assert(num_vars_ == o.num_vars_);
+  TruthTable r(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    r.words_[i] = words_[i] ^ o.words_[i];
+  }
+  return r;
+}
+
+bool operator==(const TruthTable& a, const TruthTable& b) {
+  return a.num_vars_ == b.num_vars_ && a.words_ == b.words_;
+}
+
+TruthTable TruthTable::maj(const TruthTable& a, const TruthTable& b,
+                           const TruthTable& c) {
+  assert(a.num_vars_ == b.num_vars_ && b.num_vars_ == c.num_vars_);
+  TruthTable r(a.num_vars_);
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const auto x = a.words_[i];
+    const auto y = b.words_[i];
+    const auto z = c.words_[i];
+    r.words_[i] = (x & y) | (x & z) | (y & z);
+  }
+  return r;
+}
+
+std::string TruthTable::to_hex() const {
+  static constexpr char digits[] = "0123456789abcdef";
+  const std::uint64_t nibbles =
+      num_vars_ <= 2 ? 1 : (num_bits() >> 2);
+  std::string s;
+  s.reserve(nibbles);
+  for (std::uint64_t i = nibbles; i-- > 0;) {
+    const std::uint64_t word = words_[(i * 4) >> 6];
+    const unsigned nib = (word >> ((i * 4) & 63)) & 0xf;
+    s.push_back(digits[nib]);
+  }
+  return s;
+}
+
+}  // namespace plim::mig

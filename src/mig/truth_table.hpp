@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plim::mig {
+
+/// Dense truth table over a fixed number of variables (up to 26 — bounded
+/// only by memory). Bit i holds the function value for the input minterm i
+/// (variable 0 is the least significant index bit).
+///
+/// Used for exhaustive equivalence checks in tests and for the SAT
+/// cross-validation of small circuits.
+class TruthTable {
+ public:
+  explicit TruthTable(std::uint32_t num_vars);
+
+  [[nodiscard]] static TruthTable constants(std::uint32_t num_vars, bool v);
+  /// Projection of variable `var`.
+  [[nodiscard]] static TruthTable nth_var(std::uint32_t num_vars,
+                                          std::uint32_t var);
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::uint64_t num_bits() const noexcept {
+    return std::uint64_t{1} << num_vars_;
+  }
+
+  [[nodiscard]] bool get_bit(std::uint64_t pos) const;
+  void set_bit(std::uint64_t pos, bool value);
+
+  [[nodiscard]] std::uint64_t count_ones() const;
+  [[nodiscard]] bool is_constant(bool v) const;
+
+  [[nodiscard]] TruthTable operator~() const;
+  [[nodiscard]] TruthTable operator&(const TruthTable& o) const;
+  [[nodiscard]] TruthTable operator|(const TruthTable& o) const;
+  [[nodiscard]] TruthTable operator^(const TruthTable& o) const;
+  friend bool operator==(const TruthTable&, const TruthTable&);
+
+  /// ⟨abc⟩ computed bitwise.
+  [[nodiscard]] static TruthTable maj(const TruthTable& a,
+                                      const TruthTable& b,
+                                      const TruthTable& c);
+
+  /// Hex string, most significant word first (e.g. "e8" for MAJ3).
+  [[nodiscard]] std::string to_hex() const;
+
+ private:
+  void mask_top_word();
+
+  std::uint32_t num_vars_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace plim::mig

@@ -1,0 +1,15 @@
+#include "mig/views.hpp"
+
+namespace plim::mig {
+
+FanoutView::FanoutView(const Mig& mig)
+    : parents_(mig.size()), po_refs_(mig.size(), 0) {
+  mig.foreach_gate([&](node n) {
+    for (const auto f : mig.fanins(n)) {
+      parents_[f.index()].push_back(n);
+    }
+  });
+  mig.foreach_po([&](Signal f, std::uint32_t) { ++po_refs_[f.index()]; });
+}
+
+}  // namespace plim::mig

@@ -1,0 +1,54 @@
+#include "sat/cnf.hpp"
+
+#include <cassert>
+
+namespace plim::sat {
+
+MigEncoder::MigEncoder(Solver& solver, const mig::Mig& mig,
+                       const std::vector<Var>& shared_pis) {
+  assert(shared_pis.empty() || shared_pis.size() == mig.num_pis());
+  node_var_.resize(mig.size(), -1);
+
+  // Constant node: a variable pinned to 0.
+  node_var_[0] = solver.new_var();
+  solver.add_clause(Lit(node_var_[0], true));
+
+  pi_vars_.resize(mig.num_pis());
+  mig.foreach_pi([&](mig::node n) {
+    const auto i = mig.pi_index(n);
+    pi_vars_[i] = shared_pis.empty() ? solver.new_var() : shared_pis[i];
+    node_var_[n] = pi_vars_[i];
+  });
+
+  mig.foreach_gate([&](mig::node n) {
+    const Var zv = solver.new_var();
+    node_var_[n] = zv;
+    const auto& f = mig.fanins(n);
+    const Lit a = lit(f[0]);
+    const Lit b = lit(f[1]);
+    const Lit c = lit(f[2]);
+    const Lit z(zv, false);
+    // Any two fanins true force z; any two false force ¬z.
+    solver.add_clause(~a, ~b, z);
+    solver.add_clause(~a, ~c, z);
+    solver.add_clause(~b, ~c, z);
+    solver.add_clause(a, b, ~z);
+    solver.add_clause(a, c, ~z);
+    solver.add_clause(b, c, ~z);
+  });
+
+  po_lits_.reserve(mig.num_pos());
+  mig.foreach_po(
+      [&](mig::Signal f, std::uint32_t) { po_lits_.push_back(lit(f)); });
+}
+
+Lit add_xor(Solver& solver, Lit a, Lit b) {
+  const Lit t(solver.new_var(), false);
+  solver.add_clause(~t, a, b);
+  solver.add_clause(~t, ~a, ~b);
+  solver.add_clause(t, ~a, b);
+  solver.add_clause(t, a, ~b);
+  return t;
+}
+
+}  // namespace plim::sat

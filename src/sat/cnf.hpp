@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "mig/mig.hpp"
+#include "sat/solver.hpp"
+
+namespace plim::sat {
+
+/// Tseitin encoding of an MIG into a Solver.
+///
+/// Every node gets a solver variable; each majority gate z = ⟨abc⟩
+/// contributes the six clauses
+///
+///   (ā ∨ b̄ ∨ z)(ā ∨ c̄ ∨ z)(b̄ ∨ c̄ ∨ z)(a ∨ b ∨ z̄)(a ∨ c ∨ z̄)(b ∨ c ∨ z̄)
+///
+/// The constant node is pinned to false with a unit clause. Multiple
+/// networks can be encoded into one solver with shared PI variables (as
+/// the equivalence checker does).
+class MigEncoder {
+ public:
+  /// Encodes `mig`; if `shared_pis` is non-empty it supplies the PI
+  /// variables (must have num_pis entries), otherwise fresh variables are
+  /// created.
+  MigEncoder(Solver& solver, const mig::Mig& mig,
+             const std::vector<Var>& shared_pis = {});
+
+  /// Literal computing the given signal.
+  [[nodiscard]] Lit lit(mig::Signal s) const {
+    return Lit(node_var_[s.index()], s.complemented());
+  }
+
+  /// Literal of primary output `i`.
+  [[nodiscard]] Lit po_lit(std::uint32_t i) const { return po_lits_[i]; }
+
+  /// Solver variable of primary input `i`.
+  [[nodiscard]] Var pi_var(std::uint32_t i) const { return pi_vars_[i]; }
+
+ private:
+  std::vector<Var> node_var_;
+  std::vector<Var> pi_vars_;
+  std::vector<Lit> po_lits_;
+};
+
+/// Adds clauses constraining `t ↔ (a ⊕ b)` and returns `t` (a fresh
+/// variable). Building block for miters.
+[[nodiscard]] Lit add_xor(Solver& solver, Lit a, Lit b);
+
+}  // namespace plim::sat

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+namespace plim::sat {
+
+enum class Equivalence : std::uint8_t {
+  equivalent,
+  inequivalent,
+  unknown,  ///< conflict budget exhausted
+};
+
+struct EquivalenceReport {
+  Equivalence verdict = Equivalence::unknown;
+  /// For inequivalent pairs: a distinguishing input assignment and the
+  /// index of the first differing output.
+  std::optional<std::vector<bool>> counterexample;
+  std::uint32_t failing_output = 0;
+  std::uint64_t sat_conflicts = 0;
+};
+
+struct EquivalenceOptions {
+  /// Random-simulation rounds (64 vectors each) used as a fast refutation
+  /// filter before SAT.
+  unsigned random_rounds = 32;
+  /// CDCL conflict budget per output pair (0 = unlimited).
+  std::uint64_t conflict_limit = 200000;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Combinational equivalence check of two networks with identical PI/PO
+/// interfaces: random simulation first, then one SAT miter per output
+/// over a shared encoding.
+[[nodiscard]] EquivalenceReport check_equivalence(
+    const mig::Mig& a, const mig::Mig& b, const EquivalenceOptions& opts = {});
+
+}  // namespace plim::sat

@@ -1,0 +1,538 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace plim::sat {
+
+namespace {
+
+/// Luby restart sequence (unit 256 conflicts).
+std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence containing index i and its position.
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(0);
+  phase_.push_back(-1);  // default phase: false (common for CNF from logic)
+  model_.push_back(0);
+  reason_.push_back(no_reason);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) {
+    return false;
+  }
+  assert(trail_lim_.empty() && "clauses must be added at decision level 0");
+  // Normalize: sort, drop duplicates and false literals, detect tautology
+  // and satisfied clauses.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (const Lit l : lits) {
+    if (!out.empty() && l == out.back()) {
+      continue;
+    }
+    if (!out.empty() && l == ~out.back()) {
+      return true;  // tautology
+    }
+    const int v = value(l);
+    if (v == 1) {
+      return true;  // already satisfied at level 0
+    }
+    if (v == -1) {
+      continue;  // literal permanently false
+    }
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], no_reason);
+    if (propagate() != no_reason) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  Clause c;
+  c.lits = std::move(out);
+  clauses_.push_back(std::move(c));
+  attach(static_cast<ClauseRef>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attach(ClauseRef cr) {
+  const auto& lits = clauses_[static_cast<std::size_t>(cr)].lits;
+  watches_[static_cast<std::size_t>(lits[0].code())].push_back(cr);
+  watches_[static_cast<std::size_t>(lits[1].code())].push_back(cr);
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  assert(value(l) == 0);
+  assign_[static_cast<std::size_t>(l.var())] = l.negated() ? -1 : 1;
+  reason_[static_cast<std::size_t>(l.var())] = reason;
+  level_[static_cast<std::size_t>(l.var())] =
+      static_cast<std::int32_t>(trail_lim_.size());
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++propagations_;
+    // Clauses watching ~p must find a new watch or propagate/conflict.
+    const Lit false_lit = ~p;
+    auto& watch_list = watches_[static_cast<std::size_t>(false_lit.code())];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const ClauseRef cr = watch_list[i];
+      auto& c = clauses_[static_cast<std::size_t>(cr)];
+      if (c.deleted) {
+        continue;  // lazily dropped from the watch list
+      }
+      auto& lits = c.lits;
+      // Ensure the false literal is at position 1.
+      if (lits[0] == false_lit) {
+        std::swap(lits[0], lits[1]);
+      }
+      // If the other watch is true, the clause is satisfied.
+      if (value(lits[0]) == 1) {
+        watch_list[keep++] = cr;
+        continue;
+      }
+      // Search for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != -1) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<std::size_t>(lits[1].code())].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        continue;
+      }
+      // Unit or conflicting.
+      watch_list[keep++] = cr;
+      if (value(lits[0]) == -1) {
+        // Conflict: restore remaining watches and report.
+        for (std::size_t k = i + 1; k < watch_list.size(); ++k) {
+          watch_list[keep++] = watch_list[k];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return cr;
+      }
+      enqueue(lits[0], cr);
+    }
+    watch_list.resize(keep);
+  }
+  return no_reason;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (auto& a : activity_) {
+      a *= 1e-100;
+    }
+    var_inc_ *= 1e-100;
+  }
+  heap_update(v);
+}
+
+void Solver::decay_activities() {
+  var_inc_ /= 0.95;
+  clause_inc_ /= 0.999;
+}
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
+                     int& bt_level) {
+  learnt.clear();
+  learnt.push_back(Lit());  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p;
+  bool have_p = false;
+  std::size_t index = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  for (;;) {
+    auto& c = clauses_[static_cast<std::size_t>(confl)];
+    c.activity += clause_inc_;
+    for (std::size_t k = (have_p ? 1u : 0u); k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const auto vq = static_cast<std::size_t>(q.var());
+      if (seen_[vq] || level_[vq] == 0) {
+        continue;
+      }
+      seen_[vq] = 1;
+      bump_var(q.var());
+      if (level_[vq] == current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Select the next trail literal to resolve on.
+    for (;;) {
+      p = trail_[--index];
+      if (seen_[static_cast<std::size_t>(p.var())]) {
+        break;
+      }
+    }
+    have_p = true;
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    --counter;
+    if (counter == 0) {
+      break;
+    }
+    confl = reason_[static_cast<std::size_t>(p.var())];
+    assert(confl != no_reason);
+    // Put the resolved literal first so the k=1 loop skips it.
+    auto& rc = clauses_[static_cast<std::size_t>(confl)];
+    if (rc.lits[0] != p) {
+      for (std::size_t k = 1; k < rc.lits.size(); ++k) {
+        if (rc.lits[k] == p) {
+          std::swap(rc.lits[0], rc.lits[k]);
+          break;
+        }
+      }
+    }
+  }
+  learnt[0] = ~p;
+
+  // Cheap clause minimization: drop literals implied by the rest via their
+  // reason clause (self-subsumption with direct reasons).
+  const auto redundant = [&](Lit q) {
+    const ClauseRef r = reason_[static_cast<std::size_t>(q.var())];
+    if (r == no_reason) {
+      return false;
+    }
+    for (const Lit x : clauses_[static_cast<std::size_t>(r)].lits) {
+      if (x.var() == q.var()) {
+        continue;
+      }
+      const auto vx = static_cast<std::size_t>(x.var());
+      if (!seen_[vx] && level_[vx] != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const Lit q : learnt) {
+    seen_[static_cast<std::size_t>(q.var())] = 1;
+  }
+  // Remember the pre-minimization literals: seen_ must be cleared for the
+  // dropped ones as well, or stale flags corrupt the next analysis.
+  const std::vector<Lit> original = learnt;
+  std::size_t w = 1;
+  for (std::size_t r = 1; r < learnt.size(); ++r) {
+    if (!redundant(learnt[r])) {
+      learnt[w++] = learnt[r];
+    }
+  }
+  learnt.resize(w);
+  for (const Lit q : original) {
+    seen_[static_cast<std::size_t>(q.var())] = 0;
+  }
+
+  // Backtrack level: second-highest decision level in the learnt clause.
+  bt_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[static_cast<std::size_t>(learnt[i].var())] >
+          level_[static_cast<std::size_t>(learnt[max_i].var())]) {
+        max_i = i;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[static_cast<std::size_t>(learnt[1].var())];
+  }
+}
+
+void Solver::backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) {
+    return;
+  }
+  const auto bound =
+      static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(
+          target_level)]);
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const Var v = trail_[i].var();
+    phase_[static_cast<std::size_t>(v)] = assign_[static_cast<std::size_t>(v)];
+    assign_[static_cast<std::size_t>(v)] = 0;
+    reason_[static_cast<std::size_t>(v)] = no_reason;
+    if (heap_pos_[static_cast<std::size_t>(v)] < 0) {
+      heap_insert(v);
+    }
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (value(v) == 0) {
+      const bool negated = phase_[static_cast<std::size_t>(v)] != 1;
+      return Lit(v, negated);
+    }
+  }
+  return Lit();  // all assigned
+}
+
+void Solver::reduce_learnts() {
+  // Drop the least active half of the learnt clauses (never reasons).
+  std::vector<ClauseRef> learnts;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    const auto& c = clauses_[i];
+    if (c.learnt && !c.deleted && c.lits.size() > 2) {
+      learnts.push_back(static_cast<ClauseRef>(i));
+    }
+  }
+  if (learnts.size() < 100) {
+    return;
+  }
+  std::sort(learnts.begin(), learnts.end(), [&](ClauseRef a, ClauseRef b) {
+    return clauses_[static_cast<std::size_t>(a)].activity <
+           clauses_[static_cast<std::size_t>(b)].activity;
+  });
+  std::vector<std::int8_t> is_reason(clauses_.size(), 0);
+  for (const Lit l : trail_) {
+    const ClauseRef r = reason_[static_cast<std::size_t>(l.var())];
+    if (r != no_reason) {
+      is_reason[static_cast<std::size_t>(r)] = 1;
+    }
+  }
+  const std::size_t target = learnts.size() / 2;
+  std::size_t dropped = 0;
+  for (const ClauseRef cr : learnts) {
+    if (dropped >= target) {
+      break;
+    }
+    if (is_reason[static_cast<std::size_t>(cr)]) {
+      continue;
+    }
+    clauses_[static_cast<std::size_t>(cr)].deleted = true;
+    clauses_[static_cast<std::size_t>(cr)].lits.clear();
+    clauses_[static_cast<std::size_t>(cr)].lits.shrink_to_fit();
+    ++dropped;
+    --learnt_count_;
+  }
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions,
+                     std::uint64_t conflict_limit) {
+  if (unsat_) {
+    return Result::unsat;
+  }
+  backtrack(0);
+  if (propagate() != no_reason) {
+    unsat_ = true;
+    return Result::unsat;
+  }
+
+  const std::uint64_t start_conflicts = conflicts_;
+  std::uint64_t restart_seq = 0;
+  std::uint64_t restart_budget = luby(restart_seq) * 256;
+  std::uint64_t conflicts_since_restart = 0;
+  std::uint64_t max_learnts = std::max<std::uint64_t>(
+      4000, clauses_.size() / 3);
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    const ClauseRef confl = propagate();
+    if (confl != no_reason) {
+      ++conflicts_;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return Result::unsat;
+      }
+      int bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        // Unit learnt clause: bt_level is 0; assert it permanently.
+        if (value(learnt[0]) == -1) {
+          unsat_ = true;
+          return Result::unsat;
+        }
+        if (value(learnt[0]) == 0) {
+          enqueue(learnt[0], no_reason);
+        }
+      } else {
+        Clause c;
+        c.lits = learnt;
+        c.learnt = true;
+        c.activity = clause_inc_;
+        clauses_.push_back(std::move(c));
+        const auto cr = static_cast<ClauseRef>(clauses_.size() - 1);
+        attach(cr);
+        ++learnt_count_;
+        enqueue(learnt[0], cr);
+      }
+      decay_activities();
+      if (conflict_limit != 0 &&
+          conflicts_ - start_conflicts >= conflict_limit) {
+        backtrack(0);
+        return Result::unknown;
+      }
+      if (learnt_count_ > max_learnts) {
+        reduce_learnts();
+        max_learnts = max_learnts * 11 / 10;
+      }
+      continue;
+    }
+
+    if (conflicts_since_restart >= restart_budget &&
+        trail_lim_.size() > assumptions.size()) {
+      conflicts_since_restart = 0;
+      restart_budget = luby(++restart_seq) * 256;
+      backtrack(static_cast<int>(assumptions.size()));
+      continue;
+    }
+
+    // Make the next decision: assumptions first, then VSIDS.
+    Lit next;
+    bool have_next = false;
+    while (trail_lim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      if (value(a) == 1) {
+        // Already satisfied: open an empty decision level for bookkeeping.
+        trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+        continue;
+      }
+      if (value(a) == -1) {
+        backtrack(0);
+        return Result::unsat;  // assumptions conflict with the formula
+      }
+      next = a;
+      have_next = true;
+      break;
+    }
+    if (!have_next) {
+      // Every unassigned variable is in the heap (they are re-inserted on
+      // backtrack), so an exhausted heap means a full satisfying model.
+      next = pick_branch();
+      if (next == Lit()) {
+        model_.assign(assign_.begin(), assign_.end());
+        backtrack(0);
+        return Result::sat;
+      }
+      ++decisions_;
+    }
+    trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+    enqueue(next, no_reason);
+  }
+}
+
+// ---- activity heap -----------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) {
+    return;
+  }
+  heap_pos_[static_cast<std::size_t>(v)] =
+      static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_update(Var v) {
+  const auto pos = heap_pos_[static_cast<std::size_t>(v)];
+  if (pos >= 0) {
+    heap_sift_up(static_cast<std::size_t>(pos));
+  }
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+  }
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  const double act = activity_[static_cast<std::size_t>(v)];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[static_cast<std::size_t>(heap_[parent])] >= act) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] =
+        static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  const double act = activity_[static_cast<std::size_t>(v)];
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= heap_.size()) {
+      break;
+    }
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < heap_.size() &&
+        activity_[static_cast<std::size_t>(heap_[right])] >
+            activity_[static_cast<std::size_t>(heap_[left])]) {
+      best = right;
+    }
+    if (activity_[static_cast<std::size_t>(heap_[best])] <= act) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] =
+        static_cast<std::int32_t>(i);
+    i = best;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+}  // namespace plim::sat

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace plim::sat {
+
+/// Boolean variable (0-based).
+using Var = std::int32_t;
+
+/// Literal: variable with polarity, encoded as 2·var + sign.
+class Lit {
+ public:
+  constexpr Lit() noexcept : code_(-2) {}
+  constexpr Lit(Var v, bool negated) noexcept
+      : code_(2 * v + static_cast<std::int32_t>(negated)) {}
+
+  [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] constexpr bool negated() const noexcept {
+    return (code_ & 1) != 0;
+  }
+  [[nodiscard]] constexpr std::int32_t code() const noexcept { return code_; }
+
+  [[nodiscard]] constexpr Lit operator~() const noexcept {
+    Lit l;
+    l.code_ = code_ ^ 1;
+    return l;
+  }
+
+  friend constexpr bool operator==(Lit, Lit) noexcept = default;
+
+ private:
+  std::int32_t code_;
+};
+
+enum class Result : std::uint8_t { sat, unsat, unknown };
+
+/// A conflict-driven clause-learning (CDCL) SAT solver: two-watched
+/// literals, first-UIP learning with recursive clause minimization skipped
+/// in favor of simple self-subsumption, VSIDS branching with an indexed
+/// binary heap, phase saving, Luby restarts and periodic learnt-clause
+/// reduction. Sufficient for the combinational equivalence obligations in
+/// this project (miters of mid-size MIGs).
+class Solver {
+ public:
+  Solver() = default;
+
+  /// Creates a fresh variable.
+  Var new_var();
+  [[nodiscard]] std::int32_t num_vars() const noexcept {
+    return static_cast<std::int32_t>(assign_.size());
+  }
+
+  /// Adds a clause (empty clause makes the instance trivially UNSAT).
+  /// Returns false when the formula is already unsatisfiable.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) {
+    return add_clause(std::vector<Lit>{a, b, c});
+  }
+
+  /// Solves under assumptions. `conflict_limit` bounds the search
+  /// (0 = unlimited); exceeding it yields Result::unknown.
+  Result solve(const std::vector<Lit>& assumptions = {},
+               std::uint64_t conflict_limit = 0);
+
+  /// Model value of a variable after Result::sat.
+  [[nodiscard]] bool model_value(Var v) const {
+    return model_[static_cast<std::size_t>(v)] == 1;
+  }
+
+  [[nodiscard]] std::uint64_t num_conflicts() const noexcept {
+    return conflicts_;
+  }
+  [[nodiscard]] std::uint64_t num_decisions() const noexcept {
+    return decisions_;
+  }
+  [[nodiscard]] std::uint64_t num_propagations() const noexcept {
+    return propagations_;
+  }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+
+  using ClauseRef = std::int32_t;
+  static constexpr ClauseRef no_reason = -1;
+
+  // assignment values: 0 undef, 1 true, -1 false (for the literal's var)
+  [[nodiscard]] int value(Var v) const {
+    return assign_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int value(Lit l) const {
+    const int v = assign_[static_cast<std::size_t>(l.var())];
+    return l.negated() ? -v : v;
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& learnt, int& bt_level);
+  void backtrack(int level);
+  void bump_var(Var v);
+  void decay_activities();
+  Lit pick_branch();
+  void reduce_learnts();
+  void attach(ClauseRef cr);
+
+  // ---- heap keyed by VSIDS activity -----------------------------------------
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  [[nodiscard]] bool heap_empty() const { return heap_.empty(); }
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by literal code
+  std::vector<std::int8_t> assign_;
+  std::vector<std::int8_t> phase_;
+  std::vector<std::int8_t> model_;
+  std::vector<ClauseRef> reason_;
+  std::vector<std::int32_t> level_;
+  std::vector<double> activity_;
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> heap_pos_;  // -1 when absent
+
+  std::vector<std::int8_t> seen_;
+
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  bool unsat_ = false;
+
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t propagations_ = 0;
+  std::uint64_t learnt_count_ = 0;
+};
+
+}  // namespace plim::sat

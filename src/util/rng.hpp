@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+namespace plim::util {
+
+/// Deterministic 64-bit pseudo-random number generator (xoshiro256**).
+///
+/// Used throughout the project instead of std::mt19937_64 so that
+/// benchmark circuits, random simulation patterns and property tests are
+/// reproducible across standard-library implementations.
+class Rng {
+ public:
+  /// Seeds the four-word state from a single seed via splitmix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x9d2c5680a76b3fULL) noexcept
+      : s_{} {
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire-style rejection-free reduction is overkill here; modulo bias
+    // is negligible for the bounds used in this project (< 2^32).
+    return next() % bound;
+  }
+
+  /// Uniform boolean.
+  constexpr bool flip() noexcept { return (next() & 1ULL) != 0; }
+
+  /// Boolean that is true with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace plim::util

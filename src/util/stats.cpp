@@ -1,0 +1,31 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plim::util {
+
+Summary summarize(const std::vector<std::uint64_t>& samples) {
+  Summary s;
+  if (samples.empty()) {
+    return s;
+  }
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.front();
+  for (const auto v : samples) {
+    s.total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = static_cast<double>(s.total) / static_cast<double>(s.count);
+  double acc = 0.0;
+  for (const auto v : samples) {
+    const double d = static_cast<double>(v) - s.mean;
+    acc += d * d;
+  }
+  s.stddev = std::sqrt(acc / static_cast<double>(s.count));
+  return s;
+}
+
+}  // namespace plim::util

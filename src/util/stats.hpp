@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace plim::util {
+
+/// Summary statistics over a sample of non-negative counts, used for the
+/// endurance (per-cell write count) analysis of PLiM programs.
+struct Summary {
+  std::uint64_t count = 0;  ///< number of samples
+  std::uint64_t total = 0;  ///< sum of samples
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes summary statistics; an empty sample yields a zeroed Summary.
+[[nodiscard]] Summary summarize(const std::vector<std::uint64_t>& samples);
+
+}  // namespace plim::util

@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace plim::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TablePrinter::add_separator() { pending_separator_ = true; }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto hline = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << "| ";
+      if (c == 0) {
+        os << text << std::string(widths[c] - text.size(), ' ');
+      } else {
+        os << std::string(widths[c] - text.size(), ' ') << text;
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  hline();
+  print_cells(header_);
+  hline();
+  for (const auto& row : rows_) {
+    if (row.separator_before) {
+      hline();
+    }
+    print_cells(row.cells);
+  }
+  hline();
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string percent(double ratio) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << ratio * 100.0 << '%';
+  return os.str();
+}
+
+double improvement(double before, double after) {
+  if (before == 0.0) {
+    return 0.0;
+  }
+  return (before - after) / before;
+}
+
+}  // namespace plim::util

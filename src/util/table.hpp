@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plim::util {
+
+/// Plain-text table printer used by the benchmark harnesses to render
+/// paper-style result tables (e.g. Table 1 of the DAC'16 paper).
+///
+/// Columns are auto-sized; cells are right-aligned except the first
+/// column, which is left-aligned (benchmark names).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line before the next row.
+  void add_separator();
+
+  /// Renders the whole table.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Formats a double as a percentage with two decimals, e.g. "19.95%".
+[[nodiscard]] std::string percent(double ratio);
+
+/// Relative improvement of `after` vs `before` as the paper reports it:
+/// (before - after) / before. Negative values mean a regression.
+[[nodiscard]] double improvement(double before, double after);
+
+}  // namespace plim::util

@@ -1,0 +1,147 @@
+#include "mig/algebra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mig/simulation.hpp"
+
+namespace plim::mig::algebra {
+namespace {
+
+TEST(VirtualFanins, PlainGateReturnsFanins) {
+  Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto c = m.create_pi();
+  const auto g = m.create_maj(a, !b, c);
+  const auto vf = virtual_fanins(m, g);
+  EXPECT_EQ(vf[0], a);
+  EXPECT_EQ(vf[1], !b);
+  EXPECT_EQ(vf[2], c);
+}
+
+TEST(VirtualFanins, ComplementedEdgePushesInversion) {
+  Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto c = m.create_pi();
+  const auto g = m.create_maj(a, !b, c);
+  const auto vf = virtual_fanins(m, !g);
+  // ¬⟨a b̄ c⟩ = ⟨ā b c̄⟩ (Ω.I).
+  EXPECT_EQ(vf[0], !a);
+  EXPECT_EQ(vf[1], b);
+  EXPECT_EQ(vf[2], !c);
+}
+
+TEST(ComplementCount, IgnoresConstants) {
+  Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  EXPECT_EQ(complement_count(m, a, b, m.get_constant(false)), 0u);
+  EXPECT_EQ(complement_count(m, !a, b, m.get_constant(true)), 1u);
+  EXPECT_EQ(complement_count(m, !a, !b, !m.get_constant(false)), 2u);
+}
+
+TEST(Distributivity, AppliesRightToLeft) {
+  Mig m;
+  const auto x = m.create_pi("x");
+  const auto y = m.create_pi("y");
+  const auto u = m.create_pi("u");
+  const auto v = m.create_pi("v");
+  const auto z = m.create_pi("z");
+  const auto inner_a = m.create_maj(x, y, u);
+  const auto inner_b = m.create_maj(x, y, v);
+  // Reference: ⟨⟨xyu⟩⟨xyv⟩z⟩.
+  m.create_po(m.create_maj(inner_a, inner_b, z), "ref");
+
+  const auto rewritten =
+      try_distributivity_rl(m, inner_a, inner_b, z, {true, true, true},
+                            /*require_free=*/false);
+  ASSERT_TRUE(rewritten.has_value());
+  m.create_po(*rewritten, "rw");
+
+  const auto tts = simulate_truth_tables(m);
+  EXPECT_EQ(tts[0], tts[1]);
+}
+
+TEST(Distributivity, RequireFreeRefusesNewNodes) {
+  Mig m;
+  const auto x = m.create_pi();
+  const auto y = m.create_pi();
+  const auto u = m.create_pi();
+  const auto v = m.create_pi();
+  const auto z = m.create_pi();
+  const auto inner_a = m.create_maj(x, y, u);
+  const auto inner_b = m.create_maj(x, y, v);
+  // ⟨uvz⟩ does not exist yet, so a free rewrite is impossible.
+  EXPECT_FALSE(try_distributivity_rl(m, inner_a, inner_b, z,
+                                     {true, true, true}, /*require_free=*/true)
+                   .has_value());
+  // Once both nodes of the target shape exist, the free rewrite succeeds.
+  const auto inner = m.create_maj(u, v, z);
+  const auto outer = m.create_maj(x, y, inner);
+  const auto free = try_distributivity_rl(
+      m, inner_a, inner_b, z, {false, false, false}, /*require_free=*/true);
+  ASSERT_TRUE(free.has_value());
+  EXPECT_EQ(*free, outer);
+}
+
+TEST(Distributivity, NoSharedPairNoRewrite) {
+  Mig m;
+  const auto x = m.create_pi();
+  const auto y = m.create_pi();
+  const auto u = m.create_pi();
+  const auto v = m.create_pi();
+  const auto w = m.create_pi();
+  const auto z = m.create_pi();
+  const auto a = m.create_maj(x, y, u);
+  const auto b = m.create_maj(v, w, z);
+  EXPECT_FALSE(try_distributivity_rl(m, a, b, x, {true, true, true}, false)
+                   .has_value());
+}
+
+TEST(Associativity, SwapsThroughSharedFanin) {
+  Mig m;
+  const auto x = m.create_pi("x");
+  const auto u = m.create_pi("u");
+  const auto y = m.create_pi("y");
+  const auto z = m.create_pi("z");
+  // Seed the strash with ⟨yux⟩ so the swap is free.
+  const auto seeded = m.create_maj(y, u, x);
+  m.create_po(seeded, "keep");
+  const auto inner = m.create_maj(y, u, z);
+  m.create_po(m.create_maj(x, u, inner), "ref");
+
+  const auto swapped = try_associativity(m, x, u, inner, {false, false, true});
+  ASSERT_TRUE(swapped.has_value());
+  m.create_po(*swapped, "rw");
+  const auto tts = simulate_truth_tables(m);
+  EXPECT_EQ(tts[1], tts[2]);
+}
+
+TEST(Associativity, NoSharedFaninNoRewrite) {
+  Mig m;
+  const auto x = m.create_pi();
+  const auto u = m.create_pi();
+  const auto y = m.create_pi();
+  const auto z = m.create_pi();
+  const auto w = m.create_pi();
+  const auto inner = m.create_maj(y, w, z);  // does not contain u
+  EXPECT_FALSE(
+      try_associativity(m, x, u, inner, {false, false, true}).has_value());
+}
+
+TEST(Associativity, RespectsExpendability) {
+  Mig m;
+  const auto x = m.create_pi();
+  const auto u = m.create_pi();
+  const auto y = m.create_pi();
+  const auto z = m.create_pi();
+  (void)m.create_maj(y, u, x);  // strash hit exists
+  const auto inner = m.create_maj(y, u, z);
+  // Inner gate is not expendable (it keeps other fanout): no rewrite.
+  EXPECT_FALSE(
+      try_associativity(m, x, u, inner, {false, false, false}).has_value());
+}
+
+}  // namespace
+}  // namespace plim::mig::algebra

@@ -1,0 +1,88 @@
+#include "arch/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/motivation.hpp"
+#include "core/compiler.hpp"
+#include "mig/random.hpp"
+
+namespace plim::arch {
+namespace {
+
+TEST(Analysis, CountsOperandKinds) {
+  Program p;
+  p.add_input("a");
+  p.append(Operand::constant(false), Operand::constant(true), 0);
+  p.append(Operand::input(0), Operand::rram(0), 1);
+  const auto a = analyze(p);
+  EXPECT_EQ(a.constant_operands, 2u);
+  EXPECT_EQ(a.input_operands, 1u);
+  EXPECT_EQ(a.rram_operands, 1u);
+}
+
+TEST(Analysis, TracksCellLifetimes) {
+  Program p;
+  p.add_input("a");
+  p.append(Operand::constant(false), Operand::constant(true), 0);  // 0: w X1
+  p.append(Operand::constant(false), Operand::constant(true), 1);  // 1: w X2
+  p.append(Operand::rram(0), Operand::constant(true), 1);          // 2: r X1
+  p.add_output("f", 1);
+  const auto a = analyze(p);
+  ASSERT_EQ(a.cells.size(), 2u);
+  EXPECT_EQ(a.cells[0].first_write, 0u);
+  EXPECT_EQ(a.cells[0].last_access, 2u);
+  EXPECT_EQ(a.cells[0].writes, 1u);
+  EXPECT_EQ(a.cells[0].reads, 1u);
+  EXPECT_FALSE(a.cells[0].is_output);
+  EXPECT_TRUE(a.cells[1].is_output);
+  EXPECT_EQ(a.cells[1].last_access, 2u);  // pinned to program end
+  // Both cells are live from instruction 1 onward.
+  EXPECT_EQ(a.live_after, (std::vector<std::uint32_t>{1, 2, 2}));
+  EXPECT_EQ(a.peak_live, 2u);
+}
+
+TEST(Analysis, PeakLiveMatchesCompilerStatistic) {
+  // The compiler's allocator tracks peak live cells online; the static
+  // liveness analysis of the emitted program must agree (the static view
+  // can only be ≤, since the allocator holds cells from request time and
+  // complement caches may be retained past their last use).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto m = mig::random_mig({6, 60, 4, 35, 30}, seed);
+    const auto r = core::compile(m);
+    const auto a = analyze(r.program);
+    EXPECT_LE(a.peak_live, r.stats.peak_live_rrams) << "seed " << seed;
+    EXPECT_GT(a.peak_live, 0u);
+  }
+}
+
+TEST(Analysis, EveryCompiledCellIsWrittenBeforeRead) {
+  const auto m = circuits::make_fig3b();
+  const auto r = core::compile(m);
+  const auto a = analyze(r.program);
+  std::vector<bool> written(r.program.num_rrams(), false);
+  for (std::size_t i = 0; i < r.program.num_instructions(); ++i) {
+    const auto& ins = r.program[static_cast<std::uint32_t>(i)];
+    for (const Operand op : {ins.a, ins.b}) {
+      if (op.is_rram()) {
+        EXPECT_TRUE(written[op.address()])
+            << "instruction " << i << " reads uninitialized cell";
+      }
+    }
+    written[ins.z] = true;
+  }
+  for (const auto& cell : a.cells) {
+    EXPECT_TRUE(cell.used);
+    EXPECT_GE(cell.writes, 1u);
+  }
+}
+
+TEST(Analysis, EmptyProgram) {
+  Program p;
+  const auto a = analyze(p);
+  EXPECT_EQ(a.peak_live, 0u);
+  EXPECT_TRUE(a.cells.empty());
+  EXPECT_TRUE(a.live_after.empty());
+}
+
+}  // namespace
+}  // namespace plim::arch

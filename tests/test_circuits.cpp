@@ -1,0 +1,290 @@
+#include "circuits/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mig/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace plim::circuits {
+namespace {
+
+using mig::Mig;
+
+/// Packs a 64-lane random stimulus for a bus and evaluates the network;
+/// helpers below then compare each lane against a software reference.
+struct Harness {
+  Mig m;
+  std::vector<std::uint64_t> stimulus;  // one word per PI
+
+  Bus in(unsigned width, const std::string& prefix) {
+    return input_bus(m, width, prefix);
+  }
+  void randomize(util::Rng& rng) {
+    stimulus.resize(m.num_pis());
+    for (auto& w : stimulus) {
+      w = rng.next();
+    }
+  }
+  /// Value of bus `lo..hi` PIs in a lane.
+  std::uint64_t lane_of(const std::vector<std::uint64_t>& words,
+                        std::size_t from, std::size_t count,
+                        unsigned lane) const {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      v |= ((words[from + i] >> lane) & 1) << i;
+    }
+    return v;
+  }
+};
+
+TEST(Components, AdderMatchesIntegerAddition) {
+  for (const unsigned bits : {4u, 8u, 13u}) {
+    Harness h;
+    const auto a = h.in(bits, "a");
+    const auto b = h.in(bits, "b");
+    const auto r = add(h.m, a, b, h.m.get_constant(false));
+    output_bus(h.m, r.sum, "s");
+    h.m.create_po(r.carry, "c");
+    util::Rng rng(bits);
+    h.randomize(rng);
+    const auto out = simulate_words(h.m, h.stimulus);
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      const auto va = h.lane_of(h.stimulus, 0, bits, lane);
+      const auto vb = h.lane_of(h.stimulus, bits, bits, lane);
+      const auto sum = h.lane_of(out, 0, bits + 1, lane);
+      EXPECT_EQ(sum, va + vb) << "bits " << bits << " lane " << lane;
+    }
+  }
+}
+
+TEST(Components, SubtractAndCompare) {
+  constexpr unsigned bits = 10;
+  Harness h;
+  const auto a = h.in(bits, "a");
+  const auto b = h.in(bits, "b");
+  const auto r = subtract(h.m, a, b);
+  output_bus(h.m, r.difference, "d");
+  h.m.create_po(r.no_borrow, "ge");
+  util::Rng rng(2);
+  h.randomize(rng);
+  const auto out = simulate_words(h.m, h.stimulus);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    const auto va = h.lane_of(h.stimulus, 0, bits, lane);
+    const auto vb = h.lane_of(h.stimulus, bits, bits, lane);
+    EXPECT_EQ(h.lane_of(out, 0, bits, lane), (va - vb) & 0x3ff);
+    EXPECT_EQ(h.lane_of(out, bits, 1, lane), va >= vb ? 1u : 0u);
+  }
+}
+
+TEST(Components, MultiplyMatchesIntegerProduct) {
+  for (const unsigned bits : {4u, 9u}) {
+    Harness h;
+    const auto a = h.in(bits, "a");
+    const auto b = h.in(bits, "b");
+    output_bus(h.m, multiply(h.m, a, b), "p");
+    util::Rng rng(bits * 7);
+    h.randomize(rng);
+    const auto out = simulate_words(h.m, h.stimulus);
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      const auto va = h.lane_of(h.stimulus, 0, bits, lane);
+      const auto vb = h.lane_of(h.stimulus, bits, bits, lane);
+      EXPECT_EQ(h.lane_of(out, 0, 2 * bits, lane), va * vb)
+          << bits << "/" << lane;
+    }
+  }
+}
+
+TEST(Components, DivideMatchesIntegerDivision) {
+  constexpr unsigned bits = 8;
+  Harness h;
+  const auto a = h.in(bits, "a");
+  const auto b = h.in(bits, "b");
+  const auto r = divide(h.m, a, b);
+  output_bus(h.m, r.quotient, "q");
+  output_bus(h.m, r.remainder, "r");
+  util::Rng rng(5);
+  h.randomize(rng);
+  const auto out = simulate_words(h.m, h.stimulus);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    const auto va = h.lane_of(h.stimulus, 0, bits, lane);
+    const auto vb = h.lane_of(h.stimulus, bits, bits, lane);
+    const auto q = h.lane_of(out, 0, bits, lane);
+    const auto rem = h.lane_of(out, bits, bits, lane);
+    if (vb == 0) {
+      // Hardware convention: q = all ones, remainder = a.
+      EXPECT_EQ(q, 0xffu) << lane;
+      EXPECT_EQ(rem, va) << lane;
+    } else {
+      EXPECT_EQ(q, va / vb) << lane;
+      EXPECT_EQ(rem, va % vb) << lane;
+    }
+  }
+}
+
+TEST(Components, IsqrtMatchesIntegerRoot) {
+  constexpr unsigned bits = 12;
+  Harness h;
+  const auto a = h.in(bits, "a");
+  output_bus(h.m, isqrt(h.m, a), "r");
+  util::Rng rng(6);
+  h.randomize(rng);
+  const auto out = simulate_words(h.m, h.stimulus);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    const auto va = h.lane_of(h.stimulus, 0, bits, lane);
+    std::uint64_t root = 0;
+    while ((root + 1) * (root + 1) <= va) {
+      ++root;
+    }
+    EXPECT_EQ(h.lane_of(out, 0, bits / 2, lane), root) << "x=" << va;
+  }
+}
+
+TEST(Components, PopcountMatches) {
+  for (const unsigned width : {3u, 17u, 64u}) {
+    Harness h;
+    const auto in = h.in(width, "x");
+    output_bus(h.m, popcount(h.m, in), "c");
+    util::Rng rng(width);
+    h.randomize(rng);
+    const auto out = simulate_words(h.m, h.stimulus);
+    const auto out_width = h.m.num_pos();
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      unsigned expected = 0;
+      for (unsigned i = 0; i < width; ++i) {
+        expected += (h.stimulus[i] >> lane) & 1;
+      }
+      EXPECT_EQ(h.lane_of(out, 0, out_width, lane), expected)
+          << width << "/" << lane;
+    }
+  }
+}
+
+TEST(Components, BarrelShiftVariants) {
+  constexpr unsigned bits = 16;
+  for (const auto kind : {ShiftKind::logical_left, ShiftKind::logical_right,
+                          ShiftKind::rotate_left}) {
+    Harness h;
+    const auto data = h.in(bits, "d");
+    const auto amount = h.in(4, "s");
+    output_bus(h.m, barrel_shift(h.m, data, amount, kind), "q");
+    util::Rng rng(static_cast<unsigned>(kind) + 3);
+    h.randomize(rng);
+    const auto out = simulate_words(h.m, h.stimulus);
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      const auto v = h.lane_of(h.stimulus, 0, bits, lane);
+      const auto s = h.lane_of(h.stimulus, bits, 4, lane);
+      std::uint64_t expected = 0;
+      switch (kind) {
+        case ShiftKind::logical_left:
+          expected = (v << s) & 0xffff;
+          break;
+        case ShiftKind::logical_right:
+          expected = v >> s;
+          break;
+        case ShiftKind::rotate_left:
+          expected = ((v << s) | (v >> (16 - s))) & 0xffff;
+          if (s == 0) {
+            expected = v;
+          }
+          break;
+      }
+      EXPECT_EQ(h.lane_of(out, 0, bits, lane), expected)
+          << "kind " << static_cast<int>(kind) << " s=" << s;
+    }
+  }
+}
+
+TEST(Components, PriorityEncoderBothOrders) {
+  constexpr unsigned bits = 12;
+  for (const auto order : {PriorityOrder::lsb_first, PriorityOrder::msb_first}) {
+    Harness h;
+    const auto in = h.in(bits, "x");
+    const auto enc = priority_encode(h.m, in, order);
+    output_bus(h.m, enc.index, "i");
+    h.m.create_po(enc.valid, "v");
+    util::Rng rng(static_cast<unsigned>(order) + 8);
+    h.randomize(rng);
+    const auto out = simulate_words(h.m, h.stimulus);
+    const auto index_width = enc.index.size();
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      const auto v = h.lane_of(h.stimulus, 0, bits, lane);
+      const bool valid = v != 0;
+      EXPECT_EQ(h.lane_of(out, index_width, 1, lane), valid ? 1u : 0u);
+      if (valid) {
+        unsigned expected = 0;
+        if (order == PriorityOrder::lsb_first) {
+          while (((v >> expected) & 1) == 0) {
+            ++expected;
+          }
+        } else {
+          for (unsigned i = 0; i < bits; ++i) {
+            if ((v >> i) & 1) {
+              expected = i;
+            }
+          }
+        }
+        EXPECT_EQ(h.lane_of(out, 0, index_width, lane), expected);
+      }
+    }
+  }
+}
+
+TEST(Components, DecoderIsOneHot) {
+  Harness h;
+  const auto addr = h.in(5, "a");
+  output_bus(h.m, decode(h.m, addr), "d");
+  util::Rng rng(4);
+  h.randomize(rng);
+  const auto out = simulate_words(h.m, h.stimulus);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    const auto a = h.lane_of(h.stimulus, 0, 5, lane);
+    for (unsigned i = 0; i < 32; ++i) {
+      EXPECT_EQ((out[i] >> lane) & 1, i == a ? 1u : 0u);
+    }
+  }
+}
+
+TEST(Components, MuxAndReductions) {
+  Harness h;
+  const auto a = h.in(6, "a");
+  const auto b = h.in(6, "b");
+  const auto sel = h.m.create_pi("s");
+  output_bus(h.m, mux_bus(h.m, sel, a, b), "m");
+  h.m.create_po(reduce_or(h.m, a), "or");
+  h.m.create_po(reduce_and(h.m, a), "and");
+  h.m.create_po(reduce_xor(h.m, a), "xor");
+  h.m.create_po(equals(h.m, a, b), "eq");
+  util::Rng rng(9);
+  h.randomize(rng);
+  const auto out = simulate_words(h.m, h.stimulus);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    const auto va = h.lane_of(h.stimulus, 0, 6, lane);
+    const auto vb = h.lane_of(h.stimulus, 6, 6, lane);
+    const bool vs = (h.stimulus[12] >> lane) & 1;
+    EXPECT_EQ(h.lane_of(out, 0, 6, lane), vs ? va : vb);
+    EXPECT_EQ((out[6] >> lane) & 1, va != 0 ? 1u : 0u);
+    EXPECT_EQ((out[7] >> lane) & 1, va == 63 ? 1u : 0u);
+    EXPECT_EQ((out[8] >> lane) & 1,
+              static_cast<unsigned>(__builtin_popcountll(va)) % 2);
+    EXPECT_EQ((out[9] >> lane) & 1, va == vb ? 1u : 0u);
+  }
+}
+
+TEST(Components, NativeMajVariantIsSmallerAndEquivalent) {
+  Mig aoig;
+  Mig native;
+  for (auto* net : {&aoig, &native}) {
+    const bool use_native = net == &native;
+    const auto a = input_bus(*net, 8, "a");
+    const auto b = input_bus(*net, 8, "b");
+    const auto r = add(*net, a, b, net->get_constant(false), use_native);
+    output_bus(*net, r.sum, "s");
+    net->create_po(r.carry, "c");
+  }
+  EXPECT_LT(native.num_gates(), aoig.num_gates());
+  util::Rng rng(10);
+  EXPECT_TRUE(mig::random_equivalence_check(aoig, native, 16, rng));
+}
+
+}  // namespace
+}  // namespace plim::circuits

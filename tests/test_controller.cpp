@@ -1,0 +1,142 @@
+#include "arch/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hpp"
+#include "circuits/motivation.hpp"
+#include "core/compiler.hpp"
+#include "mig/random.hpp"
+#include "mig/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace plim::arch {
+namespace {
+
+Program small_program() {
+  Program p;
+  const auto a = p.add_input("a");
+  const auto b = p.add_input("b");
+  p.append(Operand::constant(false), Operand::constant(true), 0);  // X1 ← 0
+  p.append(Operand::input(a), Operand::constant(false), 0);        // X1 ← a
+  p.append(Operand::input(b), Operand::constant(true), 0);         // X1 ← a∧b
+  p.add_output("f", 0);
+  return p;
+}
+
+TEST(Controller, OperandEncodingRoundTrips) {
+  const auto check = [](Operand a, Operand b) {
+    const auto word = Controller::encode_operands(a, b);
+    Program p;
+    p.add_input("x");
+    p.append(a, b, 0);
+    Controller c(p);
+    EXPECT_EQ(c.instruction_word(0), word);
+  };
+  check(Operand::constant(false), Operand::constant(true));
+  check(Operand::input(0), Operand::rram(12345));
+  check(Operand::rram(0), Operand::input(0));
+}
+
+TEST(Controller, IdleUntilLimEnabled) {
+  const auto p = small_program();
+  Controller c(p);
+  EXPECT_EQ(c.state(), Controller::State::idle);
+  EXPECT_FALSE(c.step());
+  EXPECT_EQ(c.cycles(), 0u);
+}
+
+TEST(Controller, RamModeReadsAndWrites) {
+  const auto p = small_program();
+  Controller c(p);
+  c.write_cell(0, true);
+  EXPECT_TRUE(c.read_cell(0));
+  c.write_cell(0, false);
+  EXPECT_FALSE(c.read_cell(0));
+  c.set_lim_enable(true);
+  EXPECT_THROW(c.write_cell(0, true), std::logic_error);
+}
+
+TEST(Controller, FsmPhasesAreFourCyclesPerInstruction) {
+  const auto p = small_program();
+  Controller c(p);
+  c.set_inputs({true, true});
+  c.set_lim_enable(true);
+  // fetch → read_a → read_b → write_back, three times, plus the final
+  // fetch that discovers the end of the program.
+  const auto out = c.run_to_halt();
+  EXPECT_EQ(out, std::vector<bool>{true});
+  EXPECT_EQ(c.cycles(), 3 * 4 + 1);
+  EXPECT_EQ(c.state(), Controller::State::halted);
+}
+
+TEST(Controller, StepByStepStateSequence) {
+  const auto p = small_program();
+  Controller c(p);
+  c.set_inputs({false, false});
+  c.set_lim_enable(true);
+  using S = Controller::State;
+  const S expected[] = {S::read_a, S::read_b, S::write_back, S::fetch};
+  for (const auto s : expected) {
+    ASSERT_TRUE(c.step());
+    EXPECT_EQ(c.state(), s);
+  }
+  EXPECT_EQ(c.pc(), 1u);
+}
+
+TEST(Controller, MatchesFunctionalMachineOnCompiledPrograms) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto m = mig::random_mig({6, 50, 4, 35, 30}, seed);
+    const auto r = core::compile(m);
+    Machine machine;
+    util::Rng rng(seed);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<bool> in(m.num_pis());
+      for (auto&& bit : in) {
+        bit = rng.flip();
+      }
+      std::vector<bool> initial(r.program.num_rrams());
+      for (auto&& bit : initial) {
+        bit = rng.flip();
+      }
+      const auto expect = machine.run(r.program, in, initial);
+      Controller c(r.program);
+      const auto got = c.execute(in, initial);
+      ASSERT_EQ(got, expect) << "seed " << seed << " round " << round;
+    }
+  }
+}
+
+TEST(Controller, CycleCountAgreesWithMachineModel) {
+  const auto m = circuits::make_fig3b();
+  const auto r = core::compile(m);
+  Controller c(r.program);
+  (void)c.execute(std::vector<bool>(m.num_pis(), false));
+  Machine machine;
+  (void)machine.run(r.program, std::vector<bool>(m.num_pis(), false));
+  // Controller pays one extra fetch to discover the halt.
+  EXPECT_EQ(c.cycles(), machine.cycles() + 1);
+}
+
+TEST(Controller, WriteCountsMatchMachine) {
+  const auto m = circuits::make_fig3a();
+  const auto r = core::compile(m);
+  Controller c(r.program);
+  (void)c.execute({true, false, true, false});
+  Machine machine;
+  (void)machine.run(r.program, {true, false, true, false});
+  EXPECT_EQ(c.write_counts(), machine.write_counts());
+}
+
+TEST(Controller, DisablingLimStopsExecution) {
+  const auto p = small_program();
+  Controller c(p);
+  c.set_inputs({true, true});
+  c.set_lim_enable(true);
+  ASSERT_TRUE(c.step());
+  c.set_lim_enable(false);
+  EXPECT_EQ(c.state(), Controller::State::idle);
+  EXPECT_FALSE(c.step());
+}
+
+}  // namespace
+}  // namespace plim::arch

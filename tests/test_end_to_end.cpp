@@ -1,0 +1,97 @@
+/// End-to-end property sweep: for a grid of random networks and option
+/// combinations, the full pipeline (rewrite → compile → execute on the
+/// PLiM machine with random initial memory) must reproduce the original
+/// function exactly, and basic resource invariants must hold.
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hpp"
+#include "core/compiler.hpp"
+#include "core/verify.hpp"
+#include "mig/random.hpp"
+#include "mig/rewriting.hpp"
+#include "mig/simulation.hpp"
+
+namespace plim::core {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  bool smart;
+  AllocationPolicy policy;
+};
+
+class EndToEnd : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EndToEnd, RewriteCompileExecute) {
+  const auto [seed, smart, policy] = GetParam();
+  const auto m = mig::random_mig({7, 120, 6, 35, 30}, seed);
+  const auto rewritten = mig::rewrite_for_plim(m);
+
+  util::Rng rng(seed ^ 0xabcd);
+  ASSERT_TRUE(mig::random_equivalence_check(m, rewritten, 8, rng))
+      << "rewriting broke seed " << seed;
+
+  CompileOptions opts;
+  opts.smart_candidates = smart;
+  opts.allocation = policy;
+  const auto r = compile(rewritten, opts);
+
+  // Resource invariants.
+  EXPECT_EQ(r.stats.num_rrams, r.program.num_rrams());
+  EXPECT_LE(r.stats.peak_live_rrams, r.stats.num_rrams);
+  if (policy != AllocationPolicy::fresh) {
+    // Every gate contributes at least one RM3; preparation instructions
+    // are bounded by 6 per gate plus PO materialization.
+    EXPECT_GE(r.stats.num_instructions, r.stats.num_gates);
+    EXPECT_LE(r.stats.num_instructions,
+              7u * r.stats.num_gates + 2u * rewritten.num_pos() + 2u);
+  }
+
+  const auto v = verify_program(rewritten, r.program, 6, seed);
+  EXPECT_TRUE(v.ok) << v.message << " seed " << seed;
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const bool smart : {false, true}) {
+      for (const auto policy :
+           {AllocationPolicy::fifo, AllocationPolicy::lifo,
+            AllocationPolicy::fresh}) {
+        cases.push_back({seed, smart, policy});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EndToEnd, ::testing::ValuesIn(make_cases()));
+
+TEST(EndToEndEndurance, FifoSpreadsWritesComparedToLifo) {
+  // Compile the same network twice and execute many batches: FIFO reuse
+  // must not wear a single cell harder than LIFO's worst cell.
+  const auto m = mig::random_mig({8, 200, 4, 35, 30}, 77);
+  std::uint64_t max_fifo = 0;
+  std::uint64_t max_lifo = 0;
+  for (const auto policy : {AllocationPolicy::fifo, AllocationPolicy::lifo}) {
+    CompileOptions opts;
+    opts.allocation = policy;
+    const auto r = compile(m, opts);
+    arch::Machine machine;
+    util::Rng rng(3);
+    std::vector<std::uint64_t> in(m.num_pis());
+    for (int batch = 0; batch < 4; ++batch) {
+      for (auto& w : in) {
+        w = rng.next();
+      }
+      (void)machine.run_words(r.program, in);
+    }
+    const auto max_writes = machine.endurance().max;
+    (policy == AllocationPolicy::fifo ? max_fifo : max_lifo) = max_writes;
+  }
+  EXPECT_LE(max_fifo, max_lifo);
+}
+
+}  // namespace
+}  // namespace plim::core

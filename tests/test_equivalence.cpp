@@ -1,0 +1,136 @@
+#include "sat/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/epfl.hpp"
+#include "mig/random.hpp"
+#include "mig/rewriting.hpp"
+#include "mig/simulation.hpp"
+#include "sat/cnf.hpp"
+
+namespace plim::sat {
+namespace {
+
+using mig::Mig;
+
+TEST(Encoder, MajClausesBehave) {
+  Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto c = m.create_pi();
+  m.create_po(m.create_maj(a, !b, c), "f");
+
+  Solver solver;
+  const MigEncoder enc(solver, m);
+  // Check all 8 input assignments by assumption.
+  for (unsigned v = 0; v < 8; ++v) {
+    const bool va = v & 1;
+    const bool vb = (v >> 1) & 1;
+    const bool vc = (v >> 2) & 1;
+    const bool expected = (va && !vb) || (va && vc) || (!vb && vc);
+    const std::vector<Lit> assumptions{
+        Lit(enc.pi_var(0), !va), Lit(enc.pi_var(1), !vb),
+        Lit(enc.pi_var(2), !vc),
+        expected ? ~enc.po_lit(0) : enc.po_lit(0)};
+    EXPECT_EQ(solver.solve(assumptions), Result::unsat) << v;
+  }
+}
+
+TEST(Equivalence, AcceptsDeMorgan) {
+  Mig a;
+  {
+    const auto x = a.create_pi();
+    const auto y = a.create_pi();
+    a.create_po(a.create_and(x, y), "f");
+  }
+  Mig b;
+  {
+    const auto x = b.create_pi();
+    const auto y = b.create_pi();
+    b.create_po(!b.create_or(!x, !y), "f");
+  }
+  const auto report = check_equivalence(a, b);
+  EXPECT_EQ(report.verdict, Equivalence::equivalent);
+}
+
+TEST(Equivalence, RefutesWithValidCounterexample) {
+  Mig a;
+  {
+    const auto x = a.create_pi();
+    const auto y = a.create_pi();
+    a.create_po(a.create_and(x, y), "f");
+    a.create_po(a.create_or(x, y), "g");
+  }
+  Mig b;
+  {
+    const auto x = b.create_pi();
+    const auto y = b.create_pi();
+    b.create_po(b.create_and(x, y), "f");
+    b.create_po(b.create_xor(x, y), "g");  // differs when x = y = 1
+  }
+  const auto report = check_equivalence(a, b);
+  ASSERT_EQ(report.verdict, Equivalence::inequivalent);
+  ASSERT_TRUE(report.counterexample.has_value());
+  const auto& cex = *report.counterexample;
+  const auto oa = mig::simulate_vector(a, cex);
+  const auto ob = mig::simulate_vector(b, cex);
+  EXPECT_NE(oa[report.failing_output], ob[report.failing_output]);
+}
+
+TEST(Equivalence, SatPhaseCatchesRareDifference) {
+  // Functions differing in exactly one minterm of 16 variables: random
+  // simulation virtually never finds it, SAT must.
+  Mig a;
+  Mig b;
+  {
+    std::vector<mig::Signal> xs;
+    for (int i = 0; i < 16; ++i) {
+      xs.push_back(a.create_pi());
+    }
+    mig::Signal all = a.get_constant(true);
+    for (const auto x : xs) {
+      all = a.create_and(all, x);
+    }
+    a.create_po(all, "f");
+  }
+  {
+    for (int i = 0; i < 16; ++i) {
+      (void)b.create_pi();
+    }
+    b.create_po(b.get_constant(false), "f");
+  }
+  EquivalenceOptions opts;
+  opts.random_rounds = 2;  // make random refutation overwhelmingly unlikely
+  opts.seed = 1;
+  const auto report = check_equivalence(a, b, opts);
+  ASSERT_EQ(report.verdict, Equivalence::inequivalent);
+  ASSERT_TRUE(report.counterexample.has_value());
+  for (const bool bit : *report.counterexample) {
+    EXPECT_TRUE(bit);  // the single differing minterm is all-ones
+  }
+}
+
+class RewriteEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RewriteEquivalence, SatConfirmsRewriting) {
+  const auto m = mig::random_mig({8, 80, 5, 35, 35}, GetParam());
+  const auto r = mig::rewrite_for_plim(m);
+  const auto report = check_equivalence(m, r);
+  EXPECT_EQ(report.verdict, Equivalence::equivalent) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Equivalence, BenchmarkRewriteSat) {
+  // Full SAT equivalence on small real circuits.
+  for (const char* name : {"ctrl", "cavlc", "int2float", "router"}) {
+    const auto m = circuits::build_benchmark(name);
+    const auto r = mig::rewrite_for_plim(m);
+    const auto report = check_equivalence(m, r);
+    EXPECT_EQ(report.verdict, Equivalence::equivalent) << name;
+  }
+}
+
+}  // namespace
+}  // namespace plim::sat

@@ -1,0 +1,85 @@
+#include "expr/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mig/simulation.hpp"
+
+namespace plim::expr {
+namespace {
+
+bool eval(const std::string& text, const std::vector<bool>& inputs) {
+  const auto m = build_from_expression(text);
+  return mig::simulate_vector(m, inputs)[0];
+}
+
+TEST(Parser, Constants) {
+  EXPECT_FALSE(eval("0", {}));
+  EXPECT_TRUE(eval("1", {}));
+}
+
+TEST(Parser, PrecedenceAndOverXorOverOr) {
+  // a | b ^ c & d parses as a | (b ^ (c & d)).
+  EXPECT_TRUE(eval("a | b ^ c & d", {true, false, false, false}));
+  EXPECT_TRUE(eval("a | b ^ c & d", {false, true, false, false}));
+  EXPECT_FALSE(eval("a | b ^ c & d", {false, true, true, true}));
+  EXPECT_TRUE(eval("a | b ^ c & d", {false, false, true, true}));
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  EXPECT_FALSE(eval("(a | b) & c", {true, false, false}));
+  EXPECT_TRUE(eval("(a | b) & c", {true, false, true}));
+}
+
+TEST(Parser, NegationBindsTightly) {
+  EXPECT_TRUE(eval("!a & b", {false, true}));
+  EXPECT_FALSE(eval("!(a & b)", {true, true}));
+  EXPECT_TRUE(eval("~~a", {true}));
+}
+
+TEST(Parser, MajIteXor3Functions) {
+  for (unsigned v = 0; v < 8; ++v) {
+    const std::vector<bool> in{(v & 1) != 0, (v & 2) != 0, (v & 4) != 0};
+    const bool a = in[0];
+    const bool b = in[1];
+    const bool c = in[2];
+    EXPECT_EQ(eval("maj(a,b,c)", in), (a && b) || (a && c) || (b && c)) << v;
+    EXPECT_EQ(eval("ite(a,b,c)", in), a ? b : c) << v;
+    EXPECT_EQ(eval("xor3(a,b,c)", in), a ^ b ^ c) << v;
+  }
+}
+
+TEST(Parser, IdentifiersAreSharedByName) {
+  const auto m = build_from_expression("a & (a | b)");
+  EXPECT_EQ(m.num_pis(), 2u);
+}
+
+TEST(Parser, InputOrderIsFirstAppearance) {
+  const auto m = build_from_expression("zeta & alpha");
+  EXPECT_EQ(m.pi_name(0), "zeta");
+  EXPECT_EQ(m.pi_name(1), "alpha");
+}
+
+TEST(Parser, ReusesExistingNetworkInputs) {
+  mig::Mig m;
+  (void)m.create_pi("x");
+  const auto f = parse_expression(m, "x | y");
+  m.create_po(f, "f");
+  EXPECT_EQ(m.num_pis(), 2u);
+  EXPECT_EQ(m.pi_name(0), "x");
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  EXPECT_THROW((void)build_from_expression(""), ParseError);
+  EXPECT_THROW((void)build_from_expression("a &"), ParseError);
+  EXPECT_THROW((void)build_from_expression("(a | b"), ParseError);
+  EXPECT_THROW((void)build_from_expression("a b"), ParseError);
+  EXPECT_THROW((void)build_from_expression("maj(a, b)"), ParseError);
+  EXPECT_THROW((void)build_from_expression("a $ b"), ParseError);
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  EXPECT_TRUE(eval("  a\t&\n b ", {true, true}));
+}
+
+}  // namespace
+}  // namespace plim::expr

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/epfl.hpp"
+#include "expr/parser.hpp"
+#include "io/blif.hpp"
+#include "io/dot.hpp"
+#include "io/verilog.hpp"
+#include "mig/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace plim::io {
+namespace {
+
+TEST(Blif, RoundTripPreservesFunction) {
+  const auto m =
+      expr::build_from_expression("maj(a, b & c, !d) ^ (a | !c)", "f");
+  const auto text = to_blif(m, "demo");
+  const auto back = read_blif_text(text);
+  EXPECT_EQ(back.num_pis(), m.num_pis());
+  EXPECT_EQ(back.num_pos(), m.num_pos());
+  const auto ta = mig::simulate_truth_tables(m);
+  const auto tb = mig::simulate_truth_tables(back);
+  EXPECT_EQ(ta[0], tb[0]);
+}
+
+TEST(Blif, RoundTripOnBenchmark) {
+  const auto m = circuits::build_benchmark("cavlc");
+  const auto back = read_blif_text(to_blif(m));
+  util::Rng rng(2);
+  EXPECT_TRUE(mig::random_equivalence_check(m, back, 16, rng));
+}
+
+TEST(Blif, HandlesConstantsAndComplementedOutputs) {
+  mig::Mig m;
+  const auto a = m.create_pi("a");
+  m.create_po(m.get_constant(true), "one");
+  m.create_po(m.get_constant(false), "zero");
+  m.create_po(!a, "na");
+  const auto back = read_blif_text(to_blif(m));
+  EXPECT_EQ(mig::simulate_vector(back, {true}),
+            (std::vector<bool>{true, false, false}));
+  EXPECT_EQ(mig::simulate_vector(back, {false}),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST(Blif, ReaderRejectsMalformedInput) {
+  EXPECT_THROW((void)read_blif_text(".model x\n.latch a b\n.end\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)read_blif_text(".model x\n.outputs f\n.end\n"),  // undriven
+      std::runtime_error);
+  EXPECT_THROW((void)read_blif_text(".model x\n.inputs a\n.outputs f\n"
+                                    ".names a f\n1- 1\n.end\n"),
+               std::runtime_error);
+}
+
+TEST(Blif, ReaderSynthesizesCovers) {
+  // Two-row cover: f = a·b̄ + ā·b (XOR).
+  const auto m = read_blif_text(
+      ".model x\n.inputs a b\n.outputs f\n"
+      ".names a b f\n10 1\n01 1\n.end\n");
+  EXPECT_EQ(mig::simulate_vector(m, {false, false})[0], false);
+  EXPECT_EQ(mig::simulate_vector(m, {true, false})[0], true);
+  EXPECT_EQ(mig::simulate_vector(m, {false, true})[0], true);
+  EXPECT_EQ(mig::simulate_vector(m, {true, true})[0], false);
+}
+
+TEST(Blif, OffSetCoverIsComplemented) {
+  // f defined by its off-set: f = 0 exactly when a = 1, b = 0.
+  const auto m = read_blif_text(
+      ".model x\n.inputs a b\n.outputs f\n"
+      ".names a b f\n10 0\n.end\n");
+  EXPECT_EQ(mig::simulate_vector(m, {true, false})[0], false);
+  EXPECT_EQ(mig::simulate_vector(m, {false, false})[0], true);
+  EXPECT_EQ(mig::simulate_vector(m, {true, true})[0], true);
+}
+
+TEST(Verilog, EmitsStructuralNetlist) {
+  const auto m = expr::build_from_expression("(a & b) | !c", "out");
+  const auto text = to_verilog(m, "unit");
+  EXPECT_NE(text.find("module unit"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  EXPECT_NE(text.find("input a;"), std::string::npos);
+  EXPECT_NE(text.find("output out;"), std::string::npos);
+  // One assign per gate plus one per PO.
+  std::size_t assigns = 0;
+  for (std::size_t pos = text.find("assign"); pos != std::string::npos;
+       pos = text.find("assign", pos + 1)) {
+    ++assigns;
+  }
+  EXPECT_EQ(assigns, m.num_gates() + m.num_pos());
+}
+
+TEST(Verilog, SanitizesAwkwardNames) {
+  mig::Mig m;
+  const auto a = m.create_pi("3bad-name");
+  m.create_po(a, "also bad");
+  const auto text = to_verilog(m);
+  EXPECT_EQ(text.find("3bad-name"), std::string::npos);
+  EXPECT_NE(text.find("s3bad_name"), std::string::npos);
+  EXPECT_NE(text.find("also_bad"), std::string::npos);
+}
+
+TEST(Dot, RendersEdgesWithComplementStyle) {
+  mig::Mig m;
+  const auto a = m.create_pi("a");
+  const auto b = m.create_pi("b");
+  const auto g = m.create_and(!a, b);
+  m.create_po(g, "f");
+  const auto text = to_dot(m);
+  EXPECT_NE(text.find("digraph mig"), std::string::npos);
+  EXPECT_NE(text.find("style=dashed"), std::string::npos);
+  EXPECT_NE(text.find("shape=invtriangle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plim::io

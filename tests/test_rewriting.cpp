@@ -1,0 +1,192 @@
+#include "mig/rewriting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.hpp"
+#include "mig/random.hpp"
+#include "mig/simulation.hpp"
+
+namespace plim::mig {
+namespace {
+
+/// Exhaustive (truth-table) equivalence for small networks.
+bool tt_equivalent(const Mig& a, const Mig& b) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+    return false;
+  }
+  const auto ta = simulate_truth_tables(a);
+  const auto tb = simulate_truth_tables(b);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    if (!(ta[i] == tb[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PassSize, MergesDistributivePattern) {
+  // (x∧y) ∨ (x∧z) = x ∧ (y∨z): Ω.D right-to-left saves one node.
+  const auto m = expr::build_from_expression("(x & y) | (x & z)");
+  EXPECT_EQ(m.num_gates(), 3u);
+  const auto r = pass_size(m);
+  EXPECT_EQ(r.num_gates(), 2u);
+  EXPECT_TRUE(tt_equivalent(m, r));
+}
+
+TEST(PassSize, HandsOffWhenInnerGatesShared) {
+  // Both AND gates feed a second output, so merging would not shrink the
+  // network; the pass must keep the function either way.
+  Mig m;
+  const auto x = m.create_pi("x");
+  const auto y = m.create_pi("y");
+  const auto z = m.create_pi("z");
+  const auto a1 = m.create_and(x, y);
+  const auto a2 = m.create_and(x, z);
+  m.create_po(m.create_or(a1, a2), "f");
+  m.create_po(m.create_xor(a1, a2), "g");
+  const auto r = pass_size(m);
+  EXPECT_TRUE(tt_equivalent(m, r));
+}
+
+TEST(PassSize, MergesComplementedSharedPair) {
+  // ⟨āb̄z⟩-style sharing through complemented gate edges (the virtual
+  // fanin view): ¬(x∧y) ∧ ¬(x∧... keeps function.
+  const auto m = expr::build_from_expression("!(x & y) & !(x & z)");
+  const auto r = pass_size(m);
+  EXPECT_TRUE(tt_equivalent(m, r));
+  EXPECT_LE(r.num_gates(), m.num_gates());
+}
+
+TEST(PassInverters, FinalPassRemovesAllComplementedTriples) {
+  Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto c = m.create_pi();
+  m.create_po(m.create_maj(!a, !b, !c), "f");
+  EXPECT_EQ(count_multi_complement(m), 1u);
+  const auto r = pass_inverters(m, /*conditional=*/false);
+  EXPECT_EQ(count_multi_complement(r), 0u);
+  EXPECT_TRUE(tt_equivalent(m, r));
+}
+
+TEST(PassInverters, ConditionalFlipRespectsFanoutTargets) {
+  // N1 = ⟨i1 ī2 ī3⟩ feeding N2 = ⟨i2 ī4 N̄1⟩: flipping N1 is profitable
+  // because it also removes N2's second complement (Fig. 3(a)).
+  Mig m;
+  const auto i1 = m.create_pi();
+  const auto i2 = m.create_pi();
+  const auto i3 = m.create_pi();
+  const auto i4 = m.create_pi();
+  const auto n1 = m.create_maj(i1, !i2, !i3);
+  const auto n2 = m.create_maj(i2, !i4, !n1);
+  m.create_po(n2, "f");
+  const auto r = pass_inverters(m, /*conditional=*/true);
+  EXPECT_EQ(count_multi_complement(r), 0u);
+  EXPECT_TRUE(tt_equivalent(m, r));
+}
+
+TEST(PassInverters, ConditionalKeepsUnprofitableFlip) {
+  // A 2-complement gate whose three fanout gates each hold exactly one
+  // complemented fanin: flipping would give all three a second
+  // complement (3 × +1 versus −2), so the conditional pass must not flip.
+  Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto c = m.create_pi();
+  const auto d = m.create_pi();
+  const auto g = m.create_maj(!a, !b, c);
+  const auto p1 = m.create_maj(g, !d, a);
+  const auto p2 = m.create_maj(g, !d, b);
+  const auto p3 = m.create_maj(g, !d, c);
+  m.create_po(p1, "f1");
+  m.create_po(p2, "f2");
+  m.create_po(p3, "f3");
+  const auto r = pass_inverters(m, /*conditional=*/true);
+  EXPECT_EQ(count_multi_complement(r), 1u);  // g kept as-is
+  EXPECT_TRUE(tt_equivalent(m, r));
+}
+
+TEST(PassReshape, PreservesFunctionOnRandomNetworks) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto m = random_mig({6, 50, 4, 35, 35}, seed);
+    const auto r = pass_reshape(m);
+    EXPECT_TRUE(tt_equivalent(m, r)) << "seed " << seed;
+    EXPECT_LE(r.num_gates(), m.num_gates()) << "seed " << seed;
+  }
+}
+
+class RewriteProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RewriteProperty, FullRewritePreservesFunction) {
+  const auto seed = GetParam();
+  const auto m = random_mig({7, 80, 5, 35, 35}, seed);
+  RewriteStats stats;
+  const auto r = rewrite_for_plim(m, {}, &stats);
+  EXPECT_TRUE(tt_equivalent(m, r)) << "seed " << seed;
+  EXPECT_LE(stats.gates_after, stats.gates_before) << "seed " << seed;
+  EXPECT_LE(stats.multi_complement_after, stats.multi_complement_before)
+      << "seed " << seed;
+}
+
+TEST_P(RewriteProperty, RuleGroupsAreIndividuallySound) {
+  const auto seed = GetParam();
+  const auto m = random_mig({6, 60, 4, 40, 30}, seed);
+  for (const bool size_rules : {false, true}) {
+    for (const bool reshaping : {false, true}) {
+      for (const bool inverters : {false, true}) {
+        RewriteOptions opts;
+        opts.effort = 2;
+        opts.size_rules = size_rules;
+        opts.reshaping = reshaping;
+        opts.inverter_rules = inverters;
+        const auto r = rewrite_for_plim(m, opts);
+        ASSERT_TRUE(tt_equivalent(m, r))
+            << "seed " << seed << " size=" << size_rules
+            << " reshape=" << reshaping << " inv=" << inverters;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Rewrite, EffortZeroOnlyCleans) {
+  const auto m = random_mig({5, 30, 3, 30, 30}, 7);
+  RewriteOptions opts;
+  opts.effort = 0;
+  const auto r = rewrite_for_plim(m, opts);
+  EXPECT_TRUE(tt_equivalent(m, r));
+}
+
+TEST(Rewrite, IsIdempotentAfterConvergence) {
+  const auto m = random_mig({6, 60, 4, 35, 35}, 13);
+  RewriteOptions opts;
+  opts.effort = 4;
+  const auto r1 = rewrite_for_plim(m, opts);
+  const auto r2 = rewrite_for_plim(r1, opts);
+  EXPECT_EQ(r2.num_gates(), r1.num_gates());
+  EXPECT_EQ(count_multi_complement(r2), count_multi_complement(r1));
+}
+
+TEST(Rewrite, StatsReportBeforeAndAfter) {
+  const auto m = expr::build_from_expression("(x & y) | (x & z)");
+  RewriteStats stats;
+  (void)rewrite_for_plim(m, {}, &stats);
+  EXPECT_EQ(stats.gates_before, 3u);
+  EXPECT_EQ(stats.gates_after, 2u);
+  EXPECT_EQ(stats.depth_before, 2u);
+}
+
+TEST(Rewrite, HandlesConstantAndPassThroughOutputs) {
+  Mig m;
+  const auto a = m.create_pi("a");
+  m.create_po(m.get_constant(true), "one");
+  m.create_po(a, "id");
+  m.create_po(!a, "not");
+  const auto r = rewrite_for_plim(m);
+  EXPECT_TRUE(tt_equivalent(m, r));
+}
+
+}  // namespace
+}  // namespace plim::mig

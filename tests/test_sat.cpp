@@ -1,0 +1,201 @@
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace plim::sat {
+namespace {
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Result::sat);
+}
+
+TEST(Solver, UnitClausesPropagate) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  EXPECT_TRUE(s.add_clause(Lit(a, false)));
+  EXPECT_TRUE(s.add_clause(Lit(a, true), Lit(b, false)));
+  ASSERT_EQ(s.solve(), Result::sat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Solver, ContradictoryUnitsAreUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_clause(Lit(a, false)));
+  EXPECT_FALSE(s.add_clause(Lit(a, true)));
+  EXPECT_EQ(s.solve(), Result::unsat);
+}
+
+TEST(Solver, EmptyClauseIsUnsat) {
+  Solver s;
+  (void)s.new_var();
+  EXPECT_FALSE(s.add_clause(std::vector<Lit>{}));
+  EXPECT_EQ(s.solve(), Result::unsat);
+}
+
+TEST(Solver, TautologyAndDuplicatesAreHandled) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  EXPECT_TRUE(
+      s.add_clause(std::vector<Lit>{Lit(a, false), Lit(a, true)}));  // taut
+  EXPECT_TRUE(s.add_clause(
+      std::vector<Lit>{Lit(b, false), Lit(b, false), Lit(b, false)}));
+  ASSERT_EQ(s.solve(), Result::sat);
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Solver, SimpleBacktracking) {
+  // (a ∨ b)(¬a ∨ b)(a ∨ ¬b) forces a = b = true.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  EXPECT_TRUE(s.add_clause(Lit(a, false), Lit(b, false)));
+  EXPECT_TRUE(s.add_clause(Lit(a, true), Lit(b, false)));
+  EXPECT_TRUE(s.add_clause(Lit(a, false), Lit(b, true)));
+  ASSERT_EQ(s.solve(), Result::sat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Solver, PigeonholeThreeIntoTwoIsUnsat) {
+  // PHP(3,2): 3 pigeons, 2 holes; classic small UNSAT instance that
+  // needs real conflict analysis.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p) {
+    for (auto& v : row) {
+      v = s.new_var();
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(s.add_clause(Lit(p[i][0], false), Lit(p[i][1], false)));
+  }
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        EXPECT_TRUE(s.add_clause(Lit(p[i][h], true), Lit(p[j][h], true)));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::unsat);
+}
+
+TEST(Solver, AssumptionsRestrictWithoutCommitting) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  EXPECT_TRUE(s.add_clause(Lit(a, false), Lit(b, false)));  // a ∨ b
+  EXPECT_EQ(s.solve({Lit(a, true)}), Result::sat);          // ¬a → b
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_EQ(s.solve({Lit(a, true), Lit(b, true)}), Result::unsat);
+  // The solver must stay usable and unconstrained afterwards.
+  EXPECT_EQ(s.solve({Lit(a, false)}), Result::sat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(Solver, ConflictLimitYieldsUnknown) {
+  // PHP(6,5) is hard enough to exceed a one-conflict budget.
+  Solver s;
+  constexpr int n = 6;
+  std::vector<std::vector<Var>> p(n, std::vector<Var>(n - 1));
+  for (auto& row : p) {
+    for (auto& v : row) {
+      v = s.new_var();
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < n - 1; ++h) {
+      clause.emplace_back(p[i][h], false);
+    }
+    EXPECT_TRUE(s.add_clause(clause));
+  }
+  for (int h = 0; h < n - 1; ++h) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        EXPECT_TRUE(s.add_clause(Lit(p[i][h], true), Lit(p[j][h], true)));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve({}, 1), Result::unknown);
+  EXPECT_EQ(s.solve({}, 0), Result::unsat);  // unlimited finishes it
+}
+
+/// Brute-force model checker for random CNF cross-validation.
+bool brute_force_sat(int num_vars,
+                     const std::vector<std::vector<Lit>>& clauses) {
+  for (unsigned assignment = 0; assignment < (1u << num_vars); ++assignment) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (const Lit l : clause) {
+        const bool value = ((assignment >> l.var()) & 1) != 0;
+        if (value != l.negated()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class RandomCnf : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCnf, AgreesWithBruteForce) {
+  util::Rng rng(GetParam());
+  constexpr int num_vars = 10;
+  const int num_clauses = 30 + static_cast<int>(rng.below(25));
+  Solver s;
+  for (int i = 0; i < num_vars; ++i) {
+    (void)s.new_var();
+  }
+  std::vector<std::vector<Lit>> clauses;
+  bool consistent = true;
+  for (int i = 0; i < num_clauses; ++i) {
+    std::vector<Lit> clause;
+    const int len = 1 + static_cast<int>(rng.below(3));
+    for (int k = 0; k < len; ++k) {
+      clause.emplace_back(static_cast<Var>(rng.below(num_vars)), rng.flip());
+    }
+    clauses.push_back(clause);
+    consistent = s.add_clause(clause) && consistent;
+  }
+  const bool expected = brute_force_sat(num_vars, clauses);
+  const auto got = consistent ? s.solve() : Result::unsat;
+  EXPECT_EQ(got == Result::sat, expected) << "seed " << GetParam();
+  if (got == Result::sat) {
+    // The produced model must actually satisfy every clause.
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (const Lit l : clause) {
+        if (s.model_value(l.var()) != l.negated()) {
+          any = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(any) << "model violates a clause, seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnf,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace plim::sat

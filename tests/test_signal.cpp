@@ -1,0 +1,59 @@
+#include "mig/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace plim::mig {
+namespace {
+
+TEST(Signal, DefaultIsConstantZero) {
+  const Signal s;
+  EXPECT_EQ(s.index(), 0u);
+  EXPECT_FALSE(s.complemented());
+}
+
+TEST(Signal, RoundTripsIndexAndComplement) {
+  const Signal s(42, true);
+  EXPECT_EQ(s.index(), 42u);
+  EXPECT_TRUE(s.complemented());
+  const Signal t(42, false);
+  EXPECT_EQ(t.index(), 42u);
+  EXPECT_FALSE(t.complemented());
+}
+
+TEST(Signal, ComplementIsInvolution) {
+  const Signal s(7, false);
+  EXPECT_EQ(!(!s), s);
+  EXPECT_NE(!s, s);
+  EXPECT_EQ((!s).index(), s.index());
+  EXPECT_TRUE((!s).complemented());
+}
+
+TEST(Signal, ConditionalComplement) {
+  const Signal s(9, false);
+  EXPECT_EQ(s ^ false, s);
+  EXPECT_EQ(s ^ true, !s);
+  EXPECT_EQ((!s) ^ true, s);
+}
+
+TEST(Signal, RawRoundTrip) {
+  const Signal s(123, true);
+  EXPECT_EQ(Signal::from_raw(s.raw()), s);
+}
+
+TEST(Signal, OrderingGroupsByIndex) {
+  EXPECT_LT(Signal(1, false), Signal(1, true));
+  EXPECT_LT(Signal(1, true), Signal(2, false));
+}
+
+TEST(Signal, Hashable) {
+  std::unordered_set<Signal> set;
+  set.insert(Signal(3, false));
+  set.insert(Signal(3, true));
+  set.insert(Signal(3, false));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace plim::mig

@@ -1,0 +1,121 @@
+#include "mig/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mig/random.hpp"
+
+namespace plim::mig {
+namespace {
+
+Mig xor_network() {
+  Mig m;
+  const auto a = m.create_pi("a");
+  const auto b = m.create_pi("b");
+  m.create_po(m.create_xor(a, b), "x");
+  return m;
+}
+
+TEST(Simulation, WordsMatchScalar) {
+  const auto m = xor_network();
+  const std::vector<std::uint64_t> in{0b1100, 0b1010};
+  const auto out = simulate_words(m, in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0] & 0xf, 0b0110u);
+}
+
+TEST(Simulation, VectorForm) {
+  const auto m = xor_network();
+  EXPECT_EQ(simulate_vector(m, {false, false})[0], false);
+  EXPECT_EQ(simulate_vector(m, {true, false})[0], true);
+  EXPECT_EQ(simulate_vector(m, {true, true})[0], false);
+}
+
+TEST(Simulation, ComplementedPo) {
+  Mig m;
+  const auto a = m.create_pi();
+  m.create_po(!a, "na");
+  EXPECT_EQ(simulate_vector(m, {true})[0], false);
+  EXPECT_EQ(simulate_vector(m, {false})[0], true);
+}
+
+TEST(Simulation, TruthTablesAgreeWithWordSimulation) {
+  const auto m = random_mig({5, 30, 3, 30, 35}, 99);
+  const auto tts = simulate_truth_tables(m);
+  ASSERT_EQ(tts.size(), m.num_pos());
+  // Evaluate every minterm via word simulation in chunks of 64.
+  for (std::uint64_t base = 0; base < 32; base += 64) {
+    std::vector<std::uint64_t> words(m.num_pis(), 0);
+    for (unsigned lane = 0; lane < 32; ++lane) {
+      const std::uint64_t minterm = base + lane;
+      for (unsigned v = 0; v < m.num_pis(); ++v) {
+        if ((minterm >> v) & 1) {
+          words[v] |= std::uint64_t{1} << lane;
+        }
+      }
+    }
+    const auto out = simulate_words(m, words);
+    for (std::uint32_t po = 0; po < m.num_pos(); ++po) {
+      for (unsigned lane = 0; lane < 32; ++lane) {
+        EXPECT_EQ(((out[po] >> lane) & 1) != 0, tts[po].get_bit(base + lane))
+            << "po " << po << " minterm " << base + lane;
+      }
+    }
+  }
+}
+
+TEST(Simulation, RandomEquivalenceDetectsDifference) {
+  Mig a;
+  {
+    const auto x = a.create_pi();
+    const auto y = a.create_pi();
+    a.create_po(a.create_and(x, y), "f");
+  }
+  Mig b;
+  {
+    const auto x = b.create_pi();
+    const auto y = b.create_pi();
+    b.create_po(b.create_or(x, y), "f");
+  }
+  util::Rng rng(7);
+  EXPECT_FALSE(random_equivalence_check(a, b, 4, rng));
+}
+
+TEST(Simulation, RandomEquivalenceAcceptsEquivalent) {
+  Mig a;
+  {
+    const auto x = a.create_pi();
+    const auto y = a.create_pi();
+    a.create_po(a.create_and(x, y), "f");
+  }
+  Mig b;
+  {
+    const auto x = b.create_pi();
+    const auto y = b.create_pi();
+    b.create_po(!b.create_or(!x, !y), "f");  // De Morgan
+  }
+  util::Rng rng(7);
+  EXPECT_TRUE(random_equivalence_check(a, b, 16, rng));
+}
+
+TEST(RandomMig, DeterministicInSeed) {
+  const RandomMigOptions opts{6, 40, 3, 30, 35};
+  const auto m1 = random_mig(opts, 5);
+  const auto m2 = random_mig(opts, 5);
+  EXPECT_EQ(m1.num_gates(), m2.num_gates());
+  util::Rng rng(1);
+  EXPECT_TRUE(random_equivalence_check(m1, m2, 8, rng));
+  const auto m3 = random_mig(opts, 6);
+  // Different seed virtually always yields a different function.
+  util::Rng rng2(1);
+  EXPECT_FALSE(random_equivalence_check(m1, m3, 8, rng2));
+}
+
+TEST(RandomMig, RespectsInterfaceCounts) {
+  const auto m = random_mig({8, 100, 5, 25, 30}, 11);
+  EXPECT_EQ(m.num_pis(), 8u);
+  EXPECT_EQ(m.num_pos(), 5u);
+  EXPECT_GT(m.num_gates(), 50u);
+}
+
+}  // namespace
+}  // namespace plim::mig

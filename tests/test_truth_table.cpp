@@ -1,0 +1,85 @@
+#include "mig/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plim::mig {
+namespace {
+
+TEST(TruthTable, ConstantsAndCounting) {
+  const auto zero = TruthTable::constants(4, false);
+  const auto one = TruthTable::constants(4, true);
+  EXPECT_TRUE(zero.is_constant(false));
+  EXPECT_TRUE(one.is_constant(true));
+  EXPECT_EQ(zero.count_ones(), 0u);
+  EXPECT_EQ(one.count_ones(), 16u);
+}
+
+TEST(TruthTable, NthVarSmall) {
+  for (std::uint32_t var = 0; var < 4; ++var) {
+    const auto tt = TruthTable::nth_var(4, var);
+    for (std::uint64_t pos = 0; pos < 16; ++pos) {
+      EXPECT_EQ(tt.get_bit(pos), ((pos >> var) & 1) != 0)
+          << "var " << var << " pos " << pos;
+    }
+  }
+}
+
+TEST(TruthTable, NthVarLarge) {
+  // Cross the 64-bit word boundary (vars >= 6 alternate whole words).
+  for (std::uint32_t var : {6u, 7u, 8u}) {
+    const auto tt = TruthTable::nth_var(9, var);
+    for (std::uint64_t pos = 0; pos < 512; pos += 37) {
+      EXPECT_EQ(tt.get_bit(pos), ((pos >> var) & 1) != 0)
+          << "var " << var << " pos " << pos;
+    }
+  }
+}
+
+TEST(TruthTable, BitwiseOps) {
+  const auto a = TruthTable::nth_var(3, 0);
+  const auto b = TruthTable::nth_var(3, 1);
+  const auto c = TruthTable::nth_var(3, 2);
+  const auto m = TruthTable::maj(a, b, c);
+  for (std::uint64_t pos = 0; pos < 8; ++pos) {
+    const bool va = pos & 1;
+    const bool vb = (pos >> 1) & 1;
+    const bool vc = (pos >> 2) & 1;
+    EXPECT_EQ((a & b).get_bit(pos), va && vb);
+    EXPECT_EQ((a | b).get_bit(pos), va || vb);
+    EXPECT_EQ((a ^ b).get_bit(pos), va != vb);
+    EXPECT_EQ((~a).get_bit(pos), !va);
+    EXPECT_EQ(m.get_bit(pos), (va && vb) || (va && vc) || (vb && vc));
+  }
+}
+
+TEST(TruthTable, ComplementMasksUnusedBits) {
+  const auto a = TruthTable::nth_var(2, 0);
+  const auto na = ~a;
+  EXPECT_EQ(na.count_ones(), 2u);  // not 62 stray bits from the top
+}
+
+TEST(TruthTable, SetAndGetBit) {
+  TruthTable tt(7);
+  tt.set_bit(100, true);
+  EXPECT_TRUE(tt.get_bit(100));
+  EXPECT_EQ(tt.count_ones(), 1u);
+  tt.set_bit(100, false);
+  EXPECT_EQ(tt.count_ones(), 0u);
+}
+
+TEST(TruthTable, MajHexIsE8) {
+  const auto a = TruthTable::nth_var(3, 0);
+  const auto b = TruthTable::nth_var(3, 1);
+  const auto c = TruthTable::nth_var(3, 2);
+  EXPECT_EQ(TruthTable::maj(a, b, c).to_hex(), "e8");
+  EXPECT_EQ((a & b).to_hex(), "88");
+  EXPECT_EQ((a | b).to_hex(), "ee");
+}
+
+TEST(TruthTable, EqualityRequiresSameArity) {
+  EXPECT_FALSE(TruthTable::constants(3, false) ==
+               TruthTable::constants(4, false));
+}
+
+}  // namespace
+}  // namespace plim::mig

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mig/random.hpp"
+#include "mig/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace plim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, FlipIsRoughlyBalanced) {
+  util::Rng rng(9);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.flip() ? 1 : 0;
+  }
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  const auto s = util::summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.total, 40u);
+  EXPECT_EQ(s.min, 2u);
+  EXPECT_EQ(s.max, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
+TEST(Stats, EmptySampleIsZeroed) {
+  const auto s = util::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  util::TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_separator();
+  t.add_row({"longer", "23"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| name   |"), std::string::npos);
+  EXPECT_NE(s.find("| x      |     1 |"), std::string::npos);
+  EXPECT_NE(s.find("| longer |    23 |"), std::string::npos);
+  // Separator appears between the two data rows (4 rule lines total).
+  std::size_t rules = 0;
+  std::istringstream lines(s);
+  for (std::string line; std::getline(lines, line);) {
+    if (!line.empty() && line[0] == '+') {
+      ++rules;
+    }
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, PadsShortRows) {
+  util::TablePrinter t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+TEST(Util, PercentAndImprovement) {
+  EXPECT_EQ(util::percent(0.1995), "19.95%");
+  EXPECT_EQ(util::percent(-0.0039), "-0.39%");
+  EXPECT_DOUBLE_EQ(util::improvement(200, 150), 0.25);
+  EXPECT_DOUBLE_EQ(util::improvement(0, 10), 0.0);
+}
+
+TEST(ShuffleTopological, PreservesFunctionAndCounts) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto m = mig::random_mig({6, 60, 4, 35, 30}, seed);
+    const auto s = mig::shuffle_topological(m, seed * 31);
+    EXPECT_EQ(s.num_gates(), m.num_gates()) << seed;
+    EXPECT_EQ(s.num_pis(), m.num_pis());
+    EXPECT_EQ(s.num_pos(), m.num_pos());
+    util::Rng rng(seed);
+    EXPECT_TRUE(mig::random_equivalence_check(m, s, 8, rng)) << seed;
+  }
+}
+
+TEST(ShuffleTopological, ActuallyPermutes) {
+  const auto m = mig::random_mig({6, 80, 4, 35, 30}, 5);
+  const auto s = mig::shuffle_topological(m, 99);
+  // Compare fanin structures node-by-node; a fixed point is astronomically
+  // unlikely for 80 gates.
+  bool different = false;
+  m.foreach_gate([&](mig::node n) {
+    if (s.is_gate(n) && s.fanins(n) != m.fanins(n)) {
+      different = true;
+    }
+  });
+  EXPECT_TRUE(different);
+}
+
+TEST(ShuffleTopological, OutputIsTopologicallyOrdered) {
+  const auto m = mig::random_mig({6, 60, 4, 35, 30}, 8);
+  const auto s = mig::shuffle_topological(m, 3);
+  s.foreach_gate([&](mig::node n) {
+    for (const auto f : s.fanins(n)) {
+      EXPECT_LT(f.index(), n);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace plim

@@ -1,0 +1,98 @@
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/motivation.hpp"
+#include "core/compiler.hpp"
+#include "expr/parser.hpp"
+#include "mig/random.hpp"
+
+namespace plim::core {
+namespace {
+
+TEST(Verify, AcceptsCorrectProgram) {
+  const auto m = circuits::make_fig3b();
+  const auto r = compile(m);
+  const auto v = verify_program(m, r.program);
+  EXPECT_TRUE(v.ok) << v.message;
+}
+
+TEST(Verify, RejectsInterfaceMismatch) {
+  const auto m = circuits::make_fig3b();
+  arch::Program empty;
+  const auto v = verify_program(m, empty);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("input count"), std::string::npos);
+}
+
+TEST(Verify, DetectsFlippedOperand) {
+  // Fault injection: complement semantics of a single instruction by
+  // swapping its A operand with a constant; verification must notice.
+  const auto m = circuits::make_fig3b();
+  const auto r = compile(m);
+  arch::Program corrupted;
+  for (std::uint32_t i = 0; i < r.program.num_inputs(); ++i) {
+    corrupted.add_input(r.program.input_name(i));
+  }
+  const auto& instrs = r.program.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    auto ins = instrs[i];
+    if (i == instrs.size() - 1) {
+      ins.a = arch::Operand::constant(true);
+    }
+    corrupted.append(ins);
+  }
+  for (std::uint32_t i = 0; i < r.program.num_outputs(); ++i) {
+    corrupted.add_output(r.program.output_name(i), r.program.output_cell(i));
+  }
+  const auto v = verify_program(m, corrupted);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(Verify, DetectsWrongOutputCell) {
+  const auto m = circuits::make_fig3a();
+  const auto r = compile(m);
+  arch::Program wrong;
+  for (std::uint32_t i = 0; i < r.program.num_inputs(); ++i) {
+    wrong.add_input(r.program.input_name(i));
+  }
+  for (const auto& ins : r.program.instructions()) {
+    wrong.append(ins);
+  }
+  wrong.ensure_rram_count(r.program.num_rrams() + 1);
+  wrong.add_output("f", r.program.num_rrams());  // an untouched cell
+  const auto v = verify_program(m, wrong);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(Verify, DetectsDroppedInstruction) {
+  // Circuits whose final RM3 is provably non-redundant. (Arbitrary
+  // networks will not do: dropping the root RM3 of Fig. 3(b), for
+  // instance, is undetectable because its root ⟨N4 N̄5 N1⟩ happens to
+  // equal N4 — the paper's illustration contains a functional
+  // redundancy.)
+  for (const auto& m :
+       {circuits::make_fig3a(), expr::build_from_expression("xor3(a,b,c)")}) {
+    const auto r = compile(m);
+    ASSERT_GE(r.program.num_instructions(), 2u);
+    arch::Program truncated;
+    for (std::uint32_t i = 0; i < r.program.num_inputs(); ++i) {
+      truncated.add_input(r.program.input_name(i));
+    }
+    const auto& instrs = r.program.instructions();
+    // Drop the final RM3 (the root computation).
+    for (std::size_t i = 0; i + 1 < instrs.size(); ++i) {
+      truncated.append(instrs[i]);
+    }
+    truncated.ensure_rram_count(r.program.num_rrams());
+    for (std::uint32_t i = 0; i < r.program.num_outputs(); ++i) {
+      truncated.add_output(r.program.output_name(i),
+                           r.program.output_cell(i));
+    }
+    const auto v = verify_program(m, truncated, 8, 42);
+    EXPECT_FALSE(v.ok);
+  }
+}
+
+}  // namespace
+}  // namespace plim::core
