@@ -1,0 +1,174 @@
+/// Multi-bank scheduling sweep over the EPFL benchmarks: compiles every
+/// circuit with the full DAC'16 pipeline, list-schedules the serial RM3
+/// program onto 1/2/4/8 PLiM banks, cross-checks each schedule against
+/// the serial program on random 64-lane patterns, and reports steps,
+/// utilization, transfer overhead and step-count speedup per bank count.
+///
+/// Exits non-zero when any schedule diverges from its serial program or
+/// when the average 4-bank speedup drops to ≤ 1.2× — the regression bar
+/// this subsystem is held to.
+///
+/// Usage: sched_speedup [--benchmark <name>] [--effort N] [--rounds N]
+///                      [--json <file|->] [--no-verify]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuits/epfl.hpp"
+#include "core/pipeline.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/verify.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr std::uint32_t kBankCounts[] = {1, 2, 4, 8};
+
+std::string fixed2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only;
+  std::string json_path;
+  unsigned effort = 4;
+  unsigned rounds = 2;
+  bool verify = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    } else if (std::strcmp(argv[i], "--effort") == 0 && i + 1 < argc) {
+      effort = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-verify") == 0) {
+      verify = false;
+    } else {
+      std::cerr << "usage: sched_speedup [--benchmark <name>] [--effort N] "
+                   "[--rounds N] [--json <file|->] [--no-verify]\n";
+      return 2;
+    }
+  }
+
+  plim::mig::RewriteOptions ropts;
+  ropts.effort = effort;
+
+  std::vector<std::string> header = {"Benchmark", "#I", "#R"};
+  for (const auto banks : kBankCounts) {
+    const auto b = std::to_string(banks);
+    header.push_back("steps@" + b);
+    header.push_back("util@" + b);
+    header.push_back("xfer@" + b);
+    header.push_back("speedup@" + b);
+  }
+  plim::util::TablePrinter table(std::move(header));
+
+  plim::util::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "sched_speedup");
+  json.field("effort", std::uint64_t{effort});
+  json.begin_array("benchmarks");
+
+  double speedup_sum_4 = 0.0;
+  unsigned circuits = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (const auto& spec : plim::circuits::epfl_suite()) {
+    if (!only.empty() && spec.name != only) {
+      continue;
+    }
+    const auto network = spec.build();
+    const auto compiled = run_pipeline(
+        network, plim::core::PipelineConfig::rewriting_and_compilation, ropts);
+    const auto& serial = compiled.compiled.program;
+
+    std::vector<std::string> row = {
+        spec.name, std::to_string(serial.num_instructions()),
+        std::to_string(serial.num_rrams())};
+    json.begin_object();
+    json.field("benchmark", spec.name);
+    json.field("instructions",
+               static_cast<std::uint64_t>(serial.num_instructions()));
+    json.field("rrams", serial.num_rrams());
+    json.begin_array("banks");
+
+    for (const auto banks : kBankCounts) {
+      const auto result = plim::sched::schedule(serial, {banks});
+      if (const auto err = result.program.validate(); !err.empty()) {
+        std::cerr << spec.name << " @ " << banks
+                  << " banks: INVALID SCHEDULE: " << err << '\n';
+        return 1;
+      }
+      if (verify) {
+        if (!plim::sched::equivalent_to_serial(serial, result.program, rounds,
+                                               banks * 7919 + circuits)) {
+          std::cerr << spec.name << " @ " << banks
+                    << " banks: SCHEDULE DIVERGES FROM SERIAL PROGRAM\n";
+          return 1;
+        }
+      }
+      const auto& s = result.stats;
+      row.push_back(std::to_string(s.steps));
+      row.push_back(plim::util::percent(s.utilization));
+      row.push_back(std::to_string(s.transfers));
+      row.push_back(fixed2(s.speedup) + "x");
+      json.begin_object();
+      plim::sched::write_json_fields(s, json);
+      json.end_object();
+      if (banks == 4) {
+        speedup_sum_4 += s.speedup;
+      }
+    }
+    json.end_array();
+    json.end_object();
+    table.add_row(std::move(row));
+    ++circuits;
+  }
+
+  if (circuits == 0) {
+    std::cerr << "sched_speedup: no benchmark matched\n";
+    return 1;
+  }
+
+  const auto avg4 = speedup_sum_4 / circuits;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  json.end_array();
+  json.field("average_speedup_4_banks", avg4);
+  json.field("verified", verify);
+  json.end_object();
+
+  std::cout << "Multi-bank scheduling sweep (rewriting effort " << effort
+            << (verify ? ", schedules verified against serial execution"
+                       : "")
+            << ")\n\n";
+  table.print(std::cout);
+  std::cout << "\naverage 4-bank speedup: " << fixed2(avg4) << "x over "
+            << circuits << " circuits, total time " << elapsed << " ms\n";
+
+  if (!json_path.empty() &&
+      !plim::util::emit_json(json, json_path, "sched_speedup")) {
+    return 1;
+  }
+
+  if (only.empty() && avg4 <= 1.2) {
+    std::cerr << "sched_speedup: average 4-bank speedup " << fixed2(avg4)
+              << "x is below the 1.2x regression bar\n";
+    return 1;
+  }
+  return 0;
+}

@@ -13,6 +13,11 @@
 ///   --naive          index-order candidates (Table-1 naïve column)
 ///   --alloc fifo|lifo|fresh
 ///   --cap N          RRAM capacity bound (fails if infeasible)
+///   --banks N        schedule onto N parallel PLiM banks and emit the
+///                    multi-bank listing instead of the serial one
+///   --schedule       shorthand for --banks 4
+///   --json <file|->  machine-readable stats block (instructions, rrams,
+///                    steps, utilization, speedup) to a file or stdout
 ///   --no-verify      skip the end-to-end machine verification
 ///   --stats          print statistics to stderr
 
@@ -21,6 +26,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "arch/text.hpp"
 #include "circuits/epfl.hpp"
@@ -29,6 +35,10 @@
 #include "io/blif.hpp"
 #include "mig/cleanup.hpp"
 #include "mig/rewriting.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/text.hpp"
+#include "sched/verify.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -36,7 +46,8 @@ int usage() {
   std::cerr << "usage: plimc (--blif <file> | --benchmark <name>) "
                "[-o <file>] [--effort N] [--naive]\n"
                "             [--alloc fifo|lifo|fresh] [--cap N] "
-               "[--no-verify] [--stats]\n";
+               "[--banks N] [--schedule]\n"
+               "             [--json <file|->] [--no-verify] [--stats]\n";
   return 2;
 }
 
@@ -46,12 +57,15 @@ int main(int argc, char** argv) {
   std::string blif_path;
   std::string benchmark;
   std::string out_path;
+  std::string json_path;
   unsigned effort = 4;
+  std::uint32_t banks = 0;
   bool naive = false;
   bool verify = true;
   bool stats = false;
   plim::core::CompileOptions copts;
 
+  try {
   for (int i = 1; i < argc; ++i) {
     const auto arg = std::string(argv[i]);
     const auto next = [&]() -> const char* {
@@ -103,6 +117,27 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (arg == "--banks") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      const auto parsed = std::stoul(v);
+      if (parsed > 1024) {
+        std::cerr << "plimc: --banks must be between 0 and 1024\n";
+        return 2;
+      }
+      banks = static_cast<std::uint32_t>(parsed);
+    } else if (arg == "--schedule") {
+      if (banks == 0) {
+        banks = 4;
+      }
+    } else if (arg == "--json") {
+      if (const char* v = next()) {
+        json_path = v;
+      } else {
+        return usage();
+      }
     } else if (arg == "--no-verify") {
       verify = false;
     } else if (arg == "--stats") {
@@ -111,8 +146,16 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  } catch (const std::exception&) {
+    return usage();  // malformed numeric argument
+  }
   if (blif_path.empty() == benchmark.empty()) {
     return usage();  // exactly one source required
+  }
+  if (json_path == "-" && out_path.empty()) {
+    std::cerr << "plimc: --json - needs -o so the JSON block and the "
+                 "program listing do not interleave on stdout\n";
+    return 2;
   }
 
   plim::mig::Mig mig;
@@ -157,6 +200,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::optional<plim::sched::ScheduleResult> schedule;
+  if (banks > 0) {
+    try {
+      schedule = plim::sched::schedule(result.program, {banks});
+    } catch (const std::exception& e) {
+      std::cerr << "plimc: scheduling failed: " << e.what() << '\n';
+      return 1;
+    }
+    if (const auto err = schedule->program.validate(); !err.empty()) {
+      std::cerr << "plimc: invalid schedule: " << err << '\n';
+      return 1;
+    }
+    if (verify && !plim::sched::equivalent_to_serial(result.program,
+                                                    schedule->program)) {
+      std::cerr << "plimc: parallel schedule diverges from serial program\n";
+      return 1;
+    }
+  }
+
   if (stats) {
     std::cerr << "gates: " << mig.num_gates() << " -> "
               << optimized.num_gates()
@@ -165,9 +227,37 @@ int main(int argc, char** argv) {
               << "instructions: " << result.stats.num_instructions
               << ", rrams: " << result.stats.num_rrams << " (peak live "
               << result.stats.peak_live_rrams << ")\n";
+    if (schedule) {
+      const auto& s = schedule->stats;
+      std::cerr << "schedule: " << s.banks << " banks, " << s.steps
+                << " steps, " << s.parallel_instructions << " instructions ("
+                << s.transfers << " transfers), utilization "
+                << s.utilization << ", speedup " << s.speedup
+                << "x (critical path " << s.critical_path << ")\n";
+    }
   }
 
-  const auto text = plim::arch::to_text(result.program);
+  if (!json_path.empty()) {
+    plim::util::JsonWriter json;
+    json.begin_object();
+    json.field("benchmark", benchmark.empty() ? blif_path : benchmark);
+    json.field("gates", optimized.num_gates());
+    json.field("instructions", result.stats.num_instructions);
+    json.field("rrams", result.stats.num_rrams);
+    json.field("peak_live_rrams", result.stats.peak_live_rrams);
+    if (schedule) {
+      json.begin_object("schedule");
+      plim::sched::write_json_fields(schedule->stats, json);
+      json.end_object();
+    }
+    json.end_object();
+    if (!plim::util::emit_json(json, json_path, "plimc")) {
+      return 1;
+    }
+  }
+
+  const auto text = schedule ? plim::sched::to_text(schedule->program)
+                             : plim::arch::to_text(result.program);
   if (out_path.empty()) {
     std::cout << text;
   } else {

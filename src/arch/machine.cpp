@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "sched/parallel_program.hpp"
 
 namespace plim::arch {
 
@@ -59,6 +62,103 @@ std::vector<bool> Machine::run(const Program& program,
     init_words[i] = initial[i] ? ~std::uint64_t{0} : 0;
   }
   const auto out_words = run_words(program, in_words, init_words);
+  std::vector<bool> out(out_words.size());
+  for (std::size_t i = 0; i < out_words.size(); ++i) {
+    out[i] = (out_words[i] & 1) != 0;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Machine::run_parallel_words(
+    const sched::ParallelProgram& program,
+    const std::vector<std::uint64_t>& inputs,
+    const std::vector<std::uint64_t>& initial) {
+  if (inputs.size() != program.num_inputs()) {
+    throw std::invalid_argument("Machine::run_parallel_words: wrong input count");
+  }
+  std::vector<std::uint64_t> cells(program.num_rrams(), 0);
+  for (std::size_t i = 0; i < initial.size() && i < cells.size(); ++i) {
+    cells[i] = initial[i];
+  }
+  if (write_counts_.size() < cells.size()) {
+    write_counts_.resize(cells.size(), 0);
+  }
+
+  const auto read = [&](Operand op) -> std::uint64_t {
+    switch (op.kind()) {
+      case OperandKind::constant:
+        return op.constant_value() ? ~std::uint64_t{0} : 0;
+      case OperandKind::input:
+        return inputs[op.address()];
+      case OperandKind::rram:
+        return cells[op.address()];
+    }
+    return 0;  // unreachable
+  };
+
+  // Scratch for the two-phase step execution: read everything against the
+  // pre-step state, then commit all writes at once.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> writes;
+  std::vector<std::uint32_t> step_written(cells.size(), 0);
+  std::uint32_t step_stamp = 0;
+
+  for (std::uint32_t s = 0; s < program.num_steps(); ++s) {
+    const auto& step = program.step(s);
+    ++step_stamp;
+    writes.clear();
+    for (const auto& slot : step) {
+      if (step_written[slot.instr.z] == step_stamp) {
+        throw std::logic_error("Machine::run_parallel_words: step " +
+                               std::to_string(s + 1) +
+                               " writes cell @X" +
+                               std::to_string(slot.instr.z + 1) + " twice");
+      }
+      step_written[slot.instr.z] = step_stamp;
+      const std::uint64_t a = read(slot.instr.a);
+      const std::uint64_t b = read(slot.instr.b);
+      writes.emplace_back(slot.instr.z,
+                          rm3_words(a, b, cells[slot.instr.z]));
+    }
+    // A slot must not read a cell another slot of this step writes; its
+    // own destination is fine (RM3 reads the pre-step value of Z).
+    for (const auto& slot : step) {
+      for (const auto op : {slot.instr.a, slot.instr.b}) {
+        if (op.is_rram() && op.address() != slot.instr.z &&
+            step_written[op.address()] == step_stamp) {
+          throw std::logic_error("Machine::run_parallel_words: step " +
+                                 std::to_string(s + 1) + " reads cell @X" +
+                                 std::to_string(op.address() + 1) +
+                                 " written in the same step");
+        }
+      }
+    }
+    for (const auto& [cell, value] : writes) {
+      cells[cell] = value;
+      ++write_counts_[cell];
+      ++instructions_;
+    }
+    cycles_ += phases_per_instruction;  // one lockstep phase set per step
+  }
+
+  std::vector<std::uint64_t> out(program.num_outputs());
+  for (std::uint32_t i = 0; i < program.num_outputs(); ++i) {
+    out[i] = cells[program.output_cell(i)];
+  }
+  return out;
+}
+
+std::vector<bool> Machine::run_parallel(const sched::ParallelProgram& program,
+                                        const std::vector<bool>& inputs,
+                                        const std::vector<bool>& initial) {
+  std::vector<std::uint64_t> in_words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    in_words[i] = inputs[i] ? ~std::uint64_t{0} : 0;
+  }
+  std::vector<std::uint64_t> init_words(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    init_words[i] = initial[i] ? ~std::uint64_t{0} : 0;
+  }
+  const auto out_words = run_parallel_words(program, in_words, init_words);
   std::vector<bool> out(out_words.size());
   for (std::size_t i = 0; i < out_words.size(); ++i) {
     out[i] = (out_words[i] & 1) != 0;

@@ -6,6 +6,10 @@
 #include "arch/program.hpp"
 #include "util/stats.hpp"
 
+namespace plim::sched {
+class ParallelProgram;
+}  // namespace plim::sched
+
 namespace plim::arch {
 
 /// Functional + endurance model of the PLiM architecture (Fig. 2 of the
@@ -34,6 +38,22 @@ class Machine {
   /// run. `initial` optionally seeds the array per lane.
   [[nodiscard]] std::vector<std::uint64_t> run_words(
       const Program& program, const std::vector<std::uint64_t>& inputs,
+      const std::vector<std::uint64_t>& initial = {});
+
+  /// Executes a multi-bank schedule step by step: within a step all banks
+  /// read the pre-step array state and commit their writes together.
+  /// Throws std::logic_error on intra-step conflicts (two slots writing
+  /// one cell, or a slot reading a cell another slot writes). A step
+  /// costs `phases_per_instruction` cycles regardless of how many banks
+  /// are active — that is the point of scheduling.
+  [[nodiscard]] std::vector<bool> run_parallel(
+      const sched::ParallelProgram& program, const std::vector<bool>& inputs,
+      const std::vector<bool>& initial = {});
+
+  /// 64-lane bit-parallel form of `run_parallel`.
+  [[nodiscard]] std::vector<std::uint64_t> run_parallel_words(
+      const sched::ParallelProgram& program,
+      const std::vector<std::uint64_t>& inputs,
       const std::vector<std::uint64_t>& initial = {});
 
   /// Per-cell write counts accumulated over all runs (endurance proxy).

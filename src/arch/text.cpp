@@ -8,15 +8,14 @@
 
 namespace plim::arch {
 
-namespace {
-
-void print_operand(std::ostream& os, const Program& p, Operand op) {
+void print_operand(std::ostream& os, Operand op,
+                   const std::vector<std::string>& input_names) {
   switch (op.kind()) {
     case OperandKind::constant:
       os << (op.constant_value() ? '1' : '0');
       break;
     case OperandKind::input:
-      os << p.input_name(op.address());
+      os << input_names[op.address()];
       break;
     case OperandKind::rram:
       os << "@X" << (op.address() + 1);
@@ -24,11 +23,12 @@ void print_operand(std::ostream& os, const Program& p, Operand op) {
   }
 }
 
-}  // namespace
-
 void write_text(const Program& program, std::ostream& os) {
+  std::vector<std::string> input_names;
+  input_names.reserve(program.num_inputs());
   for (std::uint32_t i = 0; i < program.num_inputs(); ++i) {
     os << "# input " << i << ' ' << program.input_name(i) << '\n';
+    input_names.push_back(program.input_name(i));
   }
   std::size_t pc = 1;
   const int width = program.num_instructions() >= 100 ? 0 : 2;
@@ -40,9 +40,9 @@ void write_text(const Program& program, std::ostream& os) {
       num.insert(0, static_cast<std::size_t>(width) - num.size(), '0');
     }
     os << num << ": ";
-    print_operand(os, program, ins.a);
+    print_operand(os, ins.a, input_names);
     os << ", ";
-    print_operand(os, program, ins.b);
+    print_operand(os, ins.b, input_names);
     os << ", @X" << (ins.z + 1) << '\n';
   }
   for (std::uint32_t i = 0; i < program.num_outputs(); ++i) {
@@ -57,8 +57,6 @@ std::string to_text(const Program& program) {
   return os.str();
 }
 
-namespace {
-
 Operand parse_operand(const std::string& token,
                       const std::map<std::string, std::uint32_t>& inputs) {
   if (token == "0") {
@@ -68,7 +66,12 @@ Operand parse_operand(const std::string& token,
     return Operand::constant(true);
   }
   if (token.size() > 2 && token[0] == '@' && token[1] == 'X') {
-    const unsigned long cell = std::stoul(token.substr(2));
+    unsigned long cell = 0;
+    try {
+      cell = std::stoul(token.substr(2));
+    } catch (const std::logic_error&) {
+      throw std::runtime_error("malformed RRAM cell '" + token + "'");
+    }
     if (cell == 0) {
       throw std::runtime_error("RRAM cells are 1-based in text form");
     }
@@ -90,9 +93,9 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-}  // namespace
+namespace {
 
-Program parse_program(const std::string& text) {
+Program parse_program_impl(const std::string& text) {
   Program p;
   std::map<std::string, std::uint32_t> inputs;
   std::istringstream is(text);
@@ -158,6 +161,19 @@ Program parse_program(const std::string& text) {
     p.append(a, b, z.address());
   }
   return p;
+}
+
+}  // namespace
+
+Program parse_program(const std::string& text) {
+  try {
+    return parse_program_impl(text);
+  } catch (const std::logic_error& e) {
+    // std::stoul reports malformed/overflowing numbers as logic_errors;
+    // translate to the documented std::runtime_error contract.
+    throw std::runtime_error(std::string("malformed number in program: ") +
+                             e.what());
+  }
 }
 
 }  // namespace plim::arch

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "arch/program.hpp"
 
@@ -23,5 +25,20 @@ void write_text(const Program& program, std::ostream& os);
 /// must use the names declared in the "# input" header lines that
 /// `to_text` emits. Throws std::runtime_error on malformed input.
 [[nodiscard]] Program parse_program(const std::string& text);
+
+// ---- listing-syntax building blocks (shared with sched/text) ---------------
+
+/// Renders one operand: "0"/"1", the input's declared name, or "@X<k>".
+void print_operand(std::ostream& os, Operand op,
+                   const std::vector<std::string>& input_names);
+
+/// Parses one operand token against the declared input-name table.
+/// Throws std::runtime_error on unknown names and malformed cell refs.
+[[nodiscard]] Operand parse_operand(
+    const std::string& token,
+    const std::map<std::string, std::uint32_t>& inputs);
+
+/// Strips leading/trailing listing whitespace (spaces, tabs, '\r').
+[[nodiscard]] std::string trim(const std::string& s);
 
 }  // namespace plim::arch

@@ -6,7 +6,8 @@ namespace plim::core {
 
 PipelineResult run_pipeline(const mig::Mig& mig, PipelineConfig config,
                             const mig::RewriteOptions& rewrite_opts,
-                            const CompileOptions& base_compile_opts) {
+                            const CompileOptions& base_compile_opts,
+                            std::uint32_t schedule_banks) {
   PipelineResult result;
 
   CompileOptions copts = base_compile_opts;
@@ -17,13 +18,17 @@ PipelineResult run_pipeline(const mig::Mig& mig, PipelineConfig config,
     const auto cleaned = mig::cleanup_dangling(mig);
     result.mig_gates = cleaned.num_gates();
     result.compiled = compile(cleaned, copts);
-    return result;
+  } else {
+    const auto rewritten =
+        mig::rewrite_for_plim(mig, rewrite_opts, &result.rewrite_stats);
+    result.mig_gates = rewritten.num_gates();
+    result.compiled = compile(rewritten, copts);
   }
 
-  const auto rewritten =
-      mig::rewrite_for_plim(mig, rewrite_opts, &result.rewrite_stats);
-  result.mig_gates = rewritten.num_gates();
-  result.compiled = compile(rewritten, copts);
+  if (schedule_banks > 0) {
+    result.schedule =
+        sched::schedule(result.compiled.program, {schedule_banks});
+  }
   return result;
 }
 

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <optional>
+
 #include "core/compiler.hpp"
 #include "mig/rewriting.hpp"
+#include "sched/scheduler.hpp"
 
 namespace plim::core {
 
@@ -21,12 +24,18 @@ struct PipelineResult {
   mig::RewriteStats rewrite_stats;  ///< zeroed when rewriting is off
   CompileResult compiled;
   std::uint32_t mig_gates = 0;  ///< #N of the network that was compiled
+  /// Multi-bank schedule of the compiled program; engaged only when the
+  /// pipeline ran with `schedule_banks` > 0.
+  std::optional<sched::ScheduleResult> schedule;
 };
 
-/// Runs one Table-1 configuration on a benchmark MIG.
+/// Runs one Table-1 configuration on a benchmark MIG. With
+/// `schedule_banks` > 0 the serial program is additionally list-scheduled
+/// onto that many PLiM banks (see sched/scheduler.hpp).
 [[nodiscard]] PipelineResult run_pipeline(
     const mig::Mig& mig, PipelineConfig config,
     const mig::RewriteOptions& rewrite_opts = {},
-    const CompileOptions& base_compile_opts = {});
+    const CompileOptions& base_compile_opts = {},
+    std::uint32_t schedule_banks = 0);
 
 }  // namespace plim::core

@@ -1,0 +1,90 @@
+#include "sched/depgraph.hpp"
+
+#include <algorithm>
+
+namespace plim::sched {
+
+DependenceGraph DependenceGraph::build(const arch::Program& program) {
+  DependenceGraph g;
+  const auto n = static_cast<std::uint32_t>(program.num_instructions());
+  g.deps_.resize(n);
+  g.a_def_.assign(n, npos);
+  g.b_def_.assign(n, npos);
+  g.z_def_.assign(n, npos);
+  g.reset_.assign(n, false);
+  g.segment_of_.assign(n, npos);
+  g.heights_.assign(n, 1);
+
+  // Per-cell bookkeeping: last writer and the readers of its value.
+  std::vector<std::uint32_t> last_write(program.num_rrams(), npos);
+  std::vector<std::vector<std::uint32_t>> readers(program.num_rrams());
+  std::vector<std::uint32_t> cell_segment(program.num_rrams(), npos);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& ins = program[i];
+    const bool reset = ins.a.is_constant() && ins.b.is_constant() &&
+                       ins.a.constant_value() != ins.b.constant_value();
+    g.reset_[i] = reset;
+
+    const auto read_operand = [&](arch::Operand op, std::uint32_t& def) {
+      if (!op.is_rram()) {
+        return;
+      }
+      const auto cell = op.address();
+      def = last_write[cell];
+      if (def == npos) {
+        g.reads_initial_state_ = true;
+      } else {
+        g.deps_[i].push_back({def, DepKind::raw});
+      }
+      readers[cell].push_back(i);
+    };
+    read_operand(ins.a, g.a_def_[i]);
+    read_operand(ins.b, g.b_def_[i]);
+
+    const auto z = ins.z;
+    if (!reset) {
+      // Z is read-modify-write: a true dependence on the previous writer
+      // (or on pre-existing memory for a first write).
+      g.z_def_[i] = last_write[z];
+      if (last_write[z] == npos) {
+        g.reads_initial_state_ = true;
+      } else {
+        g.deps_[i].push_back({last_write[z], DepKind::raw});
+      }
+    } else if (last_write[z] != npos) {
+      g.deps_[i].push_back({last_write[z], DepKind::waw});
+    }
+    for (const auto r : readers[z]) {
+      if (r != i) {
+        g.deps_[i].push_back({r, DepKind::war});
+      }
+    }
+
+    // Segment: a reset (or a first write) opens a new value lifetime.
+    if (reset || last_write[z] == npos) {
+      cell_segment[z] = static_cast<std::uint32_t>(g.segments_.size());
+      g.segments_.push_back({z, i, i});
+    } else {
+      g.segments_[cell_segment[z]].last_write = i;
+    }
+    g.segment_of_[i] = cell_segment[z];
+
+    last_write[z] = i;
+    readers[z].clear();
+  }
+
+  // Heights over RAW edges: sweep backwards; every successor of i has
+  // already pushed its height into heights_[i] when i is visited.
+  for (std::uint32_t i = n; i-- > 0;) {
+    g.critical_path_ = std::max(g.critical_path_, g.heights_[i]);
+    for (const auto& d : g.deps_[i]) {
+      if (d.kind == DepKind::raw) {
+        g.heights_[d.pred] = std::max(g.heights_[d.pred], g.heights_[i] + 1);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace plim::sched

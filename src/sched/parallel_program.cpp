@@ -1,0 +1,166 @@
+#include "sched/parallel_program.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace plim::sched {
+
+void write_json_fields(const ScheduleStats& stats, util::JsonWriter& json) {
+  json.field("banks", stats.banks);
+  json.field("steps", stats.steps);
+  json.field("instructions", stats.parallel_instructions);
+  json.field("transfers", stats.transfers);
+  json.field("rrams", stats.parallel_rrams);
+  json.field("critical_path", stats.critical_path);
+  json.field("utilization", stats.utilization);
+  json.field("speedup", stats.speedup);
+}
+
+std::uint32_t ParallelProgram::add_input(std::string name) {
+  input_names_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(input_names_.size() - 1);
+}
+
+void ParallelProgram::add_output(std::string name, std::uint32_t cell) {
+  outputs_.emplace_back(std::move(name), cell);
+}
+
+void ParallelProgram::set_bank_range(std::uint32_t bank, std::uint32_t begin,
+                                     std::uint32_t end) {
+  if (bank_ranges_.size() <= bank) {
+    bank_ranges_.resize(bank + 1, {0, 0});
+  }
+  bank_ranges_[bank] = {begin, end};
+}
+
+std::uint32_t ParallelProgram::begin_step() {
+  steps_.emplace_back();
+  return static_cast<std::uint32_t>(steps_.size() - 1);
+}
+
+void ParallelProgram::add_slot(Slot slot) {
+  steps_.back().push_back(std::move(slot));
+}
+
+std::uint32_t ParallelProgram::num_rrams() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& [begin, end] : bank_ranges_) {
+    n = std::max(n, end);
+  }
+  return n;
+}
+
+std::uint32_t ParallelProgram::bank_of_cell(std::uint32_t cell) const noexcept {
+  for (std::uint32_t b = 0; b < bank_ranges_.size(); ++b) {
+    if (cell >= bank_ranges_[b].first && cell < bank_ranges_[b].second) {
+      return b;
+    }
+  }
+  return num_banks_;
+}
+
+std::uint32_t ParallelProgram::num_instructions() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& step : steps_) {
+    n += static_cast<std::uint32_t>(step.size());
+  }
+  return n;
+}
+
+std::uint32_t ParallelProgram::num_transfer_instructions() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& step : steps_) {
+    for (const auto& slot : step) {
+      n += slot.is_transfer ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+std::string ParallelProgram::validate() const {
+  if (num_banks_ == 0) {
+    return "program has no banks";
+  }
+  if (bank_ranges_.size() != num_banks_) {
+    return "missing bank range declarations";
+  }
+  std::uint32_t prev_end = 0;
+  for (std::uint32_t b = 0; b < num_banks_; ++b) {
+    const auto [begin, end] = bank_ranges_[b];
+    if (begin > end) {
+      return "bank " + std::to_string(b) + " has an inverted cell range";
+    }
+    if (begin < prev_end) {
+      return "bank " + std::to_string(b) + " overlaps the previous bank";
+    }
+    prev_end = end;
+  }
+  const auto cells = num_rrams();
+
+  for (std::uint32_t s = 0; s < steps_.size(); ++s) {
+    const auto& step = steps_[s];
+    const auto where = [&](const Slot& slot) {
+      return "step " + std::to_string(s) + ", bank " +
+             std::to_string(slot.bank);
+    };
+    std::set<std::uint32_t> written;
+    for (std::size_t k = 0; k < step.size(); ++k) {
+      const auto& slot = step[k];
+      if (slot.bank >= num_banks_) {
+        return where(slot) + ": no such bank";
+      }
+      if (k > 0 && step[k - 1].bank >= slot.bank) {
+        return where(slot) + ": slots not in ascending bank order";
+      }
+      const auto [begin, end] = bank_ranges_[slot.bank];
+      if (slot.instr.z < begin || slot.instr.z >= end) {
+        return where(slot) + ": destination @X" +
+               std::to_string(slot.instr.z + 1) + " outside the bank";
+      }
+      if (!written.insert(slot.instr.z).second) {
+        return where(slot) + ": two slots write @X" +
+               std::to_string(slot.instr.z + 1);
+      }
+      for (const auto op : {slot.instr.a, slot.instr.b}) {
+        if (op.is_input() && op.address() >= num_inputs()) {
+          return where(slot) + ": input operand out of range";
+        }
+        if (!op.is_rram()) {
+          continue;
+        }
+        if (op.address() >= cells) {
+          return where(slot) + ": operand cell out of range";
+        }
+        if (!slot.is_transfer &&
+            (op.address() < begin || op.address() >= end)) {
+          return where(slot) + ": non-transfer slot reads remote cell @X" +
+                 std::to_string(op.address() + 1);
+        }
+      }
+    }
+    // No slot may read a cell another slot of the same step writes (its
+    // own destination is fine: RM3 reads the pre-step value of Z).
+    for (const auto& slot : step) {
+      for (const auto op : {slot.instr.a, slot.instr.b}) {
+        if (op.is_rram() && op.address() != slot.instr.z &&
+            written.count(op.address()) != 0) {
+          return where(slot) + ": reads cell @X" +
+                 std::to_string(op.address() + 1) +
+                 " written in the same step";
+        }
+      }
+    }
+  }
+
+  for (const auto& [name, cell] : outputs_) {
+    if (cell >= cells) {
+      return "output " + name + " refers to cell out of range";
+    }
+  }
+  return {};
+}
+
+}  // namespace plim::sched

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/isa.hpp"
+
+namespace plim::util {
+class JsonWriter;
+}  // namespace plim::util
+
+namespace plim::sched {
+
+/// One instruction slot of a parallel step: which bank executes it and
+/// whether it is (half of) a cross-bank value transfer. Transfer slots are
+/// the only instructions allowed to read RRAM cells outside their own
+/// bank's range — they model the inter-bank copy bus.
+struct Slot {
+  std::uint32_t bank = 0;
+  arch::Instruction instr;
+  bool is_transfer = false;
+
+  friend bool operator==(const Slot&, const Slot&) noexcept = default;
+};
+
+/// A multi-bank PLiM program: a sequence of *steps*, each holding at most
+/// one RM3 instruction per bank, executed in lockstep (all reads see the
+/// pre-step state, all writes commit together). Every bank owns a
+/// contiguous, disjoint range of the global RRAM address space; compute
+/// instructions only touch cells of their own bank, so each bank's
+/// controller stays as simple as the paper's single-bank design.
+class ParallelProgram {
+ public:
+  ParallelProgram() = default;
+
+  // ---- construction ------------------------------------------------------
+
+  explicit ParallelProgram(std::uint32_t num_banks) : num_banks_(num_banks) {}
+
+  std::uint32_t add_input(std::string name);
+  void add_output(std::string name, std::uint32_t cell);
+
+  /// Declares that bank `bank` owns global cells [begin, end).
+  void set_bank_range(std::uint32_t bank, std::uint32_t begin,
+                      std::uint32_t end);
+
+  /// Opens a new (initially empty) step and returns its index.
+  std::uint32_t begin_step();
+
+  /// Appends a slot to the last opened step.
+  void add_slot(Slot slot);
+
+  // ---- queries -----------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t num_banks() const noexcept { return num_banks_; }
+  [[nodiscard]] std::uint32_t num_steps() const noexcept {
+    return static_cast<std::uint32_t>(steps_.size());
+  }
+  [[nodiscard]] const std::vector<Slot>& step(std::uint32_t s) const {
+    return steps_[s];
+  }
+
+  /// Global RRAM cells across all banks.
+  [[nodiscard]] std::uint32_t num_rrams() const noexcept;
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> bank_range(
+      std::uint32_t bank) const {
+    return bank_ranges_[bank];
+  }
+  /// Bank owning `cell` (num_banks() when outside every range).
+  [[nodiscard]] std::uint32_t bank_of_cell(std::uint32_t cell) const noexcept;
+
+  [[nodiscard]] std::uint32_t num_instructions() const noexcept;
+  [[nodiscard]] std::uint32_t num_transfer_instructions() const noexcept;
+
+  [[nodiscard]] std::uint32_t num_inputs() const noexcept {
+    return static_cast<std::uint32_t>(input_names_.size());
+  }
+  [[nodiscard]] const std::string& input_name(std::uint32_t i) const {
+    return input_names_[i];
+  }
+  [[nodiscard]] std::uint32_t num_outputs() const noexcept {
+    return static_cast<std::uint32_t>(outputs_.size());
+  }
+  [[nodiscard]] const std::string& output_name(std::uint32_t i) const {
+    return outputs_[i].first;
+  }
+  [[nodiscard]] std::uint32_t output_cell(std::uint32_t i) const {
+    return outputs_[i].second;
+  }
+
+  /// Structural sanity: bank ranges are disjoint and in bank order; every
+  /// step has at most one slot per bank, in ascending bank order; every
+  /// destination lies in the executing bank's range; non-transfer slots
+  /// read only local cells, inputs and constants; no slot reads a cell
+  /// another slot of the same step writes; outputs and operands are in
+  /// bounds. Returns an empty string when valid, otherwise a description
+  /// of the first violation.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::uint32_t num_banks_ = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> bank_ranges_;
+  std::vector<std::vector<Slot>> steps_;
+  std::vector<std::string> input_names_;
+  std::vector<std::pair<std::string, std::uint32_t>> outputs_;
+};
+
+/// Quality metrics of a multi-bank schedule, relative to the serial
+/// program it was derived from.
+struct ScheduleStats {
+  std::uint32_t banks = 0;
+  std::uint32_t serial_instructions = 0;
+  std::uint32_t parallel_instructions = 0;  ///< includes transfer copies
+  std::uint32_t transfers = 0;              ///< cross-bank value transfers
+  std::uint32_t steps = 0;
+  std::uint32_t critical_path = 0;  ///< RAW chain lower bound (serial)
+  std::uint32_t serial_rrams = 0;
+  std::uint32_t parallel_rrams = 0;  ///< sum over banks after remapping
+  double utilization = 0.0;  ///< parallel_instructions / (steps × banks)
+  double speedup = 0.0;      ///< serial_instructions / steps
+};
+
+/// Emits the stats as fields of the currently open JSON object — the one
+/// schema shared by `plimc --json` and the bench trajectory files.
+void write_json_fields(const ScheduleStats& stats, util::JsonWriter& json);
+
+}  // namespace plim::sched

@@ -1,0 +1,378 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace plim::sched {
+
+namespace {
+
+constexpr std::uint32_t npos = DependenceGraph::npos;
+
+/// Instruction over *virtual* cells: segments and transfer copies are
+/// renamed to unique ids (SSA-like), so cell-reuse WAR/WAW hazards of the
+/// serial program disappear; only true dependences — plus WAR edges
+/// against the next chain-write of a still-live segment — remain.
+struct VirtualInstr {
+  std::uint32_t bank = 0;
+  arch::Operand a;
+  arch::Operand b;
+  std::uint32_t z = 0;  ///< virtual cell
+  bool is_transfer = false;
+  std::vector<std::uint32_t> deps;  ///< predecessor virtual instructions
+};
+
+/// Segment → bank assignment: prefer the bank that already produces the
+/// segment's operands (each vote ≈ one avoided 2-instruction transfer),
+/// balanced against per-bank instruction load.
+std::vector<std::uint32_t> assign_banks(const DependenceGraph& graph,
+                                        std::uint32_t banks) {
+  const auto num_segments = graph.num_segments();
+  std::vector<std::uint32_t> seg_bank(num_segments, 0);
+  if (banks <= 1) {
+    return seg_bank;
+  }
+
+  std::vector<std::vector<std::uint32_t>> seg_instrs(num_segments);
+  for (std::uint32_t i = 0; i < graph.num_instructions(); ++i) {
+    seg_instrs[graph.segment_of(i)].push_back(i);
+  }
+
+  std::vector<std::uint64_t> load(banks, 0);
+  std::vector<std::int64_t> votes(banks, 0);
+  // Segment ids ascend by first write, so producers precede consumers.
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    std::fill(votes.begin(), votes.end(), 0);
+    for (const auto i : seg_instrs[s]) {
+      for (const auto def : {graph.def_of_a(i), graph.def_of_b(i)}) {
+        if (def == npos) {
+          continue;
+        }
+        const auto ps = graph.segment_of(def);
+        if (ps < s) {
+          ++votes[seg_bank[ps]];
+        }
+      }
+    }
+    const auto min_load = *std::min_element(load.begin(), load.end());
+    std::uint32_t best = 0;
+    std::int64_t best_score = 0;
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      const auto score =
+          2 * votes[b] - static_cast<std::int64_t>(load[b] - min_load);
+      if (b == 0 || score > best_score) {
+        best = b;
+        best_score = score;
+      }
+    }
+    seg_bank[s] = best;
+    load[best] += seg_instrs[s].size();
+  }
+  return seg_bank;
+}
+
+}  // namespace
+
+ScheduleResult schedule(const arch::Program& serial,
+                        const ScheduleOptions& opts) {
+  if (opts.banks == 0) {
+    throw std::invalid_argument("sched: banks must be >= 1");
+  }
+  const auto graph = DependenceGraph::build(serial);
+  if (graph.reads_initial_state()) {
+    throw std::invalid_argument(
+        "sched: program reads RRAM cells it never wrote; its behaviour "
+        "depends on pre-existing memory content and cannot be bank-remapped");
+  }
+  const auto banks = opts.banks;
+  const auto n = graph.num_instructions();
+  const auto seg_bank = assign_banks(graph, banks);
+
+  // ---- expansion: rename to virtual cells, materialize transfers --------
+  std::vector<VirtualInstr> virt;
+  virt.reserve(n);
+  std::vector<std::uint32_t> vidx_of(n, npos);
+  auto num_vcells = graph.num_segments();
+  std::vector<std::uint32_t> vcell_bank(num_vcells);
+  for (std::uint32_t s = 0; s < graph.num_segments(); ++s) {
+    vcell_bank[s] = seg_bank[s];
+  }
+  // Readers of each virtual cell's *current* value: the next chain-write
+  // must wait for them (the one WAR hazard renaming does not remove).
+  std::vector<std::vector<std::uint32_t>> vreaders(num_vcells);
+  struct Transfer {
+    std::uint32_t copy_vidx;
+    std::uint32_t cell;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Transfer> transfer_cache;
+  std::uint32_t transfers = 0;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& ins = serial[i];
+    const auto seg = graph.segment_of(i);
+    const auto bank = seg_bank[seg];
+
+    VirtualInstr v;
+    v.bank = bank;
+    v.z = seg;
+    if (!graph.is_reset(i)) {
+      v.deps.push_back(vidx_of[graph.def_of_z(i)]);
+    }
+
+    // Virtual cells this instruction reads; the final index of the
+    // instruction is only known after both operands resolved (resolving
+    // may emit transfer instructions), so reader registration is deferred.
+    std::vector<std::uint32_t> read_cells;
+
+    const auto resolve = [&](arch::Operand op,
+                             std::uint32_t def) -> arch::Operand {
+      if (!op.is_rram()) {
+        return op;
+      }
+      const auto pseg = graph.segment_of(def);
+      if (seg_bank[pseg] == bank) {
+        v.deps.push_back(vidx_of[def]);
+        read_cells.push_back(pseg);
+        return arch::Operand::rram(pseg);
+      }
+      const auto key = std::make_pair(def, bank);
+      auto it = transfer_cache.find(key);
+      if (it == transfer_cache.end()) {
+        const auto tcell = num_vcells++;
+        vcell_bank.push_back(bank);
+        vreaders.emplace_back();
+        VirtualInstr reset;
+        reset.bank = bank;
+        reset.a = arch::Operand::constant(false);
+        reset.b = arch::Operand::constant(true);
+        reset.z = tcell;
+        reset.is_transfer = true;
+        const auto reset_idx = static_cast<std::uint32_t>(virt.size());
+        virt.push_back(std::move(reset));
+        VirtualInstr copy;  // with the cell reset to 0: tcell ← src ∨ 0
+        copy.bank = bank;
+        copy.a = arch::Operand::rram(pseg);
+        copy.b = arch::Operand::constant(false);
+        copy.z = tcell;
+        copy.is_transfer = true;
+        copy.deps = {reset_idx, vidx_of[def]};
+        const auto copy_idx = static_cast<std::uint32_t>(virt.size());
+        vreaders[pseg].push_back(copy_idx);
+        virt.push_back(std::move(copy));
+        it = transfer_cache.emplace(key, Transfer{copy_idx, tcell}).first;
+        ++transfers;
+      }
+      v.deps.push_back(it->second.copy_vidx);
+      read_cells.push_back(it->second.cell);
+      return arch::Operand::rram(it->second.cell);
+    };
+    v.a = resolve(ins.a, graph.def_of_a(i));
+    v.b = resolve(ins.b, graph.def_of_b(i));
+
+    // WAR against readers of the value this write destroys. A reset is a
+    // segment's first write, so only chain continuations can clobber.
+    // The instruction itself is not yet registered as a reader, so no
+    // self-edge can arise.
+    if (!graph.is_reset(i)) {
+      for (const auto r : vreaders[seg]) {
+        v.deps.push_back(r);
+      }
+      vreaders[seg].clear();
+    }
+
+    const auto self = static_cast<std::uint32_t>(virt.size());
+    for (const auto cell : read_cells) {
+      if (cell != seg) {  // a chain-write's own Z read needs no WAR edge
+        vreaders[cell].push_back(self);
+      }
+    }
+    vidx_of[i] = self;
+    virt.push_back(std::move(v));
+  }
+
+  const auto vn = static_cast<std::uint32_t>(virt.size());
+  for (auto& v : virt) {
+    std::sort(v.deps.begin(), v.deps.end());
+    v.deps.erase(std::unique(v.deps.begin(), v.deps.end()), v.deps.end());
+  }
+
+  // ---- list scheduling by critical-path height --------------------------
+  std::vector<std::uint32_t> height(vn, 1);
+  for (std::uint32_t i = vn; i-- > 0;) {
+    for (const auto p : virt[i].deps) {
+      height[p] = std::max(height[p], height[i] + 1);
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> succs(vn);
+  std::vector<std::uint32_t> remaining(vn, 0);
+  for (std::uint32_t i = 0; i < vn; ++i) {
+    remaining[i] = static_cast<std::uint32_t>(virt[i].deps.size());
+    for (const auto p : virt[i].deps) {
+      succs[p].push_back(i);
+    }
+  }
+  // Max-heap per bank: (height, ~vidx) prefers tall chains, then serial
+  // order for determinism.
+  using Prio = std::pair<std::uint32_t, std::uint32_t>;
+  std::vector<std::priority_queue<Prio>> ready(banks);
+  for (std::uint32_t i = 0; i < vn; ++i) {
+    if (remaining[i] == 0) {
+      ready[virt[i].bank].push({height[i], ~i});
+    }
+  }
+  std::vector<std::uint32_t> step_of(vn, npos);
+  std::vector<std::vector<std::uint32_t>> step_instrs;
+  std::uint32_t scheduled = 0;
+  while (scheduled < vn) {
+    const auto t = static_cast<std::uint32_t>(step_instrs.size());
+    auto& step = step_instrs.emplace_back();
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      if (ready[b].empty()) {
+        continue;
+      }
+      const auto vidx = ~ready[b].top().second;
+      ready[b].pop();
+      step_of[vidx] = t;
+      step.push_back(vidx);
+    }
+    if (step.empty()) {
+      throw std::logic_error("sched: dependence cycle in virtual program");
+    }
+    scheduled += static_cast<std::uint32_t>(step.size());
+    for (const auto vidx : step) {
+      for (const auto s : succs[vidx]) {
+        if (--remaining[s] == 0) {
+          ready[virt[s].bank].push({height[s], ~s});
+        }
+      }
+    }
+  }
+  const auto num_steps = static_cast<std::uint32_t>(step_instrs.size());
+
+  // ---- physical allocation: disjoint per-bank ranges, FIFO recycling ----
+  std::vector<std::uint32_t> first_step(num_vcells, npos);
+  std::vector<std::uint32_t> last_step(num_vcells, 0);
+  for (std::uint32_t i = 0; i < vn; ++i) {
+    const auto t = step_of[i];
+    const auto touch = [&](std::uint32_t cell) {
+      first_step[cell] = std::min(first_step[cell], t);
+      last_step[cell] = std::max(last_step[cell], t);
+    };
+    touch(virt[i].z);
+    for (const auto op : {virt[i].a, virt[i].b}) {
+      if (op.is_rram()) {
+        touch(op.address());
+      }
+    }
+  }
+
+  // Output cells live forever: pin the final segment of each output cell.
+  std::vector<bool> pinned(num_vcells, false);
+  std::vector<std::uint32_t> last_segment_of_cell(serial.num_rrams(), npos);
+  for (std::uint32_t s = 0; s < graph.num_segments(); ++s) {
+    last_segment_of_cell[graph.segment(s).cell] = s;
+  }
+  for (std::uint32_t o = 0; o < serial.num_outputs(); ++o) {
+    const auto seg = last_segment_of_cell[serial.output_cell(o)];
+    if (seg == npos) {
+      throw std::invalid_argument("sched: output '" + serial.output_name(o) +
+                                  "' reads a never-written cell");
+    }
+    pinned[seg] = true;
+  }
+
+  std::vector<std::uint32_t> order(num_vcells);
+  for (std::uint32_t c = 0; c < num_vcells; ++c) {
+    order[c] = c;
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    return std::make_pair(first_step[x], x) < std::make_pair(first_step[y], y);
+  });
+  using Free = std::pair<std::uint32_t, std::uint32_t>;  // (free_at, local)
+  std::vector<std::priority_queue<Free, std::vector<Free>, std::greater<>>>
+      free_cells(banks);
+  std::vector<std::uint32_t> bank_size(banks, 0);
+  std::vector<std::uint32_t> local_of(num_vcells, npos);
+  for (const auto c : order) {
+    if (first_step[c] == npos) {
+      continue;  // virtual cell never touched (cannot happen, but safe)
+    }
+    const auto b = vcell_bank[c];
+    std::uint32_t local;
+    if (!free_cells[b].empty() && free_cells[b].top().first <= first_step[c]) {
+      local = free_cells[b].top().second;
+      free_cells[b].pop();
+    } else {
+      local = bank_size[b]++;
+    }
+    local_of[c] = local;
+    if (!pinned[c]) {
+      free_cells[b].push({last_step[c] + 1, local});
+    }
+  }
+
+  std::vector<std::uint32_t> bank_base(banks, 0);
+  for (std::uint32_t b = 1; b < banks; ++b) {
+    bank_base[b] = bank_base[b - 1] + bank_size[b - 1];
+  }
+  const auto final_cell = [&](std::uint32_t vcell) {
+    return bank_base[vcell_bank[vcell]] + local_of[vcell];
+  };
+
+  // ---- emit -------------------------------------------------------------
+  ScheduleResult result;
+  auto& pp = result.program;
+  pp = ParallelProgram(banks);
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    pp.set_bank_range(b, bank_base[b], bank_base[b] + bank_size[b]);
+  }
+  for (std::uint32_t i = 0; i < serial.num_inputs(); ++i) {
+    pp.add_input(serial.input_name(i));
+  }
+  const auto remap = [&](arch::Operand op) {
+    return op.is_rram() ? arch::Operand::rram(final_cell(op.address())) : op;
+  };
+  for (const auto& step : step_instrs) {
+    auto slots = step;
+    std::sort(slots.begin(), slots.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return virt[x].bank < virt[y].bank;
+              });
+    pp.begin_step();
+    for (const auto vidx : slots) {
+      const auto& v = virt[vidx];
+      pp.add_slot({v.bank,
+                   arch::Instruction{remap(v.a), remap(v.b), final_cell(v.z)},
+                   v.is_transfer});
+    }
+  }
+  for (std::uint32_t o = 0; o < serial.num_outputs(); ++o) {
+    pp.add_output(serial.output_name(o),
+                  final_cell(last_segment_of_cell[serial.output_cell(o)]));
+  }
+
+  auto& stats = result.stats;
+  stats.banks = banks;
+  stats.serial_instructions = n;
+  stats.parallel_instructions = vn;
+  stats.transfers = transfers;
+  stats.steps = num_steps;
+  stats.critical_path = graph.critical_path();
+  stats.serial_rrams = serial.num_rrams();
+  stats.parallel_rrams = pp.num_rrams();
+  stats.utilization =
+      num_steps > 0 ? static_cast<double>(vn) /
+                          (static_cast<double>(num_steps) * banks)
+                    : 1.0;
+  stats.speedup =
+      num_steps > 0 ? static_cast<double>(n) / num_steps : 1.0;
+  return result;
+}
+
+}  // namespace plim::sched

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/program.hpp"
+#include "sched/depgraph.hpp"
+#include "sched/parallel_program.hpp"
+
+namespace plim::sched {
+
+struct ScheduleOptions {
+  /// Number of PLiM banks executing in lockstep. One bank degenerates to
+  /// the serial program (modulo cell renaming).
+  std::uint32_t banks = 4;
+};
+
+struct ScheduleResult {
+  ParallelProgram program;
+  ScheduleStats stats;
+};
+
+/// Compiles a serial PLiM program into a multi-bank parallel schedule:
+///
+///  1. builds the register-level dependence graph and splits the program
+///     into value-lifetime segments (see sched/depgraph.hpp);
+///  2. assigns each segment to a bank, preferring the bank that already
+///     produces the segment's operands (fewer transfers) and breaking
+///     ties toward the least-loaded bank;
+///  3. renames segments onto bank-local cells — renaming eliminates the
+///     WAR/WAW hazards that serial cell reuse created, so only true (RAW)
+///     dependences constrain the schedule — and materializes every
+///     cross-bank operand as an explicit 2-instruction transfer copy
+///     (reset + RM3 copy) in the consuming bank, cached per produced
+///     value so repeated remote reads pay once per bank;
+///  4. list-schedules the result by critical-path height into steps of at
+///     most one instruction per bank;
+///  5. maps the renamed cells onto a disjoint contiguous cell range per
+///     bank, recycling dead cells FIFO (the paper's endurance-minded
+///     policy) once their last scheduled use has passed.
+///
+/// Throws std::invalid_argument when the program reads memory it never
+/// wrote (its behaviour would depend on pre-existing RRAM content, which
+/// a bank-remapped program cannot reproduce) or when an output cell is
+/// never written, and when `opts.banks` is 0.
+[[nodiscard]] ScheduleResult schedule(const arch::Program& serial,
+                                      const ScheduleOptions& opts = {});
+
+}  // namespace plim::sched

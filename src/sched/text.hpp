@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/parallel_program.hpp"
+
+namespace plim::sched {
+
+/// Renders a parallel program in an extension of the paper's listing
+/// syntax: one line per step, slots separated by '|', each slot tagged
+/// with its executing bank ("b<k>:"); transfer slots are tagged "b<k>*:".
+///
+///   # parallel banks 2
+///   # input 0 i1
+///   # bank 0 @X1..@X3
+///   # bank 1 @X4..@X5
+///   01: b0: 0, 1, @X1 | b1: 0, 1, @X4
+///   02: b0: i1, 0, @X1 | b1*: @X1, 0, @X4
+///   # output f @X4
+///
+/// Bank ranges are 1-based inclusive ("@X1..@X3" = cells 0..2); a bank
+/// without cells prints as "# bank <k> empty".
+[[nodiscard]] std::string to_text(const ParallelProgram& program);
+void write_text(const ParallelProgram& program, std::ostream& os);
+
+/// Parses the textual form back (round-trip of `to_text`). Throws
+/// std::runtime_error on malformed input or when the reconstructed
+/// program fails ParallelProgram::validate().
+[[nodiscard]] ParallelProgram parse_parallel_program(const std::string& text);
+
+}  // namespace plim::sched

@@ -1,0 +1,37 @@
+#include "sched/verify.hpp"
+
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "util/rng.hpp"
+
+namespace plim::sched {
+
+bool equivalent_to_serial(const arch::Program& serial,
+                          const ParallelProgram& parallel, unsigned rounds,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (unsigned round = 0; round < rounds; ++round) {
+    std::vector<std::uint64_t> in(serial.num_inputs());
+    for (auto& w : in) {
+      w = rng.next();
+    }
+    std::vector<std::uint64_t> init_serial(serial.num_rrams());
+    for (auto& w : init_serial) {
+      w = rng.next();
+    }
+    std::vector<std::uint64_t> init_parallel(parallel.num_rrams());
+    for (auto& w : init_parallel) {
+      w = rng.next();
+    }
+    arch::Machine serial_machine;
+    arch::Machine parallel_machine;
+    if (serial_machine.run_words(serial, in, init_serial) !=
+        parallel_machine.run_parallel_words(parallel, in, init_parallel)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace plim::sched

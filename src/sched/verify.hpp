@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/program.hpp"
+#include "sched/parallel_program.hpp"
+
+namespace plim::sched {
+
+/// Cross-checks a scheduled program against the serial program it was
+/// derived from: `rounds` × 64 random input vectors, each run with
+/// independently randomized initial RRAM content on both machines (a
+/// correct schedule, like a correct serial program, initializes every
+/// cell before reading it). Returns true when all outputs agree.
+[[nodiscard]] bool equivalent_to_serial(const arch::Program& serial,
+                                        const ParallelProgram& parallel,
+                                        unsigned rounds = 8,
+                                        std::uint64_t seed = 1);
+
+}  // namespace plim::sched

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 
 namespace plim::util {
 
@@ -26,6 +29,135 @@ Summary summarize(const std::vector<std::uint64_t>& samples) {
   }
   s.stddev = std::sqrt(acc / static_cast<double>(s.count));
   return s;
+}
+
+void JsonWriter::comma() {
+  if (!first_.empty()) {
+    if (!first_.back()) {
+      out_ += ',';
+    }
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma();
+  escape(k);
+  out_ += ':';
+}
+
+void JsonWriter::escape(const std::string& s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& k) {
+  key(k);
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& k) {
+  key(k);
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, const std::string& value) {
+  key(k);
+  escape(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, const char* value) {
+  return field(k, std::string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, std::uint64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, std::uint32_t value) {
+  return field(k, static_cast<std::uint64_t>(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, double value) {
+  key(k);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+bool emit_json(const JsonWriter& json, const std::string& path,
+               const std::string& tool) {
+  if (path == "-") {
+    std::cout << json.str() << '\n';
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << tool << ": cannot write " << path << '\n';
+    return false;
+  }
+  out << json.str() << '\n';
+  return true;
 }
 
 }  // namespace plim::util

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace plim::util {
@@ -18,5 +19,53 @@ struct Summary {
 
 /// Computes summary statistics; an empty sample yields a zeroed Summary.
 [[nodiscard]] Summary summarize(const std::vector<std::uint64_t>& samples);
+
+/// Minimal JSON emitter for the machine-readable stats blocks the tools
+/// print (plimc --json, bench trajectory files). Produces deterministic,
+/// insertion-ordered output; strings are escaped per RFC 8259.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.field("benchmark", "adder");
+///   w.field("instructions", std::uint64_t{1811});
+///   w.begin_array("banks");
+///   w.begin_object();
+///   ...
+///   w.end_object();
+///   w.end_array();
+///   w.end_object();
+///   std::cout << w.str() << '\n';
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(const std::string& key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key);
+  JsonWriter& end_array();
+
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, const char* value);
+  JsonWriter& field(const std::string& key, std::uint64_t value);
+  JsonWriter& field(const std::string& key, std::uint32_t value);
+  JsonWriter& field(const std::string& key, double value);
+  JsonWriter& field(const std::string& key, bool value);
+
+  /// The document so far; valid JSON once every scope is closed.
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma();
+  void key(const std::string& k);
+  void escape(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> first_;  ///< per open scope: no element emitted yet
+};
+
+/// Writes `doc` (plus a trailing newline) to `path`, or to stdout when
+/// `path` is "-". On failure prints "<tool>: cannot write <path>" to
+/// stderr and returns false.
+bool emit_json(const JsonWriter& json, const std::string& path,
+               const std::string& tool);
 
 }  // namespace plim::util

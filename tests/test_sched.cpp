@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "arch/program.hpp"
+#include "circuits/epfl.hpp"
+#include "core/compiler.hpp"
+#include "core/pipeline.hpp"
+#include "mig/random.hpp"
+#include "sched/depgraph.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/text.hpp"
+#include "sched/verify.hpp"
+#include "util/rng.hpp"
+
+namespace plim::sched {
+namespace {
+
+constexpr std::uint32_t kBankCounts[] = {1, 2, 4, 8};
+
+/// Serial and scheduled programs must agree on random input vectors with
+/// independently randomized initial RRAM content (a correct schedule
+/// initializes every cell before reading it, exactly like the serial
+/// compiler output does).
+void expect_equivalent(const arch::Program& serial,
+                       const ParallelProgram& parallel, std::uint64_t seed,
+                       unsigned rounds = 4) {
+  EXPECT_TRUE(equivalent_to_serial(serial, parallel, rounds, seed));
+}
+
+void expect_schedules_equivalent(const arch::Program& serial,
+                                 std::uint64_t seed) {
+  for (const auto banks : kBankCounts) {
+    const auto result = schedule(serial, {banks});
+    EXPECT_EQ(result.program.validate(), "") << banks << " banks";
+    EXPECT_EQ(result.stats.parallel_instructions,
+              result.stats.serial_instructions + 2 * result.stats.transfers);
+    EXPECT_EQ(result.program.num_instructions(),
+              result.stats.parallel_instructions);
+    EXPECT_EQ(result.program.num_transfer_instructions(),
+              2 * result.stats.transfers);
+    EXPECT_GE(result.stats.steps, result.stats.critical_path);
+    expect_equivalent(serial, result.program, seed + banks);
+  }
+}
+
+// ---- dependence graph -------------------------------------------------------
+
+bool has_dep(const DependenceGraph& g, std::uint32_t to, std::uint32_t from,
+             DepKind kind) {
+  for (const auto& d : g.deps(to)) {
+    if (d.pred == from && d.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(DepGraph, ChainAndSegments) {
+  arch::Program p;
+  const auto a = p.add_input("a");
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
+  p.append(arch::Operand::input(a), arch::Operand::constant(false), 0);
+  p.append(arch::Operand::input(a), arch::Operand::input(a), 0);
+  p.add_output("f", 0);
+
+  const auto g = DependenceGraph::build(p);
+  ASSERT_EQ(g.num_instructions(), 3u);
+  EXPECT_TRUE(g.is_reset(0));
+  EXPECT_FALSE(g.is_reset(1));
+  EXPECT_FALSE(g.reads_initial_state());
+  // One segment: the reset and both chain writes.
+  ASSERT_EQ(g.num_segments(), 1u);
+  EXPECT_EQ(g.segment(0).first_write, 0u);
+  EXPECT_EQ(g.segment(0).last_write, 2u);
+  EXPECT_TRUE(has_dep(g, 1, 0, DepKind::raw));
+  EXPECT_TRUE(has_dep(g, 2, 1, DepKind::raw));
+  EXPECT_EQ(g.critical_path(), 3u);
+}
+
+TEST(DepGraph, CellReuseMakesWarAndWawEdges) {
+  arch::Program p;
+  const auto a = p.add_input("a");
+  const auto b = p.add_input("b");
+  // X1 ← a; X2 ← X1; X1 reused for b (reset): WAW with the old write,
+  // WAR with the read in instruction 3.
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
+  p.append(arch::Operand::input(a), arch::Operand::constant(false), 0);
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 1);
+  p.append(arch::Operand::rram(0), arch::Operand::constant(false), 1);
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
+  p.append(arch::Operand::input(b), arch::Operand::constant(false), 0);
+  p.add_output("f", 1);
+  p.add_output("g", 0);
+
+  const auto g = DependenceGraph::build(p);
+  EXPECT_TRUE(has_dep(g, 3, 1, DepKind::raw));  // X2 ← X1 reads the value
+  EXPECT_TRUE(has_dep(g, 4, 1, DepKind::waw));  // re-reset overwrites it
+  EXPECT_TRUE(has_dep(g, 4, 3, DepKind::war));  // ... after the read
+  ASSERT_EQ(g.num_segments(), 3u);
+  EXPECT_EQ(g.segment_of(5), 2u);
+}
+
+TEST(DepGraph, DetectsInitialStateReads) {
+  arch::Program p;
+  p.add_input("a");
+  p.append(arch::Operand::rram(1), arch::Operand::constant(false), 0);
+  p.ensure_rram_count(2);
+  const auto g = DependenceGraph::build(p);
+  EXPECT_TRUE(g.reads_initial_state());
+  EXPECT_THROW((void)schedule(p, {2}), std::invalid_argument);
+}
+
+// ---- hazard regressions -----------------------------------------------------
+
+/// Cell-reuse hazard: a freed cell is re-initialized for an unrelated
+/// value while the old value is still being consumed. A scheduler that
+/// ignores WAR/WAW (or renames incorrectly) reorders the re-initialization
+/// before the consume and computes g = b instead of g = a.
+TEST(SchedHazards, WarWawOnReusedCell) {
+  arch::Program p;
+  const auto a = p.add_input("a");
+  const auto b = p.add_input("b");
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
+  p.append(arch::Operand::input(a), arch::Operand::constant(false), 0);
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 1);
+  p.append(arch::Operand::rram(0), arch::Operand::constant(false), 1);
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
+  p.append(arch::Operand::input(b), arch::Operand::constant(false), 0);
+  p.add_output("f", 0);
+  p.add_output("g", 1);
+
+  for (const auto banks : kBankCounts) {
+    const auto result = schedule(p, {banks});
+    ASSERT_EQ(result.program.validate(), "");
+    arch::Machine machine;
+    for (unsigned v = 0; v < 4; ++v) {
+      const bool av = (v & 1) != 0;
+      const bool bv = (v & 2) != 0;
+      const auto out = machine.run_parallel(result.program, {av, bv});
+      ASSERT_EQ(out.size(), 2u);
+      EXPECT_EQ(out[0], bv) << "banks " << banks;
+      EXPECT_EQ(out[1], av) << "banks " << banks;
+    }
+  }
+}
+
+/// Mid-segment read hazard: instruction 3 reads X1 between two chain
+/// writes of the same segment. Renaming does not help here — the next
+/// chain write must still wait for the read (WAR inside one lifetime).
+TEST(SchedHazards, MidSegmentReadVersusChainWrite) {
+  arch::Program p;
+  const auto a = p.add_input("a");
+  const auto b = p.add_input("b");
+  const auto c = p.add_input("c");
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
+  p.append(arch::Operand::input(a), arch::Operand::constant(false), 0);
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 1);
+  p.append(arch::Operand::rram(0), arch::Operand::constant(false), 1);
+  // Chain continues on X1: X1 ← ⟨b c̄ a⟩ — not a reset, same segment.
+  p.append(arch::Operand::input(b), arch::Operand::input(c), 0);
+  p.add_output("f", 0);
+  p.add_output("g", 1);
+
+  const auto g = DependenceGraph::build(p);
+  ASSERT_EQ(g.num_segments(), 2u);  // the late write extends segment 0
+
+  for (const auto banks : kBankCounts) {
+    const auto result = schedule(p, {banks});
+    ASSERT_EQ(result.program.validate(), "");
+    arch::Machine machine;
+    for (unsigned v = 0; v < 8; ++v) {
+      const bool av = (v & 1) != 0;
+      const bool bv = (v & 2) != 0;
+      const bool cv = (v & 4) != 0;
+      const auto out = machine.run_parallel(result.program, {av, bv, cv});
+      const bool n1 = (bv && !cv) || (bv && av) || (!cv && av);
+      ASSERT_EQ(out.size(), 2u);
+      EXPECT_EQ(out[0], n1) << "banks " << banks << " v " << v;
+      EXPECT_EQ(out[1], av) << "banks " << banks << " v " << v;
+    }
+  }
+}
+
+// ---- randomized equivalence -------------------------------------------------
+
+TEST(SchedEquivalence, RandomMigs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    mig::RandomMigOptions opts;
+    opts.num_pis = 5 + static_cast<std::uint32_t>(seed % 3);
+    opts.num_gates = 30 + static_cast<std::uint32_t>(seed * 17 % 50);
+    opts.num_pos = 3;
+    const auto network = mig::random_mig(opts, seed);
+    const auto compiled = core::compile(network);
+    expect_schedules_equivalent(compiled.program, seed * 1000);
+  }
+}
+
+TEST(SchedEquivalence, ComponentCircuits) {
+  const auto migs = {
+      circuits::make_adder(8),
+      circuits::make_dec(4),
+      circuits::make_priority(16),
+      circuits::make_ctrl(),
+      circuits::make_int2float(),
+  };
+  std::uint64_t seed = 42;
+  for (const auto& network : migs) {
+    const auto compiled = core::compile(network);
+    expect_schedules_equivalent(compiled.program, seed++);
+  }
+}
+
+TEST(SchedEquivalence, NaiveCompiledProgramsToo) {
+  // Index-order translation exercises different allocation patterns.
+  core::CompileOptions opts;
+  opts.smart_candidates = false;
+  opts.allocation = core::AllocationPolicy::lifo;
+  const auto compiled = core::compile(circuits::make_cavlc(), opts);
+  expect_schedules_equivalent(compiled.program, 7);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(SchedStats, SingleBankDegeneratesToSerial) {
+  const auto compiled = core::compile(circuits::make_int2float());
+  const auto result = schedule(compiled.program, {1});
+  EXPECT_EQ(result.stats.transfers, 0u);
+  EXPECT_EQ(result.stats.steps, result.stats.serial_instructions);
+  EXPECT_DOUBLE_EQ(result.stats.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(result.stats.utilization, 1.0);
+}
+
+TEST(SchedStats, MultiBankSpeedsUp) {
+  const auto compiled = core::compile(circuits::make_int2float());
+  const auto result = schedule(compiled.program, {4});
+  EXPECT_GT(result.stats.speedup, 1.2);
+  EXPECT_GT(result.stats.transfers, 0u);
+  EXPECT_LE(result.stats.utilization, 1.0);
+  EXPECT_GE(result.stats.steps, result.stats.critical_path);
+}
+
+TEST(SchedStats, MachineAccountsCyclesPerStep) {
+  const auto compiled = core::compile(circuits::make_ctrl());
+  const auto result = schedule(compiled.program, {4});
+  arch::Machine machine;
+  std::vector<std::uint64_t> in(compiled.program.num_inputs(), 0);
+  (void)machine.run_parallel_words(result.program, in);
+  EXPECT_EQ(machine.cycles(), std::uint64_t{result.stats.steps} *
+                                  arch::Machine::phases_per_instruction);
+  EXPECT_EQ(machine.instructions_executed(),
+            result.stats.parallel_instructions);
+}
+
+// ---- machine conflict detection ---------------------------------------------
+
+TEST(RunParallel, RejectsDoubleWriteInOneStep) {
+  ParallelProgram p(2);
+  p.set_bank_range(0, 0, 1);
+  p.set_bank_range(1, 1, 2);
+  p.begin_step();
+  p.add_slot({0, {arch::Operand::constant(false),
+                  arch::Operand::constant(true), 0}, false});
+  p.add_slot({1, {arch::Operand::constant(true),
+                  arch::Operand::constant(false), 0}, false});
+  arch::Machine machine;
+  EXPECT_THROW((void)machine.run_parallel(p, {}), std::logic_error);
+}
+
+TEST(RunParallel, RejectsReadOfCellWrittenInSameStep) {
+  ParallelProgram p(2);
+  p.set_bank_range(0, 0, 1);
+  p.set_bank_range(1, 1, 2);
+  p.begin_step();
+  p.add_slot({0, {arch::Operand::constant(false),
+                  arch::Operand::constant(true), 0}, false});
+  p.add_slot({1, {arch::Operand::rram(0), arch::Operand::constant(false), 1},
+              true});
+  arch::Machine machine;
+  EXPECT_THROW((void)machine.run_parallel(p, {}), std::logic_error);
+}
+
+TEST(RunParallel, RejectsWrongInputCount) {
+  const auto compiled = core::compile(circuits::make_ctrl());
+  const auto result = schedule(compiled.program, {2});
+  arch::Machine machine;
+  EXPECT_THROW((void)machine.run_parallel(result.program, {true}),
+               std::invalid_argument);
+}
+
+// ---- validation -------------------------------------------------------------
+
+TEST(ParallelValidate, CatchesRemoteReadByComputeSlot) {
+  ParallelProgram p(2);
+  p.set_bank_range(0, 0, 1);
+  p.set_bank_range(1, 1, 2);
+  p.begin_step();
+  p.add_slot({1, {arch::Operand::rram(0), arch::Operand::constant(false), 1},
+              false});
+  EXPECT_NE(p.validate().find("remote cell"), std::string::npos);
+}
+
+TEST(ParallelValidate, CatchesDestinationOutsideBank) {
+  ParallelProgram p(2);
+  p.set_bank_range(0, 0, 1);
+  p.set_bank_range(1, 1, 2);
+  p.begin_step();
+  p.add_slot({0, {arch::Operand::constant(false),
+                  arch::Operand::constant(true), 1}, false});
+  EXPECT_NE(p.validate().find("outside the bank"), std::string::npos);
+}
+
+TEST(ParallelValidate, AcceptsTransferReadingRemote) {
+  ParallelProgram p(2);
+  p.set_bank_range(0, 0, 1);
+  p.set_bank_range(1, 1, 2);
+  p.begin_step();
+  p.add_slot({0, {arch::Operand::constant(false),
+                  arch::Operand::constant(true), 0}, false});
+  p.add_slot({1, {arch::Operand::constant(false),
+                  arch::Operand::constant(true), 1}, true});
+  p.begin_step();
+  p.add_slot({1, {arch::Operand::rram(0), arch::Operand::constant(false), 1},
+              true});
+  EXPECT_EQ(p.validate(), "");
+}
+
+// ---- text round trip --------------------------------------------------------
+
+TEST(ParallelText, RoundTrips) {
+  const auto compiled = core::compile(circuits::make_int2float());
+  const auto result = schedule(compiled.program, {3});
+  const auto text = to_text(result.program);
+  const auto parsed = parse_parallel_program(text);
+  EXPECT_EQ(to_text(parsed), text);
+  ASSERT_EQ(parsed.num_steps(), result.program.num_steps());
+  ASSERT_EQ(parsed.num_banks(), result.program.num_banks());
+  for (std::uint32_t s = 0; s < parsed.num_steps(); ++s) {
+    ASSERT_EQ(parsed.step(s), result.program.step(s)) << "step " << s;
+  }
+  expect_equivalent(compiled.program, parsed, 1234);
+}
+
+TEST(ParallelText, RoundTripsWithEmptyBanks) {
+  // Fewer segments than banks leaves some banks without cells; their
+  // "# bank <k> empty" lines must still round-trip through the parser.
+  arch::Program p;
+  const auto a = p.add_input("a");
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
+  p.append(arch::Operand::input(a), arch::Operand::constant(false), 0);
+  p.add_output("f", 0);
+  const auto result = schedule(p, {8});
+  const auto text = to_text(result.program);
+  EXPECT_NE(text.find("empty"), std::string::npos);
+  const auto parsed = parse_parallel_program(text);
+  EXPECT_EQ(to_text(parsed), text);
+  expect_equivalent(p, parsed, 77);
+}
+
+TEST(ParallelText, ParseRejectsMalformed) {
+  EXPECT_THROW((void)parse_parallel_program("01: b0: 0, 1, @X1"),
+               std::runtime_error);  // no banks header
+  EXPECT_THROW(
+      (void)parse_parallel_program("# parallel banks 1\n01: 0, 1, @X1"),
+      std::runtime_error);  // missing bank tag
+  EXPECT_THROW(
+      (void)parse_parallel_program(
+          "# parallel banks 1\n# bank 0 @X1..@X1\n01: b4: 0, 1, @X1"),
+      std::runtime_error);  // bank out of range fails validation
+  EXPECT_THROW((void)parse_parallel_program("# parallel banks x"),
+               std::runtime_error);  // malformed number, not logic_error
+  EXPECT_THROW(
+      (void)parse_parallel_program(
+          "# parallel banks 1\n# bank 0 @X1..@X1\n01: bzz: 0, 1, @X1"),
+      std::runtime_error);  // malformed bank tag number
+}
+
+// ---- pipeline integration ---------------------------------------------------
+
+TEST(Pipeline, OptionalSchedulingStage) {
+  const auto network = circuits::make_cavlc();
+  const auto without = core::run_pipeline(
+      network, core::PipelineConfig::rewriting_and_compilation);
+  EXPECT_FALSE(without.schedule.has_value());
+  const auto with = core::run_pipeline(
+      network, core::PipelineConfig::rewriting_and_compilation, {}, {}, 4);
+  ASSERT_TRUE(with.schedule.has_value());
+  EXPECT_EQ(with.schedule->stats.banks, 4u);
+  EXPECT_EQ(with.schedule->program.validate(), "");
+  expect_equivalent(with.compiled.program, with.schedule->program, 99);
+}
+
+}  // namespace
+}  // namespace plim::sched
