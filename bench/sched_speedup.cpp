@@ -1,26 +1,47 @@
 /// Multi-bank scheduling sweep over the EPFL benchmarks: compiles every
-/// circuit with the full DAC'16 pipeline, list-schedules the serial RM3
-/// program onto 1/2/4/8 PLiM banks, cross-checks each schedule against
-/// the serial program on random 64-lane patterns, and reports steps,
-/// utilization, transfer overhead and step-count speedup per bank count.
+/// circuit with the full DAC'16 pipeline and schedules it onto 1/2/4/8
+/// PLiM banks under both placement modes —
+///
+///   post      the serial program is re-partitioned after the fact
+///             (heavy-edge clustering + cost-model bank assignment), and
+///   compiler  the compiler places node values into per-bank cell ranges
+///             (core::BankedAllocator) and the scheduler follows its
+///             placement hints —
+///
+/// plus a bounded-bus sweep (widths 1, 2, unbounded) at 4 banks for both
+/// modes. Every schedule is cross-checked against its serial program on
+/// random 64-lane patterns, and the whole trajectory is emitted as JSON
+/// (BENCH_sched.json in CI) so scheduler performance is tracked across
+/// PRs.
 ///
 /// Exits non-zero when any schedule diverges from its serial program or
-/// when the average 4-bank speedup drops to ≤ 1.2× — the regression bar
-/// this subsystem is held to.
+/// when a regression bar breaks:
+///   - average post-placement 4-bank speedup must stay above 1.2x,
+///   - voter at 8 banks must take fewer steps than at 4 banks (the
+///     majority-subtree clustering guarantee), and
+///   - compiler-side placement must need fewer total 4-bank transfers
+///     than the un-clustered post-hoc assignment (PR 1's scheme).
 ///
 /// Usage: sched_speedup [--benchmark <name>] [--effort N] [--rounds N]
-///                      [--json <file|->] [--no-verify]
+///                      [--json <file|->] [--no-verify] [--smoke]
+///
+/// --smoke restricts the sweep to the six small control circuits at
+/// effort 1 with one verification round — the CI-friendly mode that
+/// still exercises every code path.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "circuits/epfl.hpp"
-#include "core/pipeline.hpp"
+#include "core/compiler.hpp"
+#include "mig/cleanup.hpp"
+#include "mig/rewriting.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/verify.hpp"
 #include "util/stats.hpp"
@@ -29,12 +50,20 @@
 namespace {
 
 constexpr std::uint32_t kBankCounts[] = {1, 2, 4, 8};
+constexpr std::uint32_t kBusWidths[] = {1, 2, 0};  // 0 = unbounded
+constexpr const char* kSmokeSet[] = {"ctrl",      "cavlc", "int2float",
+                                     "router",    "dec",   "priority"};
 
 std::string fixed2(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.2f", v);
   return buf;
 }
+
+struct ModeTotals {
+  double speedup4_sum = 0.0;
+  std::uint64_t transfers4 = 0;
+};
 
 }  // namespace
 
@@ -44,6 +73,7 @@ int main(int argc, char** argv) {
   unsigned effort = 4;
   unsigned rounds = 2;
   bool verify = true;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--benchmark") == 0 && i + 1 < argc) {
       only = argv[++i];
@@ -55,33 +85,54 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--no-verify") == 0) {
       verify = false;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     } else {
       std::cerr << "usage: sched_speedup [--benchmark <name>] [--effort N] "
-                   "[--rounds N] [--json <file|->] [--no-verify]\n";
+                   "[--rounds N] [--json <file|->] [--no-verify] [--smoke]\n";
       return 2;
     }
   }
+  if (smoke) {
+    effort = std::min(effort, 1u);
+    rounds = 1;
+  }
+  const auto in_smoke_set = [&](const std::string& name) {
+    for (const auto* s : kSmokeSet) {
+      if (name == s) {
+        return true;
+      }
+    }
+    return false;
+  };
 
   plim::mig::RewriteOptions ropts;
   ropts.effort = effort;
 
-  std::vector<std::string> header = {"Benchmark", "#I", "#R"};
+  // #I@4: instruction count of the serial program the 4-bank schedule
+  // runs on (compiler placement recompiles per bank count, so the serial
+  // stream differs across columns; 4 banks is the headline config).
+  std::vector<std::string> header = {"Benchmark", "Mode", "#I@4"};
   for (const auto banks : kBankCounts) {
     const auto b = std::to_string(banks);
     header.push_back("steps@" + b);
-    header.push_back("util@" + b);
     header.push_back("xfer@" + b);
     header.push_back("speedup@" + b);
   }
+  header.push_back("steps@4/bus1");
   plim::util::TablePrinter table(std::move(header));
 
   plim::util::JsonWriter json;
   json.begin_object();
   json.field("bench", "sched_speedup");
   json.field("effort", std::uint64_t{effort});
+  json.field("smoke", smoke);
   json.begin_array("benchmarks");
 
-  double speedup_sum_4 = 0.0;
+  std::map<std::string, ModeTotals> totals;  // "post" / "compiler"
+  std::uint64_t unclustered_transfers4 = 0;
+  std::uint32_t voter_steps4 = 0;
+  std::uint32_t voter_steps8 = 0;
   unsigned circuits = 0;
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -89,51 +140,140 @@ int main(int argc, char** argv) {
     if (!only.empty() && spec.name != only) {
       continue;
     }
+    if (smoke && only.empty() && !in_smoke_set(spec.name)) {
+      continue;
+    }
     const auto network = spec.build();
-    const auto compiled = run_pipeline(
-        network, plim::core::PipelineConfig::rewriting_and_compilation, ropts);
-    const auto& serial = compiled.compiled.program;
+    const auto optimized =
+        effort > 0 ? plim::mig::rewrite_for_plim(network, ropts)
+                   : plim::mig::cleanup_dangling(network);
 
-    std::vector<std::string> row = {
-        spec.name, std::to_string(serial.num_instructions()),
-        std::to_string(serial.num_rrams())};
     json.begin_object();
     json.field("benchmark", spec.name);
-    json.field("instructions",
-               static_cast<std::uint64_t>(serial.num_instructions()));
-    json.field("rrams", serial.num_rrams());
-    json.begin_array("banks");
 
-    for (const auto banks : kBankCounts) {
-      const auto result = plim::sched::schedule(serial, {banks});
-      if (const auto err = result.program.validate(); !err.empty()) {
-        std::cerr << spec.name << " @ " << banks
-                  << " banks: INVALID SCHEDULE: " << err << '\n';
-        return 1;
-      }
-      if (verify) {
-        if (!plim::sched::equivalent_to_serial(serial, result.program, rounds,
+    // PR 1's scheme as the in-tree baseline: flat compile, per-segment
+    // cost assignment without clustering, 4 banks.
+    const auto flat = plim::core::compile(optimized);
+    {
+      plim::sched::ScheduleOptions opts;
+      opts.banks = 4;
+      opts.cluster = false;
+      const auto result = plim::sched::schedule(flat.program, opts);
+      unclustered_transfers4 += result.stats.transfers;
+      json.begin_object("unclustered_4banks");
+      plim::sched::write_json_fields(result.stats, json);
+      json.end_object();
+    }
+
+    for (const auto* mode : {"post", "compiler"}) {
+      const bool compiler_placement = std::strcmp(mode, "compiler") == 0;
+      json.begin_object(mode);
+      std::vector<std::string> row = {spec.name, mode};
+      std::string bus1_cell = "-";
+
+      // The 4-bank configuration is reused by the bus sweep below.
+      plim::core::CompileResult compiled4;
+      plim::sched::ScheduleOptions opts4;
+      plim::sched::ScheduleStats stats4;
+
+      json.begin_array("banks");
+      for (const auto banks : kBankCounts) {
+        plim::core::CompileOptions copts;
+        if (compiler_placement) {
+          copts.placement_banks = banks;
+        }
+        auto compiled = compiler_placement
+                            ? plim::core::compile(optimized, copts)
+                            : plim::core::CompileResult{};
+        const auto& serial =
+            compiler_placement ? compiled.program : flat.program;
+
+        plim::sched::ScheduleOptions opts;
+        opts.banks = banks;
+        if (compiler_placement) {
+          opts.placement_hints = compiled.placement->cell_bank;
+        }
+        const auto result = plim::sched::schedule(serial, opts);
+        if (const auto err = result.program.validate(); !err.empty()) {
+          std::cerr << spec.name << " (" << mode << ") @ " << banks
+                    << " banks: INVALID SCHEDULE: " << err << '\n';
+          return 1;
+        }
+        if (verify &&
+            !plim::sched::equivalent_to_serial(serial, result.program, rounds,
                                                banks * 7919 + circuits)) {
-          std::cerr << spec.name << " @ " << banks
+          std::cerr << spec.name << " (" << mode << ") @ " << banks
                     << " banks: SCHEDULE DIVERGES FROM SERIAL PROGRAM\n";
           return 1;
         }
+        const auto& s = result.stats;
+        row.push_back(std::to_string(s.steps));
+        row.push_back(std::to_string(s.transfers));
+        row.push_back(fixed2(s.speedup) + "x");
+        json.begin_object();
+        plim::sched::write_json_fields(s, json);
+        json.end_object();
+        if (banks == 4) {
+          totals[mode].speedup4_sum += s.speedup;
+          totals[mode].transfers4 += s.transfers;
+          row.insert(row.begin() + 2,
+                     std::to_string(serial.num_instructions()));
+          compiled4 = std::move(compiled);
+          opts4 = opts;
+          stats4 = s;
+        }
+        if (!compiler_placement && spec.name == "voter") {
+          if (banks == 4) {
+            voter_steps4 = s.steps;
+          } else if (banks == 8) {
+            voter_steps8 = s.steps;
+          }
+        }
       }
-      const auto& s = result.stats;
-      row.push_back(std::to_string(s.steps));
-      row.push_back(plim::util::percent(s.utilization));
-      row.push_back(std::to_string(s.transfers));
-      row.push_back(fixed2(s.speedup) + "x");
-      json.begin_object();
-      plim::sched::write_json_fields(s, json);
-      json.end_object();
-      if (banks == 4) {
-        speedup_sum_4 += s.speedup;
+      json.end_array();  // banks
+
+      // Bounded-bus sweep at 4 banks: how much does a narrow bus cost?
+      const auto& serial4 =
+          compiler_placement ? compiled4.program : flat.program;
+      json.begin_array("bus_4banks");
+      for (const auto width : kBusWidths) {
+        if (width == 0) {
+          // Identical to the banks==4 run above (deterministic
+          // scheduler) — reuse its stats instead of re-scheduling and
+          // re-verifying the largest circuits twice.
+          json.begin_object();
+          plim::sched::write_json_fields(stats4, json);
+          json.end_object();
+          continue;
+        }
+        plim::sched::ScheduleOptions bopts = opts4;
+        bopts.cost.bus_width = width;
+        const auto bounded = plim::sched::schedule(serial4, bopts);
+        if (const auto err = bounded.program.validate(); !err.empty()) {
+          std::cerr << spec.name << " (" << mode << ") bus " << width
+                    << ": INVALID SCHEDULE: " << err << '\n';
+          return 1;
+        }
+        if (verify && !plim::sched::equivalent_to_serial(
+                          serial4, bounded.program, rounds,
+                          width * 131 + circuits)) {
+          std::cerr << spec.name << " (" << mode << ") bus " << width
+                    << ": SCHEDULE DIVERGES FROM SERIAL PROGRAM\n";
+          return 1;
+        }
+        json.begin_object();
+        plim::sched::write_json_fields(bounded.stats, json);
+        json.end_object();
+        if (width == 1) {
+          bus1_cell = std::to_string(bounded.stats.steps);
+        }
       }
+      json.end_array();  // bus_4banks
+      json.end_object();  // mode
+      row.push_back(bus1_cell);
+      table.add_row(std::move(row));
     }
-    json.end_array();
-    json.end_object();
-    table.add_row(std::move(row));
+    json.end_object();  // benchmark
     ++circuits;
   }
 
@@ -142,33 +282,65 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto avg4 = speedup_sum_4 / circuits;
+  const auto avg4_post = totals["post"].speedup4_sum / circuits;
+  const auto avg4_compiler = totals["compiler"].speedup4_sum / circuits;
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::steady_clock::now() - t0)
                            .count();
 
   json.end_array();
-  json.field("average_speedup_4_banks", avg4);
+  json.field("average_speedup_4_banks", avg4_post);
+  json.field("average_speedup_4_banks_compiler", avg4_compiler);
+  json.field("total_transfers_4_banks_post", totals["post"].transfers4);
+  json.field("total_transfers_4_banks_compiler",
+             totals["compiler"].transfers4);
+  json.field("total_transfers_4_banks_unclustered", unclustered_transfers4);
+  if (voter_steps4 > 0) {
+    json.field("voter_steps_4_banks", voter_steps4);
+    json.field("voter_steps_8_banks", voter_steps8);
+  }
   json.field("verified", verify);
   json.end_object();
 
   std::cout << "Multi-bank scheduling sweep (rewriting effort " << effort
             << (verify ? ", schedules verified against serial execution"
                        : "")
-            << ")\n\n";
+            << (smoke ? ", smoke set" : "") << ")\n\n";
   table.print(std::cout);
-  std::cout << "\naverage 4-bank speedup: " << fixed2(avg4) << "x over "
-            << circuits << " circuits, total time " << elapsed << " ms\n";
+  std::cout << "\naverage 4-bank speedup: post " << fixed2(avg4_post)
+            << "x, compiler-placement " << fixed2(avg4_compiler) << "x over "
+            << circuits << " circuits\n"
+            << "total 4-bank transfers: unclustered (PR 1 scheme) "
+            << unclustered_transfers4 << ", post "
+            << totals["post"].transfers4 << ", compiler-placement "
+            << totals["compiler"].transfers4 << "\n"
+            << "total time " << elapsed << " ms\n";
 
   if (!json_path.empty() &&
       !plim::util::emit_json(json, json_path, "sched_speedup")) {
     return 1;
   }
 
-  if (only.empty() && avg4 <= 1.2) {
-    std::cerr << "sched_speedup: average 4-bank speedup " << fixed2(avg4)
-              << "x is below the 1.2x regression bar\n";
-    return 1;
+  bool ok = true;
+  if (only.empty() && avg4_post <= 1.2) {
+    std::cerr << "sched_speedup: average post 4-bank speedup "
+              << fixed2(avg4_post) << "x is below the 1.2x regression bar\n";
+    ok = false;
   }
-  return 0;
+  if (only.empty() &&
+      totals["compiler"].transfers4 >= unclustered_transfers4) {
+    std::cerr << "sched_speedup: compiler placement needs "
+              << totals["compiler"].transfers4
+              << " transfers at 4 banks, not below the un-clustered "
+                 "post-hoc baseline of "
+              << unclustered_transfers4 << "\n";
+    ok = false;
+  }
+  if (voter_steps4 > 0 && voter_steps8 >= voter_steps4) {
+    std::cerr << "sched_speedup: voter takes " << voter_steps8
+              << " steps at 8 banks vs " << voter_steps4
+              << " at 4 — subtree clustering regressed\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

@@ -16,8 +16,16 @@
 ///   --banks N        schedule onto N parallel PLiM banks and emit the
 ///                    multi-bank listing instead of the serial one
 ///   --schedule       shorthand for --banks 4
+///   --bus-width K    bound the inter-bank bus to K cross-bank copies
+///                    per step (default unbounded)
+///   --placement M    post      = schedule the serial program post hoc
+///                                (clustering + cost model; default)
+///                    compiler  = compile bank-aware: the compiler places
+///                                node values into per-bank cell ranges
+///                                and the scheduler follows its hints
 ///   --json <file|->  machine-readable stats block (instructions, rrams,
-///                    steps, utilization, speedup) to a file or stdout
+///                    steps, transfers, bus stalls, per-bank load,
+///                    utilization, speedup) to a file or stdout
 ///   --no-verify      skip the end-to-end machine verification
 ///   --stats          print statistics to stderr
 
@@ -47,6 +55,7 @@ int usage() {
                "[-o <file>] [--effort N] [--naive]\n"
                "             [--alloc fifo|lifo|fresh] [--cap N] "
                "[--banks N] [--schedule]\n"
+               "             [--bus-width K] [--placement post|compiler]\n"
                "             [--json <file|->] [--no-verify] [--stats]\n";
   return 2;
 }
@@ -60,6 +69,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   unsigned effort = 4;
   std::uint32_t banks = 0;
+  std::uint32_t bus_width = 0;
+  bool compiler_placement = false;
   bool naive = false;
   bool verify = true;
   bool stats = false;
@@ -132,6 +143,24 @@ int main(int argc, char** argv) {
       if (banks == 0) {
         banks = 4;
       }
+    } else if (arg == "--bus-width") {
+      if (const char* v = next()) {
+        bus_width = static_cast<std::uint32_t>(std::stoul(v));
+      } else {
+        return usage();
+      }
+    } else if (arg == "--placement") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      if (std::strcmp(v, "compiler") == 0) {
+        compiler_placement = true;
+      } else if (std::strcmp(v, "post") == 0) {
+        compiler_placement = false;
+      } else {
+        return usage();
+      }
     } else if (arg == "--json") {
       if (const char* v = next()) {
         json_path = v;
@@ -155,6 +184,10 @@ int main(int argc, char** argv) {
   if (json_path == "-" && out_path.empty()) {
     std::cerr << "plimc: --json - needs -o so the JSON block and the "
                  "program listing do not interleave on stdout\n";
+    return 2;
+  }
+  if (compiler_placement && banks == 0) {
+    std::cerr << "plimc: --placement compiler needs --banks (or --schedule)\n";
     return 2;
   }
 
@@ -183,6 +216,10 @@ int main(int argc, char** argv) {
                  : plim::mig::cleanup_dangling(mig);
 
   copts.smart_candidates = !naive;
+  copts.cost.bus_width = bus_width;
+  if (compiler_placement) {
+    copts.placement_banks = banks;
+  }
   plim::core::CompileResult result;
   try {
     result = plim::core::compile(optimized, copts);
@@ -202,8 +239,14 @@ int main(int argc, char** argv) {
 
   std::optional<plim::sched::ScheduleResult> schedule;
   if (banks > 0) {
+    plim::sched::ScheduleOptions sopts;
+    sopts.banks = banks;
+    sopts.cost.bus_width = bus_width;
+    if (result.placement) {
+      sopts.placement_hints = result.placement->cell_bank;
+    }
     try {
-      schedule = plim::sched::schedule(result.program, {banks});
+      schedule = plim::sched::schedule(result.program, sopts);
     } catch (const std::exception& e) {
       std::cerr << "plimc: scheduling failed: " << e.what() << '\n';
       return 1;
@@ -229,11 +272,18 @@ int main(int argc, char** argv) {
               << result.stats.peak_live_rrams << ")\n";
     if (schedule) {
       const auto& s = schedule->stats;
-      std::cerr << "schedule: " << s.banks << " banks, " << s.steps
-                << " steps, " << s.parallel_instructions << " instructions ("
-                << s.transfers << " transfers), utilization "
-                << s.utilization << ", speedup " << s.speedup
-                << "x (critical path " << s.critical_path << ")\n";
+      std::cerr << "schedule: " << s.banks << " banks ("
+                << (s.placement_hints_used ? "compiler" : "post")
+                << " placement), " << s.steps << " steps, "
+                << s.parallel_instructions << " instructions ("
+                << s.transfers << " transfers, " << s.duplicates
+                << " duplicated values), utilization " << s.utilization
+                << ", speedup " << s.speedup << "x (critical path "
+                << s.critical_path << ")\n";
+      if (s.bus_width > 0) {
+        std::cerr << "bus: width " << s.bus_width << ", " << s.bus_stalls
+                  << " stalled bank-steps\n";
+      }
     }
   }
 

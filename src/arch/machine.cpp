@@ -102,10 +102,24 @@ std::vector<std::uint64_t> Machine::run_parallel_words(
   std::vector<std::uint32_t> step_written(cells.size(), 0);
   std::uint32_t step_stamp = 0;
 
+  const auto declared_bus = program.bus_width();
+
   for (std::uint32_t s = 0; s < program.num_steps(); ++s) {
     const auto& step = program.step(s);
     ++step_stamp;
     writes.clear();
+    // Only price the bus when one is configured — counting a step's
+    // remote reads is a full slot scan.
+    const auto bus_ops = (declared_bus > 0 || bus_width_ > 0)
+                             ? program.step_bus_ops(s)
+                             : 0;
+    if (declared_bus > 0 && bus_ops > declared_bus) {
+      throw std::logic_error(
+          "Machine::run_parallel_words: step " + std::to_string(s + 1) +
+          " issues " + std::to_string(bus_ops) +
+          " cross-bank copies over the declared bus width " +
+          std::to_string(declared_bus));
+    }
     for (const auto& slot : step) {
       if (step_written[slot.instr.z] == step_stamp) {
         throw std::logic_error("Machine::run_parallel_words: step " +
@@ -138,6 +152,16 @@ std::vector<std::uint64_t> Machine::run_parallel_words(
       ++instructions_;
     }
     cycles_ += phases_per_instruction;  // one lockstep phase set per step
+    // Hardware-honest bus accounting: a machine-side width serializes
+    // the step's excess cross-bank copies into extra bus rounds (the
+    // values are unaffected — all reads saw the pre-step state — but
+    // the cycles are real).
+    if (bus_width_ > 0 && bus_ops > bus_width_) {
+      const std::uint64_t extra_rounds =
+          (bus_ops + bus_width_ - 1) / bus_width_ - 1;
+      cycles_ += extra_rounds * phases_per_instruction;
+      bus_stall_cycles_ += extra_rounds * phases_per_instruction;
+    }
   }
 
   std::vector<std::uint64_t> out(program.num_outputs());
@@ -170,6 +194,7 @@ void Machine::reset_counters() {
   write_counts_.clear();
   cycles_ = 0;
   instructions_ = 0;
+  bus_stall_cycles_ = 0;
 }
 
 }  // namespace plim::arch

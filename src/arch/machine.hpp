@@ -46,6 +46,16 @@ class Machine {
   /// one cell, or a slot reading a cell another slot writes). A step
   /// costs `phases_per_instruction` cycles regardless of how many banks
   /// are active — that is the point of scheduling.
+  ///
+  /// The inter-bank bus is modelled honestly: a program declaring a
+  /// bounded bus (ParallelProgram::bus_width > 0) is *enforced* — a step
+  /// issuing more cross-bank copies than the declared width throws
+  /// std::logic_error. A machine-side width set with set_bus_width()
+  /// additionally serializes excess copies of each step into extra bus
+  /// rounds: semantics are unchanged (all reads still see the pre-step
+  /// state), but every extra round costs `phases_per_instruction` cycles,
+  /// accumulated in bus_stall_cycles(). This is how an idealized
+  /// unbounded-bus schedule is priced on width-k hardware.
   [[nodiscard]] std::vector<bool> run_parallel(
       const sched::ParallelProgram& program, const std::vector<bool>& inputs,
       const std::vector<bool>& initial = {});
@@ -66,10 +76,23 @@ class Machine {
     return util::summarize(write_counts_);
   }
 
-  /// Total controller cycles spent (instructions × phases).
+  /// Total controller cycles spent (instructions × phases for serial
+  /// runs; steps × phases plus bus stalls for parallel runs).
   [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
   [[nodiscard]] std::uint64_t instructions_executed() const noexcept {
     return instructions_;
+  }
+
+  /// Hardware bus width this machine serializes cross-bank copies at
+  /// (0 = as declared by the program; programs declaring a *tighter*
+  /// bound than the machine are still enforced against their own bound).
+  void set_bus_width(std::uint32_t width) noexcept { bus_width_ = width; }
+  [[nodiscard]] std::uint32_t bus_width() const noexcept { return bus_width_; }
+
+  /// Cycles lost serializing cross-bank copies over the bounded bus
+  /// (included in cycles()).
+  [[nodiscard]] std::uint64_t bus_stall_cycles() const noexcept {
+    return bus_stall_cycles_;
   }
 
   /// Clears write counters and cycle statistics.
@@ -79,6 +102,8 @@ class Machine {
   std::vector<std::uint64_t> write_counts_;
   std::uint64_t cycles_ = 0;
   std::uint64_t instructions_ = 0;
+  std::uint64_t bus_stall_cycles_ = 0;
+  std::uint32_t bus_width_ = 0;
 };
 
 }  // namespace plim::arch

@@ -4,30 +4,98 @@
 
 namespace plim::core {
 
+void RramAllocator::count_request() noexcept {
+  ++live_;
+  peak_ = std::max(peak_, live_);
+}
+
+std::optional<std::uint32_t> RramAllocator::take_free(
+    std::deque<std::uint32_t>& free) {
+  if (policy_ == AllocationPolicy::fresh || free.empty()) {
+    return std::nullopt;
+  }
+  std::uint32_t cell;
+  if (policy_ == AllocationPolicy::fifo) {
+    cell = free.front();
+    free.pop_front();
+  } else {
+    cell = free.back();
+    free.pop_back();
+  }
+  return cell;
+}
+
 std::uint32_t RramAllocator::request() {
   std::uint32_t cell;
-  if (policy_ != AllocationPolicy::fresh && !free_.empty()) {
-    if (policy_ == AllocationPolicy::fifo) {
-      cell = free_.front();
-      free_.pop_front();
-    } else {
-      cell = free_.back();
-      free_.pop_back();
-    }
+  if (const auto reused = take_free(free_)) {
+    cell = *reused;
   } else {
     if (cap_ && next_ >= *cap_) {
       throw RramCapExceeded(*cap_);
     }
     cell = next_++;
   }
-  ++live_;
-  peak_ = std::max(peak_, live_);
+  count_request();
   return cell;
 }
 
 void RramAllocator::release(std::uint32_t cell) {
   free_.push_back(cell);
-  --live_;
+  count_release();
+}
+
+BankedAllocator::BankedAllocator(std::uint32_t num_banks,
+                                 AllocationPolicy policy,
+                                 std::optional<std::uint32_t> cap)
+    : RramAllocator(policy, cap),
+      next_local_(num_banks == 0 ? 1 : num_banks, 0),
+      bank_live_(num_banks == 0 ? 1 : num_banks, 0),
+      free_(num_banks == 0 ? 1 : num_banks) {}
+
+std::uint32_t BankedAllocator::request() {
+  std::uint32_t best = 0;
+  for (std::uint32_t b = 1; b < num_banks(); ++b) {
+    if (bank_live_[b] < bank_live_[best]) {
+      best = b;
+    }
+  }
+  return request_in(best);
+}
+
+std::uint32_t BankedAllocator::request_in(std::uint32_t bank) {
+  if (bank >= num_banks()) {
+    throw std::out_of_range("BankedAllocator: bank index out of range");
+  }
+  std::uint32_t cell;
+  if (const auto reused = take_free(free_[bank])) {
+    cell = *reused;
+  } else {
+    if (cap() && total_ >= *cap()) {
+      throw RramCapExceeded(*cap());
+    }
+    cell = next_local_[bank]++ * num_banks() + bank;
+    ++total_;
+  }
+  ++bank_live_[bank];
+  count_request();
+  return cell;
+}
+
+void BankedAllocator::release(std::uint32_t cell) {
+  const auto bank = bank_of(cell);
+  free_[bank].push_back(cell);
+  --bank_live_[bank];
+  count_release();
+}
+
+Placement BankedAllocator::placement(std::uint32_t num_cells) const {
+  Placement p;
+  p.num_banks = num_banks();
+  p.cell_bank.resize(num_cells);
+  for (std::uint32_t c = 0; c < num_cells; ++c) {
+    p.cell_bank[c] = bank_of(c);
+  }
+  return p;
 }
 
 }  // namespace plim::core

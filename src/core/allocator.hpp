@@ -4,6 +4,7 @@
 #include <deque>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 namespace plim::core {
 
@@ -32,23 +33,25 @@ class RramCapExceeded : public std::runtime_error {
 
 /// The RRAM allocation interface of §4.2.3: `request` returns a ready
 /// cell (reusing released ones per policy), `release` returns a cell to
-/// the free list.
+/// the free list. The base class is the paper's flat single-bank array;
+/// BankedAllocator refines it with per-bank placement.
 class RramAllocator {
  public:
   explicit RramAllocator(AllocationPolicy policy = AllocationPolicy::fifo,
                          std::optional<std::uint32_t> cap = std::nullopt)
       : policy_(policy), cap_(cap) {}
+  virtual ~RramAllocator() = default;
 
   /// Returns a cell id ready for use. Throws RramCapExceeded if a fresh
   /// cell would exceed the configured capacity.
-  [[nodiscard]] std::uint32_t request();
+  [[nodiscard]] virtual std::uint32_t request();
 
   /// Returns a cell to the free list. The caller guarantees the cell's
   /// value is dead.
-  void release(std::uint32_t cell);
+  virtual void release(std::uint32_t cell);
 
   /// Total distinct cells ever allocated — the paper's #R metric.
-  [[nodiscard]] std::uint32_t total_allocated() const noexcept {
+  [[nodiscard]] virtual std::uint32_t total_allocated() const noexcept {
     return next_;
   }
   /// Cells currently holding live values.
@@ -58,6 +61,20 @@ class RramAllocator {
 
   [[nodiscard]] AllocationPolicy policy() const noexcept { return policy_; }
 
+ protected:
+  [[nodiscard]] std::optional<std::uint32_t> cap() const noexcept {
+    return cap_;
+  }
+  /// Pops a reusable cell from `free` per the configured policy (FIFO:
+  /// oldest released, LIFO: newest; nullopt under `fresh` or when the
+  /// list is empty) — the one place the reuse discipline lives, shared
+  /// by the flat and the banked allocator.
+  [[nodiscard]] std::optional<std::uint32_t> take_free(
+      std::deque<std::uint32_t>& free);
+  /// Accounts one successful request / release in the live statistics.
+  void count_request() noexcept;
+  void count_release() noexcept { --live_; }
+
  private:
   AllocationPolicy policy_;
   std::optional<std::uint32_t> cap_;
@@ -65,6 +82,67 @@ class RramAllocator {
   std::uint32_t next_ = 0;
   std::uint32_t live_ = 0;
   std::uint32_t peak_ = 0;
+};
+
+/// Bank-aware placement of the compiled program (serial cell → bank),
+/// produced by compiling with a BankedAllocator and consumed by the
+/// scheduler as placement hints.
+struct Placement {
+  std::uint32_t num_banks = 0;
+  std::vector<std::uint32_t> cell_bank;  ///< serial RRAM cell id → bank
+};
+
+/// Bank-aware RRAM allocator: the global cell space is partitioned into
+/// `num_banks` disjoint modular ranges — bank b owns exactly the cells
+/// {c : c ≡ b (mod num_banks)} — so every cell's bank is a static
+/// property of its address and per-bank cell sets can never overlap.
+/// `request_in(bank)` places a value into a specific bank (per-bank free
+/// lists follow the configured policy); the inherited `request()` places
+/// into the bank with the fewest live cells. The capacity bound applies
+/// to the total number of distinct cells across all banks.
+class BankedAllocator final : public RramAllocator {
+ public:
+  explicit BankedAllocator(std::uint32_t num_banks,
+                           AllocationPolicy policy = AllocationPolicy::fifo,
+                           std::optional<std::uint32_t> cap = std::nullopt);
+
+  /// Places into the bank with the fewest live cells (ties: lowest bank).
+  [[nodiscard]] std::uint32_t request() override;
+
+  /// Returns a ready cell owned by `bank` (cell % num_banks() == bank).
+  [[nodiscard]] std::uint32_t request_in(std::uint32_t bank);
+
+  void release(std::uint32_t cell) override;
+
+  [[nodiscard]] std::uint32_t total_allocated() const noexcept override {
+    return total_;
+  }
+
+  [[nodiscard]] std::uint32_t num_banks() const noexcept {
+    return static_cast<std::uint32_t>(next_local_.size());
+  }
+  /// Owning bank of a cell — a pure address property.
+  [[nodiscard]] std::uint32_t bank_of(std::uint32_t cell) const noexcept {
+    return cell % num_banks();
+  }
+  /// Cells of `bank` currently holding live values.
+  [[nodiscard]] std::uint32_t bank_live(std::uint32_t bank) const {
+    return bank_live_[bank];
+  }
+  /// Distinct cells ever allocated in `bank`.
+  [[nodiscard]] std::uint32_t bank_allocated(std::uint32_t bank) const {
+    return next_local_[bank];
+  }
+
+  /// The serial-cell → bank map for every cell id below `num_cells`
+  /// (cells never allocated still map to their modular owner).
+  [[nodiscard]] Placement placement(std::uint32_t num_cells) const;
+
+ private:
+  std::uint32_t total_ = 0;
+  std::vector<std::uint32_t> next_local_;  ///< fresh cells handed out per bank
+  std::vector<std::uint32_t> bank_live_;
+  std::vector<std::deque<std::uint32_t>> free_;  ///< per-bank free lists
 };
 
 }  // namespace plim::core

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <memory>
 #include <queue>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "mig/views.hpp"
+#include "sched/clustering.hpp"
 
 namespace plim::core {
 
@@ -35,7 +37,6 @@ class Compiler {
       : mig_(m),
         opts_(opts),
         fanout_(m),
-        alloc_(opts.allocation, opts.rram_cap),
         level_(m.levels()),
         reach_(m.size(), false),
         remaining_uses_(m.size(), 0),
@@ -43,10 +44,24 @@ class Compiler {
         value_cell_(m.size(), -1),
         compl_cell_(m.size(), -1),
         computed_(m.size(), false),
-        max_parent_level_(m.size(), 0) {}
+        max_parent_level_(m.size(), 0) {
+    if (opts_.placement_banks > 0) {
+      auto banked = std::make_unique<BankedAllocator>(
+          opts_.placement_banks, opts_.allocation, opts_.rram_cap);
+      banked_ = banked.get();
+      alloc_ = std::move(banked);
+      bank_load_.assign(opts_.placement_banks, 0);
+    } else {
+      alloc_ = std::make_unique<RramAllocator>(opts_.allocation,
+                                               opts_.rram_cap);
+    }
+  }
 
   CompileResult run() {
     prepare();
+    if (banked_ != nullptr) {
+      prepare_placement();
+    }
     mig_.foreach_pi(
         [&](mig::node n) { program_.add_input(mig_.pi_name(mig_.pi_index(n))); });
 
@@ -60,11 +75,15 @@ class Compiler {
     CompileStats stats;
     stats.num_instructions =
         static_cast<std::uint32_t>(program_.num_instructions());
-    stats.num_rrams = alloc_.total_allocated();
+    stats.num_rrams = alloc_->total_allocated();
     stats.num_gates = translated_;
-    stats.peak_live_rrams = alloc_.peak_live();
+    stats.peak_live_rrams = alloc_->peak_live();
     stats.complement_materializations = complement_materializations_;
-    return CompileResult{std::move(program_), stats};
+    std::optional<Placement> placement;
+    if (banked_ != nullptr) {
+      placement = banked_->placement(program_.num_rrams());
+    }
+    return CompileResult{std::move(program_), stats, std::move(placement)};
   }
 
  private:
@@ -148,16 +167,21 @@ class Compiler {
 
   struct Key {
     std::uint32_t releasing;
+    std::uint32_t bank_locality;  ///< 0 unless bank-aware placement is on
     std::uint32_t max_parent_level;
     mig::node index;
 
     friend bool operator==(const Key&, const Key&) = default;
 
-    /// "worse-than" for a max-heap: fewer releasing children, then higher
-    /// fanout level, then higher index.
+    /// "worse-than" for a max-heap: fewer releasing children, then fewer
+    /// operands clustered in one bank, then higher fanout level, then
+    /// higher index.
     bool operator<(const Key& o) const {
       if (releasing != o.releasing) {
         return releasing < o.releasing;
+      }
+      if (bank_locality != o.bank_locality) {
+        return bank_locality < o.bank_locality;
       }
       if (max_parent_level != o.max_parent_level) {
         return max_parent_level > o.max_parent_level;
@@ -166,8 +190,36 @@ class Compiler {
     }
   };
 
+  /// How many of v's operand values already cluster in a single bank —
+  /// translating such nodes while the cluster is together keeps their
+  /// RM3 bank-local (the §4.2.1 criteria extended for placement).
+  std::uint32_t bank_locality(mig::node v) const {
+    if (banked_ == nullptr) {
+      return 0;
+    }
+    std::array<std::uint32_t, 3> banks{};
+    std::uint32_t count = 0;
+    for (const auto f : mig_.fanins(v)) {
+      const auto n = f.index();
+      if (mig_.is_gate(n) && computed_[n] && value_cell_[n] >= 0) {
+        banks[count++] =
+            banked_->bank_of(static_cast<std::uint32_t>(value_cell_[n]));
+      }
+    }
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t same = 0;
+      for (std::uint32_t j = 0; j < count; ++j) {
+        same += banks[j] == banks[i] ? 1 : 0;
+      }
+      best = std::max(best, same);
+    }
+    return best;
+  }
+
   Key make_key(mig::node v) const {
-    return Key{releasing_children(v), max_parent_level_[v], v};
+    return Key{releasing_children(v), bank_locality(v), max_parent_level_[v],
+               v};
   }
 
   void run_smart_order() {
@@ -211,7 +263,124 @@ class Compiler {
 
   // ---- instruction emission -------------------------------------------------
 
-  void emit(Operand a, Operand b, std::uint32_t z) { program_.append(a, b, z); }
+  void emit(Operand a, Operand b, std::uint32_t z) {
+    program_.append(a, b, z);
+    if (banked_ != nullptr) {
+      ++bank_load_[banked_->bank_of(z)];
+    }
+  }
+
+  /// A ready cell for the value being built: bank-aware placement requests
+  /// it in the current node's bank, flat allocation from the global pool.
+  std::uint32_t request_cell() {
+    return banked_ != nullptr ? banked_->request_in(current_bank_)
+                              : alloc_->request();
+  }
+
+  /// Whether a cell may serve as destination for the current node — with
+  /// placement on, reusing a cell of another bank would silently move the
+  /// value out of its chosen bank.
+  bool reusable_here(std::uint32_t cell) const {
+    return banked_ == nullptr || banked_->bank_of(cell) == current_bank_;
+  }
+
+  /// Picks the bank for node v's value: v's MIG cluster decides. The
+  /// cluster's bank is chosen on first use with the shared cost model —
+  /// every external operand cluster already placed elsewhere costs one
+  /// transfer, landing on a busy bank costs its load surplus — and all
+  /// later nodes of the cluster inherit it, so operand clusters stay
+  /// bank-local by construction.
+  std::uint32_t pick_bank(mig::node v) {
+    const auto c = cluster_of_[v];
+    if (cluster_bank_[c] != kNoBank) {
+      return cluster_bank_[c];
+    }
+    const auto banks = banked_->num_banks();
+    std::uint64_t min_load = bank_load_[0];
+    for (std::uint32_t b = 1; b < banks; ++b) {
+      min_load = std::min(min_load, bank_load_[b]);
+    }
+    std::uint32_t best = 0;
+    double best_cost = 0.0;
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      std::uint32_t transfers = 0;
+      for (const auto ext : cluster_ext_[c]) {
+        const auto pc = cluster_of_[ext];
+        if (cluster_bank_[pc] != kNoBank && cluster_bank_[pc] != b) {
+          ++transfers;
+        }
+      }
+      const auto cost =
+          opts_.cost.assignment_cost(transfers, bank_load_[b] - min_load);
+      if (b == 0 || cost < best_cost) {
+        best = b;
+        best_cost = cost;
+      }
+    }
+    cluster_bank_[c] = best;
+    return best;
+  }
+
+  /// Partitions the reachable gates into clusters along their heaviest
+  /// fanin edges — the same structure-preserving agglomeration the
+  /// post-hoc scheduler applies to segments (sched/clustering.hpp), done
+  /// here on the MIG where majority subtrees are explicit.
+  void prepare_placement() {
+    const auto size = mig_.size();
+    cluster_bank_.assign(size, kNoBank);
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    std::uint32_t num_gates = 0;
+    mig_.foreach_gate([&](mig::node v) {
+      if (!reach_[v]) {
+        return;
+      }
+      ++num_gates;
+      for (const auto f : mig_.fanins(v)) {
+        if (mig_.is_gate(f.index()) && reach_[f.index()]) {
+          pairs.emplace_back(f.index(), v);
+        }
+      }
+    });
+    sched::HeavyEdgeClusters clusters(std::vector<std::uint32_t>(size, 1));
+    clusters.agglomerate(
+        std::move(pairs),
+        sched::cluster_budget(num_gates, opts_.placement_banks));
+    cluster_of_.resize(size);
+    for (mig::node v = 0; v < size; ++v) {
+      cluster_of_[v] = clusters.find(v);
+    }
+
+    // External gate operands per cluster (deduplicated), for the
+    // first-use bank decision.
+    cluster_ext_.assign(size, {});
+    std::vector<std::pair<mig::node, mig::node>> ext;  // (cluster, fanin)
+    mig_.foreach_gate([&](mig::node v) {
+      if (!reach_[v]) {
+        return;
+      }
+      for (const auto f : mig_.fanins(v)) {
+        if (mig_.is_gate(f.index()) &&
+            cluster_of_[f.index()] != cluster_of_[v]) {
+          ext.emplace_back(cluster_of_[v], f.index());
+        }
+      }
+    });
+    std::sort(ext.begin(), ext.end());
+    ext.erase(std::unique(ext.begin(), ext.end()), ext.end());
+    for (const auto& [c, fanin] : ext) {
+      cluster_ext_[c].push_back(fanin);
+    }
+  }
+
+  /// Places follow-up emissions (output copies, complements) next to the
+  /// node's value so they stay bank-local.
+  void set_bank_near(mig::node n) {
+    if (banked_ != nullptr && mig_.is_gate(n) && value_cell_[n] >= 0) {
+      current_bank_ =
+          banked_->bank_of(static_cast<std::uint32_t>(value_cell_[n]));
+    }
+  }
 
   Operand value_operand(mig::node n) const {
     if (mig_.is_pi(n)) {
@@ -224,7 +393,7 @@ class Compiler {
   /// Fresh cell loaded with a constant: Z←⟨0 1̄ Z⟩=0 or Z←⟨1 0̄ Z⟩=1.
   /// Works for any previous cell content, so reused cells are fine.
   std::uint32_t emit_const_cell(bool v) {
-    const auto cell = alloc_.request();
+    const auto cell = request_cell();
     if (v) {
       emit(Operand::constant(true), Operand::constant(false), cell);
     } else {
@@ -236,7 +405,7 @@ class Compiler {
   /// Fresh cell loaded with the complement of a node's value
   /// (cases (g)/(h) of Fig. 5): Z←0; Z←⟨1 v̄ 0⟩ = v̄.
   std::uint32_t emit_complement_of(mig::node n) {
-    const auto cell = alloc_.request();
+    const auto cell = request_cell();
     emit(Operand::constant(false), Operand::constant(true), cell);
     emit(Operand::constant(true), value_operand(n), cell);
     ++complement_materializations_;
@@ -246,7 +415,7 @@ class Compiler {
   /// Fresh cell loaded with a copy of a node's value
   /// (case (e) of Fig. 6): Z←1; Z←⟨v 1̄ 1⟩ = v.
   std::uint32_t emit_copy_of(mig::node n) {
-    const auto cell = alloc_.request();
+    const auto cell = request_cell();
     emit(Operand::constant(true), Operand::constant(false), cell);
     emit(value_operand(n), Operand::constant(true), cell);
     return cell;
@@ -274,6 +443,9 @@ class Compiler {
     const auto& fanins = mig_.fanins(v);
     std::array<ChildRef, 3> ch{child_ref(fanins[0]), child_ref(fanins[1]),
                                child_ref(fanins[2])};
+    if (banked_ != nullptr) {
+      current_bank_ = pick_bank(v);
+    }
     std::vector<std::uint32_t> temps;
     Operand a_op;
     Operand b_op;
@@ -294,7 +466,7 @@ class Compiler {
     ++translated_;
 
     for (const auto t : temps) {
-      alloc_.release(t);
+      alloc_->release(t);
     }
     for (const auto& c : ch) {
       if (c.is_const) {
@@ -309,11 +481,11 @@ class Compiler {
 
   void release_node(mig::node n) {
     if (value_cell_[n] >= 0 && mig_.is_gate(n)) {
-      alloc_.release(static_cast<std::uint32_t>(value_cell_[n]));
+      alloc_->release(static_cast<std::uint32_t>(value_cell_[n]));
       value_cell_[n] = -1;
     }
     if (compl_cell_[n] >= 0) {
-      alloc_.release(static_cast<std::uint32_t>(compl_cell_[n]));
+      alloc_->release(static_cast<std::uint32_t>(compl_cell_[n]));
       compl_cell_[n] = -1;
     }
   }
@@ -403,11 +575,15 @@ class Compiler {
                                      std::vector<std::uint32_t>& temps) {
     (void)temps;
     // (a) complemented child on its last use whose complement is cached:
-    //     that cell holds the edge value and is safe to overwrite.
+    //     that cell holds the edge value and is safe to overwrite. With
+    //     bank-aware placement, only cells of the node's own bank may be
+    //     reused — a foreign cell would silently move the value out of
+    //     its chosen bank.
     for (int i = 0; i < 3; ++i) {
       const auto& c = ch[i];
       if (!taken[i] && !c.is_const && c.compl_edge &&
-          remaining_uses_[c.n] == 1 && compl_cell_[c.n] >= 0) {
+          remaining_uses_[c.n] == 1 && compl_cell_[c.n] >= 0 &&
+          reusable_here(static_cast<std::uint32_t>(compl_cell_[c.n]))) {
         taken[i] = true;
         const auto cell = static_cast<std::uint32_t>(compl_cell_[c.n]);
         compl_cell_[c.n] = -1;  // consumed: the RM3 overwrites it
@@ -418,9 +594,9 @@ class Compiler {
     for (int i = 0; i < 3; ++i) {
       const auto& c = ch[i];
       if (!taken[i] && c.is_gate && !c.compl_edge &&
-          remaining_uses_[c.n] == 1) {
+          remaining_uses_[c.n] == 1 && value_cell_[c.n] >= 0 &&
+          reusable_here(static_cast<std::uint32_t>(value_cell_[c.n]))) {
         taken[i] = true;
-        assert(value_cell_[c.n] >= 0);
         const auto cell = static_cast<std::uint32_t>(value_cell_[c.n]);
         value_cell_[c.n] = -1;  // overwritten by the RM3
         return cell;
@@ -489,8 +665,9 @@ class Compiler {
                              Operand& b_op, std::uint32_t& z_cell) {
     // Destination from the third child.
     const auto& zc = ch[2];
-    if (zc.is_gate && !zc.compl_edge && remaining_uses_[zc.n] == 1) {
-      assert(value_cell_[zc.n] >= 0);
+    if (zc.is_gate && !zc.compl_edge && remaining_uses_[zc.n] == 1 &&
+        value_cell_[zc.n] >= 0 &&
+        reusable_here(static_cast<std::uint32_t>(value_cell_[zc.n]))) {
       z_cell = static_cast<std::uint32_t>(value_cell_[zc.n]);
       value_cell_[zc.n] = -1;
     } else if (zc.is_const) {
@@ -534,6 +711,7 @@ class Compiler {
 
   std::uint32_t output_cell(Signal f) {
     const mig::node n = f.index();
+    set_bank_near(n);
     if (mig_.is_constant(n)) {
       const bool v = f.complemented();
       auto& cached = v ? const_one_cell_ : const_zero_cell_;
@@ -575,7 +753,14 @@ class Compiler {
   const Mig& mig_;
   CompileOptions opts_;
   mig::FanoutView fanout_;
-  RramAllocator alloc_;
+  static constexpr std::uint32_t kNoBank = 0xffffffffu;
+  std::unique_ptr<RramAllocator> alloc_;
+  BankedAllocator* banked_ = nullptr;  ///< non-null iff placement is on
+  std::vector<std::uint64_t> bank_load_;
+  std::uint32_t current_bank_ = 0;
+  std::vector<mig::node> cluster_of_;
+  std::vector<std::uint32_t> cluster_bank_;
+  std::vector<std::vector<mig::node>> cluster_ext_;
   arch::Program program_;
   std::vector<std::uint32_t> level_;
   std::vector<bool> reach_;

@@ -6,6 +6,7 @@
 #include "arch/program.hpp"
 #include "core/allocator.hpp"
 #include "mig/mig.hpp"
+#include "sched/cost_model.hpp"
 
 namespace plim::core {
 
@@ -35,6 +36,20 @@ struct CompileOptions {
   /// Future-work extension: hard upper bound on distinct RRAM cells.
   /// Compilation throws RramCapExceeded when it cannot stay within it.
   std::optional<std::uint32_t> rram_cap = std::nullopt;
+
+  /// Bank-aware placement: when > 0, node values are placed directly into
+  /// per-bank cell ranges by a BankedAllocator — each node picks the bank
+  /// that keeps its operand cluster local (per `cost`) while balancing
+  /// per-bank load, candidate selection prefers nodes whose operands
+  /// already cluster in one bank, and the result carries a Placement the
+  /// scheduler consumes as bank-assignment hints. 0 keeps the paper's
+  /// flat single-bank allocation.
+  std::uint32_t placement_banks = 0;
+
+  /// Cost model for bank placement decisions (only read when
+  /// `placement_banks` > 0); shared with the scheduler so compile-time
+  /// hints and post-hoc bank assignment price transfers identically.
+  sched::CostModel cost;
 };
 
 /// Outcome metrics (#I and #R are the paper's quality measures).
@@ -51,6 +66,9 @@ struct CompileStats {
 struct CompileResult {
   arch::Program program;
   CompileStats stats;
+  /// Serial-cell → bank map; engaged only when the compiler placed values
+  /// bank-aware (CompileOptions::placement_banks > 0).
+  std::optional<Placement> placement;
 };
 
 /// Compiles an MIG into a PLiM program (Algorithm 2): candidates are

@@ -7,7 +7,8 @@ namespace plim::core {
 PipelineResult run_pipeline(const mig::Mig& mig, PipelineConfig config,
                             const mig::RewriteOptions& rewrite_opts,
                             const CompileOptions& base_compile_opts,
-                            std::uint32_t schedule_banks) {
+                            std::uint32_t schedule_banks,
+                            const sched::ScheduleOptions& schedule_opts) {
   PipelineResult result;
 
   CompileOptions copts = base_compile_opts;
@@ -26,8 +27,13 @@ PipelineResult run_pipeline(const mig::Mig& mig, PipelineConfig config,
   }
 
   if (schedule_banks > 0) {
-    result.schedule =
-        sched::schedule(result.compiled.program, {schedule_banks});
+    sched::ScheduleOptions sopts = schedule_opts;
+    sopts.banks = schedule_banks;
+    if (result.compiled.placement &&
+        result.compiled.placement->num_banks == schedule_banks) {
+      sopts.placement_hints = result.compiled.placement->cell_bank;
+    }
+    result.schedule = sched::schedule(result.compiled.program, sopts);
   }
   return result;
 }

@@ -31,11 +31,16 @@ struct PipelineResult {
 
 /// Runs one Table-1 configuration on a benchmark MIG. With
 /// `schedule_banks` > 0 the serial program is additionally list-scheduled
-/// onto that many PLiM banks (see sched/scheduler.hpp).
+/// onto that many PLiM banks (see sched/scheduler.hpp) under
+/// `schedule_opts` (its bank count is overridden by `schedule_banks`).
+/// When the compiler ran with bank-aware placement
+/// (base_compile_opts.placement_banks == schedule_banks), the compiled
+/// placement is forwarded to the scheduler as bank-assignment hints.
 [[nodiscard]] PipelineResult run_pipeline(
     const mig::Mig& mig, PipelineConfig config,
     const mig::RewriteOptions& rewrite_opts = {},
     const CompileOptions& base_compile_opts = {},
-    std::uint32_t schedule_banks = 0);
+    std::uint32_t schedule_banks = 0,
+    const sched::ScheduleOptions& schedule_opts = {});
 
 }  // namespace plim::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+namespace plim::sched {
+
+/// The placement cost model shared by the compiler's bank-aware allocator
+/// and the scheduler's bank assignment. Both layers face the same
+/// question — "what does it cost to put this value in bank b?" — and
+/// answering it with one model keeps compile-time placement hints and
+/// post-hoc scheduling decisions consistent.
+///
+/// Costs are expressed in *instructions*: a cross-bank value transfer
+/// materializes as `transfer_instructions` RM3 operations in the
+/// consuming bank (reset + OR-copy), and load imbalance is measured in
+/// surplus instructions over the least-loaded bank.
+struct CostModel {
+  /// Maximum cross-bank copies the inter-bank bus carries per lockstep
+  /// step; 0 models an unbounded (idealized) bus.
+  std::uint32_t bus_width = 0;
+
+  /// Instructions one cross-bank transfer costs in the consuming bank
+  /// (reset + OR-copy with the remote cell as operand A).
+  std::uint32_t transfer_instructions = 2;
+
+  /// Remote values whose producing instruction chain is at most this long
+  /// (and reads only inputs and constants) are *recomputed* in the
+  /// consuming bank instead of copied over the bus: same instruction
+  /// count, but no bus slot and no cross-bank dependence. 0 disables
+  /// duplication.
+  std::uint32_t duplicate_max_instructions = 2;
+
+  /// Weight of per-bank load imbalance (in instructions over the
+  /// least-loaded bank) relative to transfer cost.
+  double load_balance_weight = 1.0;
+
+  /// Cost of an assignment that needs `transfers` cross-bank copies and
+  /// lands on a bank `excess_load` instructions above the least loaded.
+  [[nodiscard]] double assignment_cost(std::uint32_t transfers,
+                                       std::uint64_t excess_load) const {
+    return static_cast<double>(transfer_instructions) *
+               static_cast<double>(transfers) +
+           load_balance_weight * static_cast<double>(excess_load);
+  }
+
+  /// Whether recomputing a producer chain of `chain_instructions` beats
+  /// copying its value over the bus.
+  [[nodiscard]] bool should_duplicate(
+      std::uint32_t chain_instructions) const {
+    return chain_instructions <= duplicate_max_instructions;
+  }
+
+  /// Bus rounds needed to issue `transfers` copies in one step (1 when
+  /// they fit, more when the bounded bus must serialize them).
+  [[nodiscard]] std::uint32_t bus_rounds(std::uint32_t transfers) const {
+    if (transfers == 0) {
+      return 0;
+    }
+    if (bus_width == 0 || transfers <= bus_width) {
+      return 1;
+    }
+    return (transfers + bus_width - 1) / bus_width;
+  }
+};
+
+}  // namespace plim::sched

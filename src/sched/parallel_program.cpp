@@ -13,8 +13,18 @@ void write_json_fields(const ScheduleStats& stats, util::JsonWriter& json) {
   json.field("steps", stats.steps);
   json.field("instructions", stats.parallel_instructions);
   json.field("transfers", stats.transfers);
+  json.field("duplicates", stats.duplicates);
+  json.field("duplicated_instructions", stats.duplicated_instructions);
   json.field("rrams", stats.parallel_rrams);
   json.field("critical_path", stats.critical_path);
+  json.field("bus_width", stats.bus_width);
+  json.field("bus_stalls", stats.bus_stalls);
+  json.field("placement", stats.placement_hints_used ? "compiler" : "post");
+  json.begin_array("bank_load");
+  for (const auto load : stats.bank_load) {
+    json.value(load);
+  }
+  json.end_array();
   json.field("utilization", stats.utilization);
   json.field("speedup", stats.speedup);
 }
@@ -60,6 +70,23 @@ std::uint32_t ParallelProgram::bank_of_cell(std::uint32_t cell) const noexcept {
     }
   }
   return num_banks_;
+}
+
+std::uint32_t ParallelProgram::step_bus_ops(std::uint32_t s) const {
+  std::uint32_t n = 0;
+  for (const auto& slot : steps_[s]) {
+    if (slot.bank >= bank_ranges_.size()) {
+      continue;  // malformed slot; validate() reports it separately
+    }
+    const auto [begin, end] = bank_ranges_[slot.bank];
+    for (const auto op : {slot.instr.a, slot.instr.b}) {
+      if (op.is_rram() && (op.address() < begin || op.address() >= end)) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
 }
 
 std::uint32_t ParallelProgram::num_instructions() const noexcept {
@@ -151,6 +178,14 @@ std::string ParallelProgram::validate() const {
                  std::to_string(op.address() + 1) +
                  " written in the same step";
         }
+      }
+    }
+    if (bus_width_ > 0) {
+      const auto bus_ops = step_bus_ops(s);
+      if (bus_ops > bus_width_) {
+        return "step " + std::to_string(s) + " issues " +
+               std::to_string(bus_ops) + " cross-bank copies over bus width " +
+               std::to_string(bus_width_);
       }
     }
   }

@@ -46,6 +46,11 @@ class ParallelProgram {
   void set_bank_range(std::uint32_t bank, std::uint32_t begin,
                       std::uint32_t end);
 
+  /// Declares the inter-bank bus bandwidth this program was scheduled
+  /// for: at most `width` cross-bank copies per step (0 = unbounded).
+  /// Checked by validate() and enforced by Machine::run_parallel.
+  void set_bus_width(std::uint32_t width) noexcept { bus_width_ = width; }
+
   /// Opens a new (initially empty) step and returns its index.
   std::uint32_t begin_step();
 
@@ -71,6 +76,13 @@ class ParallelProgram {
   /// Bank owning `cell` (num_banks() when outside every range).
   [[nodiscard]] std::uint32_t bank_of_cell(std::uint32_t cell) const noexcept;
 
+  /// Declared inter-bank bus bandwidth (0 = unbounded).
+  [[nodiscard]] std::uint32_t bus_width() const noexcept { return bus_width_; }
+
+  /// Cross-bank copies a step issues: slots reading at least one RRAM
+  /// cell outside their own bank's range (the bus traffic of the step).
+  [[nodiscard]] std::uint32_t step_bus_ops(std::uint32_t s) const;
+
   [[nodiscard]] std::uint32_t num_instructions() const noexcept;
   [[nodiscard]] std::uint32_t num_transfer_instructions() const noexcept;
 
@@ -94,13 +106,15 @@ class ParallelProgram {
   /// step has at most one slot per bank, in ascending bank order; every
   /// destination lies in the executing bank's range; non-transfer slots
   /// read only local cells, inputs and constants; no slot reads a cell
-  /// another slot of the same step writes; outputs and operands are in
+  /// another slot of the same step writes; no step issues more cross-bank
+  /// copies than the declared bus width; outputs and operands are in
   /// bounds. Returns an empty string when valid, otherwise a description
   /// of the first violation.
   [[nodiscard]] std::string validate() const;
 
  private:
   std::uint32_t num_banks_ = 0;
+  std::uint32_t bus_width_ = 0;  ///< 0 = unbounded inter-bank bus
   std::vector<std::pair<std::uint32_t, std::uint32_t>> bank_ranges_;
   std::vector<std::vector<Slot>> steps_;
   std::vector<std::string> input_names_;
@@ -112,12 +126,19 @@ class ParallelProgram {
 struct ScheduleStats {
   std::uint32_t banks = 0;
   std::uint32_t serial_instructions = 0;
-  std::uint32_t parallel_instructions = 0;  ///< includes transfer copies
-  std::uint32_t transfers = 0;              ///< cross-bank value transfers
+  /// Includes transfer copies and duplicated (recomputed) chains.
+  std::uint32_t parallel_instructions = 0;
+  std::uint32_t transfers = 0;  ///< cross-bank value transfers (bus copies)
+  std::uint32_t duplicates = 0;  ///< remote values recomputed locally
+  std::uint32_t duplicated_instructions = 0;  ///< instructions they cost
   std::uint32_t steps = 0;
   std::uint32_t critical_path = 0;  ///< RAW chain lower bound (serial)
   std::uint32_t serial_rrams = 0;
   std::uint32_t parallel_rrams = 0;  ///< sum over banks after remapping
+  std::uint32_t bus_width = 0;   ///< bounded bus the schedule honours (0 = ∞)
+  std::uint32_t bus_stalls = 0;  ///< bank-steps idled waiting for the bus
+  bool placement_hints_used = false;  ///< banks came from the compiler
+  std::vector<std::uint32_t> bank_load;  ///< instructions per bank
   double utilization = 0.0;  ///< parallel_instructions / (steps × banks)
   double speedup = 0.0;      ///< serial_instructions / steps
 };

@@ -9,70 +9,143 @@
 #include <utility>
 #include <vector>
 
+#include "sched/clustering.hpp"
+
 namespace plim::sched {
 
 namespace {
 
 constexpr std::uint32_t npos = DependenceGraph::npos;
 
-/// Instruction over *virtual* cells: segments and transfer copies are
-/// renamed to unique ids (SSA-like), so cell-reuse WAR/WAW hazards of the
-/// serial program disappear; only true dependences — plus WAR edges
-/// against the next chain-write of a still-live segment — remain.
+/// Instruction over *virtual* cells: segments, transfer copies and
+/// duplicated chains are renamed to unique ids (SSA-like), so cell-reuse
+/// WAR/WAW hazards of the serial program disappear; only true
+/// dependences — plus WAR edges against the next chain-write of a
+/// still-live segment — remain.
 struct VirtualInstr {
   std::uint32_t bank = 0;
   arch::Operand a;
   arch::Operand b;
   std::uint32_t z = 0;  ///< virtual cell
   bool is_transfer = false;
+  bool uses_bus = false;  ///< transfer copy reading a remote cell
   std::vector<std::uint32_t> deps;  ///< predecessor virtual instructions
 };
 
-/// Segment → bank assignment: prefer the bank that already produces the
-/// segment's operands (each vote ≈ one avoided 2-instruction transfer),
-/// balanced against per-bank instruction load.
+/// Segment → bank assignment. With compiler placement hints, segments
+/// inherit the bank of their serial cell. Post hoc, segments are first
+/// agglomerated into clusters along their heaviest producer→consumer
+/// edges (majority subtrees, RAW chains), then each cluster takes the
+/// bank minimizing the cost model's transfer + load-imbalance cost.
 std::vector<std::uint32_t> assign_banks(const DependenceGraph& graph,
-                                        std::uint32_t banks) {
+                                        const arch::Program& serial,
+                                        const ScheduleOptions& opts) {
+  const auto banks = opts.banks;
   const auto num_segments = graph.num_segments();
   std::vector<std::uint32_t> seg_bank(num_segments, 0);
   if (banks <= 1) {
     return seg_bank;
   }
 
-  std::vector<std::vector<std::uint32_t>> seg_instrs(num_segments);
-  for (std::uint32_t i = 0; i < graph.num_instructions(); ++i) {
-    seg_instrs[graph.segment_of(i)].push_back(i);
+  if (!opts.placement_hints.empty()) {
+    if (opts.placement_hints.size() < serial.num_rrams()) {
+      throw std::invalid_argument(
+          "sched: placement hints do not cover every serial cell");
+    }
+    for (std::uint32_t s = 0; s < num_segments; ++s) {
+      seg_bank[s] = opts.placement_hints[graph.segment(s).cell] % banks;
+    }
+    return seg_bank;
   }
 
-  std::vector<std::uint64_t> load(banks, 0);
-  std::vector<std::int64_t> votes(banks, 0);
-  // Segment ids ascend by first write, so producers precede consumers.
-  for (std::uint32_t s = 0; s < num_segments; ++s) {
-    std::fill(votes.begin(), votes.end(), 0);
-    for (const auto i : seg_instrs[s]) {
+  const auto n = graph.num_instructions();
+  std::vector<std::uint32_t> seg_size(num_segments, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ++seg_size[graph.segment_of(i)];
+  }
+
+  HeavyEdgeClusters clusters(std::move(seg_size));
+  if (opts.cluster) {
+    // Heavy-edge agglomeration over the segment graph: producer→consumer
+    // operand reads become weighted edges, and whole subtrees / RAW
+    // chains merge into bank-sized clusters (see sched/clustering.hpp).
+    // This is what fixes the voter-style adder trees whose chains
+    // otherwise ping-pong between banks and stretch the schedule far
+    // past the critical path.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    pairs.reserve(2 * n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto s = graph.segment_of(i);
       for (const auto def : {graph.def_of_a(i), graph.def_of_b(i)}) {
         if (def == npos) {
           continue;
         }
         const auto ps = graph.segment_of(def);
-        if (ps < s) {
-          ++votes[seg_bank[ps]];
+        if (ps != s) {
+          pairs.emplace_back(ps, s);
         }
       }
     }
-    const auto min_load = *std::min_element(load.begin(), load.end());
-    std::uint32_t best = 0;
-    std::int64_t best_score = 0;
-    for (std::uint32_t b = 0; b < banks; ++b) {
-      const auto score =
-          2 * votes[b] - static_cast<std::int64_t>(load[b] - min_load);
-      if (b == 0 || score > best_score) {
-        best = b;
-        best_score = score;
+    clusters.agglomerate(std::move(pairs), cluster_budget(n, banks));
+  }
+
+  // Distinct operand defs a cluster reads from other clusters — each one
+  // is a potential transfer, cached per (def, bank).
+  std::vector<std::uint32_t> cluster_of(num_segments);
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    cluster_of[s] = clusters.find(s);
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> reads;  // (cluster, def)
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto c = cluster_of[graph.segment_of(i)];
+    for (const auto def : {graph.def_of_a(i), graph.def_of_b(i)}) {
+      if (def != npos && cluster_of[graph.segment_of(def)] != c) {
+        reads.emplace_back(c, def);
       }
     }
-    seg_bank[s] = best;
-    load[best] += seg_instrs[s].size();
+  }
+  std::sort(reads.begin(), reads.end());
+  reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+  std::map<std::uint32_t, std::vector<std::uint32_t>> remote_defs;
+  for (const auto& [c, def] : reads) {
+    remote_defs[c].push_back(def);
+  }
+
+  // Assign clusters in ascending root id (producers mostly first).
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    if (cluster_of[s] == s) {
+      order.push_back(s);
+    }
+  }
+  std::vector<std::uint32_t> cluster_bank(num_segments, npos);
+  std::vector<std::uint64_t> load(banks, 0);
+  for (const auto c : order) {
+    const auto min_load = *std::min_element(load.begin(), load.end());
+    std::uint32_t best = 0;
+    double best_cost = 0.0;
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      std::uint32_t transfers = 0;
+      const auto it = remote_defs.find(c);
+      if (it != remote_defs.end()) {
+        for (const auto def : it->second) {
+          const auto pc = cluster_of[graph.segment_of(def)];
+          if (cluster_bank[pc] != npos && cluster_bank[pc] != b) {
+            ++transfers;
+          }
+        }
+      }
+      const auto cost = opts.cost.assignment_cost(transfers, load[b] - min_load);
+      if (b == 0 || cost < best_cost) {
+        best = b;
+        best_cost = cost;
+      }
+    }
+    cluster_bank[c] = best;
+    load[best] += clusters.size(c);
+  }
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    seg_bank[s] = cluster_bank[cluster_of[s]];
   }
   return seg_bank;
 }
@@ -92,9 +165,9 @@ ScheduleResult schedule(const arch::Program& serial,
   }
   const auto banks = opts.banks;
   const auto n = graph.num_instructions();
-  const auto seg_bank = assign_banks(graph, banks);
+  const auto seg_bank = assign_banks(graph, serial, opts);
 
-  // ---- expansion: rename to virtual cells, materialize transfers --------
+  // ---- expansion: rename to virtual cells, resolve remote operands ------
   std::vector<VirtualInstr> virt;
   virt.reserve(n);
   std::vector<std::uint32_t> vidx_of(n, npos);
@@ -106,12 +179,43 @@ ScheduleResult schedule(const arch::Program& serial,
   // Readers of each virtual cell's *current* value: the next chain-write
   // must wait for them (the one WAR hazard renaming does not remove).
   std::vector<std::vector<std::uint32_t>> vreaders(num_vcells);
-  struct Transfer {
-    std::uint32_t copy_vidx;
-    std::uint32_t cell;
+  struct Remote {
+    std::uint32_t vidx;  ///< instruction producing the local replica
+    std::uint32_t cell;  ///< local virtual cell holding it
   };
-  std::map<std::pair<std::uint32_t, std::uint32_t>, Transfer> transfer_cache;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Remote> remote_cache;
   std::uint32_t transfers = 0;
+  std::uint32_t duplicates = 0;
+  std::uint32_t duplicated_instructions = 0;
+
+  // Length of the producing chain prefix of `def` within its segment,
+  // and whether it reads only inputs/constants (then it can be
+  // recomputed in any bank instead of transferred). Walks the chain
+  // backwards through the Z read-modify-write links and bails out as
+  // soon as the duplicate-vs-copy decision is settled, so the scan is
+  // O(duplicate_max_instructions) per cache miss, not O(program).
+  const auto chain_prefix = [&](std::uint32_t def) {
+    struct Prefix {
+      std::uint32_t length = 0;
+      bool self_contained = true;
+      std::uint32_t first = npos;
+    } p;
+    for (std::uint32_t j = def;; j = graph.def_of_z(j)) {
+      ++p.length;
+      p.first = j;
+      if (serial[j].a.is_rram() || serial[j].b.is_rram()) {
+        p.self_contained = false;
+        break;
+      }
+      if (!opts.cost.should_duplicate(p.length)) {
+        break;  // already too long to recompute
+      }
+      if (graph.is_reset(j)) {
+        break;  // chain start reached
+      }
+    }
+    return p;
+  };
 
   for (std::uint32_t i = 0; i < n; ++i) {
     const auto& ins = serial[i];
@@ -127,7 +231,8 @@ ScheduleResult schedule(const arch::Program& serial,
 
     // Virtual cells this instruction reads; the final index of the
     // instruction is only known after both operands resolved (resolving
-    // may emit transfer instructions), so reader registration is deferred.
+    // may emit transfer/duplicate instructions), so reader registration
+    // is deferred.
     std::vector<std::uint32_t> read_cells;
 
     const auto resolve = [&](arch::Operand op,
@@ -142,33 +247,64 @@ ScheduleResult schedule(const arch::Program& serial,
         return arch::Operand::rram(pseg);
       }
       const auto key = std::make_pair(def, bank);
-      auto it = transfer_cache.find(key);
-      if (it == transfer_cache.end()) {
-        const auto tcell = num_vcells++;
-        vcell_bank.push_back(bank);
-        vreaders.emplace_back();
-        VirtualInstr reset;
-        reset.bank = bank;
-        reset.a = arch::Operand::constant(false);
-        reset.b = arch::Operand::constant(true);
-        reset.z = tcell;
-        reset.is_transfer = true;
-        const auto reset_idx = static_cast<std::uint32_t>(virt.size());
-        virt.push_back(std::move(reset));
-        VirtualInstr copy;  // with the cell reset to 0: tcell ← src ∨ 0
-        copy.bank = bank;
-        copy.a = arch::Operand::rram(pseg);
-        copy.b = arch::Operand::constant(false);
-        copy.z = tcell;
-        copy.is_transfer = true;
-        copy.deps = {reset_idx, vidx_of[def]};
-        const auto copy_idx = static_cast<std::uint32_t>(virt.size());
-        vreaders[pseg].push_back(copy_idx);
-        virt.push_back(std::move(copy));
-        it = transfer_cache.emplace(key, Transfer{copy_idx, tcell}).first;
-        ++transfers;
+      auto it = remote_cache.find(key);
+      if (it == remote_cache.end()) {
+        const auto prefix = chain_prefix(def);
+        if (prefix.self_contained &&
+            opts.cost.should_duplicate(prefix.length)) {
+          // Recompute the producing chain locally: same instruction
+          // count as a transfer when the chain is short, but no bus
+          // slot and no cross-bank dependence.
+          const auto dcell = num_vcells++;
+          vcell_bank.push_back(bank);
+          vreaders.emplace_back();
+          std::uint32_t prev = npos;
+          for (std::uint32_t j = prefix.first; j <= def; ++j) {
+            if (graph.segment_of(j) != pseg) {
+              continue;
+            }
+            VirtualInstr dup;
+            dup.bank = bank;
+            dup.a = serial[j].a;
+            dup.b = serial[j].b;
+            dup.z = dcell;
+            if (prev != npos && !graph.is_reset(j)) {
+              dup.deps.push_back(prev);
+            }
+            prev = static_cast<std::uint32_t>(virt.size());
+            virt.push_back(std::move(dup));
+            ++duplicated_instructions;
+          }
+          ++duplicates;
+          it = remote_cache.emplace(key, Remote{prev, dcell}).first;
+        } else {
+          const auto tcell = num_vcells++;
+          vcell_bank.push_back(bank);
+          vreaders.emplace_back();
+          VirtualInstr reset;
+          reset.bank = bank;
+          reset.a = arch::Operand::constant(false);
+          reset.b = arch::Operand::constant(true);
+          reset.z = tcell;
+          reset.is_transfer = true;
+          const auto reset_idx = static_cast<std::uint32_t>(virt.size());
+          virt.push_back(std::move(reset));
+          VirtualInstr copy;  // with the cell reset to 0: tcell ← src ∨ 0
+          copy.bank = bank;
+          copy.a = arch::Operand::rram(pseg);
+          copy.b = arch::Operand::constant(false);
+          copy.z = tcell;
+          copy.is_transfer = true;
+          copy.uses_bus = true;
+          copy.deps = {reset_idx, vidx_of[def]};
+          const auto copy_idx = static_cast<std::uint32_t>(virt.size());
+          vreaders[pseg].push_back(copy_idx);
+          virt.push_back(std::move(copy));
+          it = remote_cache.emplace(key, Remote{copy_idx, tcell}).first;
+          ++transfers;
+        }
       }
-      v.deps.push_back(it->second.copy_vidx);
+      v.deps.push_back(it->second.vidx);
       read_cells.push_back(it->second.cell);
       return arch::Operand::rram(it->second.cell);
     };
@@ -203,6 +339,9 @@ ScheduleResult schedule(const arch::Program& serial,
   }
 
   // ---- list scheduling by critical-path height --------------------------
+  // With a bounded bus (cost.bus_width > 0), at most that many cross-bank
+  // copies issue per step; a bank whose only ready work is a deferred
+  // copy idles and the lost slot is counted as a bus stall.
   std::vector<std::uint32_t> height(vn, 1);
   for (std::uint32_t i = vn; i-- > 0;) {
     for (const auto p : virt[i].deps) {
@@ -226,20 +365,45 @@ ScheduleResult schedule(const arch::Program& serial,
       ready[virt[i].bank].push({height[i], ~i});
     }
   }
+  const auto bus_width = opts.cost.bus_width;
   std::vector<std::uint32_t> step_of(vn, npos);
   std::vector<std::vector<std::uint32_t>> step_instrs;
+  std::vector<Prio> deferred;
   std::uint32_t scheduled = 0;
+  std::uint32_t bus_stalls = 0;
   while (scheduled < vn) {
     const auto t = static_cast<std::uint32_t>(step_instrs.size());
     auto& step = step_instrs.emplace_back();
+    std::uint32_t bus_used = 0;
     for (std::uint32_t b = 0; b < banks; ++b) {
-      if (ready[b].empty()) {
+      deferred.clear();
+      std::uint32_t picked = npos;
+      while (!ready[b].empty()) {
+        const auto top = ready[b].top();
+        const auto vidx = ~top.second;
+        if (bus_width > 0 && virt[vidx].uses_bus && bus_used >= bus_width) {
+          deferred.push_back(top);
+          ready[b].pop();
+          continue;
+        }
+        ready[b].pop();
+        picked = vidx;
+        break;
+      }
+      for (const auto& d : deferred) {
+        ready[b].push(d);
+      }
+      if (picked == npos) {
+        if (!deferred.empty()) {
+          ++bus_stalls;  // the bank idles waiting for the bus
+        }
         continue;
       }
-      const auto vidx = ~ready[b].top().second;
-      ready[b].pop();
-      step_of[vidx] = t;
-      step.push_back(vidx);
+      if (virt[picked].uses_bus) {
+        ++bus_used;
+      }
+      step_of[picked] = t;
+      step.push_back(picked);
     }
     if (step.empty()) {
       throw std::logic_error("sched: dependence cycle in virtual program");
@@ -329,6 +493,7 @@ ScheduleResult schedule(const arch::Program& serial,
   ScheduleResult result;
   auto& pp = result.program;
   pp = ParallelProgram(banks);
+  pp.set_bus_width(bus_width);
   for (std::uint32_t b = 0; b < banks; ++b) {
     pp.set_bank_range(b, bank_base[b], bank_base[b] + bank_size[b]);
   }
@@ -338,6 +503,7 @@ ScheduleResult schedule(const arch::Program& serial,
   const auto remap = [&](arch::Operand op) {
     return op.is_rram() ? arch::Operand::rram(final_cell(op.address())) : op;
   };
+  std::vector<std::uint32_t> bank_load(banks, 0);
   for (const auto& step : step_instrs) {
     auto slots = step;
     std::sort(slots.begin(), slots.end(),
@@ -347,6 +513,7 @@ ScheduleResult schedule(const arch::Program& serial,
     pp.begin_step();
     for (const auto vidx : slots) {
       const auto& v = virt[vidx];
+      ++bank_load[v.bank];
       pp.add_slot({v.bank,
                    arch::Instruction{remap(v.a), remap(v.b), final_cell(v.z)},
                    v.is_transfer});
@@ -362,10 +529,16 @@ ScheduleResult schedule(const arch::Program& serial,
   stats.serial_instructions = n;
   stats.parallel_instructions = vn;
   stats.transfers = transfers;
+  stats.duplicates = duplicates;
+  stats.duplicated_instructions = duplicated_instructions;
   stats.steps = num_steps;
   stats.critical_path = graph.critical_path();
   stats.serial_rrams = serial.num_rrams();
   stats.parallel_rrams = pp.num_rrams();
+  stats.bus_width = bus_width;
+  stats.bus_stalls = bus_stalls;
+  stats.placement_hints_used = !opts.placement_hints.empty();
+  stats.bank_load = std::move(bank_load);
   stats.utilization =
       num_steps > 0 ? static_cast<double>(vn) /
                           (static_cast<double>(num_steps) * banks)

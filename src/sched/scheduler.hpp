@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "arch/program.hpp"
+#include "sched/cost_model.hpp"
 #include "sched/depgraph.hpp"
 #include "sched/parallel_program.hpp"
 
@@ -12,6 +14,25 @@ struct ScheduleOptions {
   /// Number of PLiM banks executing in lockstep. One bank degenerates to
   /// the serial program (modulo cell renaming).
   std::uint32_t banks = 4;
+
+  /// Transfer / bus / duplication economics driving bank assignment and
+  /// step packing. `cost.bus_width` > 0 additionally bounds how many
+  /// cross-bank copies any step may issue (the bounded inter-bank bus).
+  CostModel cost;
+
+  /// Compiler-side placement hints: serial cell → bank, as produced by
+  /// compiling with CompileOptions::placement_banks (see
+  /// core::Placement::cell_bank). When non-empty, segments are assigned
+  /// to `hint % banks` of their serial cell instead of running the
+  /// post-hoc clustering + cost-model assignment; must cover every
+  /// serial cell (throws std::invalid_argument otherwise).
+  std::vector<std::uint32_t> placement_hints;
+
+  /// Agglomerate segments along their heaviest producer→consumer edges
+  /// (majority subtrees, RAW chains) before bank assignment, so whole
+  /// subtrees land in one bank and only cluster boundaries cross the
+  /// bus. Ignored when placement hints are given.
+  bool cluster = true;
 };
 
 struct ScheduleResult {
@@ -23,25 +44,33 @@ struct ScheduleResult {
 ///
 ///  1. builds the register-level dependence graph and splits the program
 ///     into value-lifetime segments (see sched/depgraph.hpp);
-///  2. assigns each segment to a bank, preferring the bank that already
-///     produces the segment's operands (fewer transfers) and breaking
-///     ties toward the least-loaded bank;
+///  2. assigns each segment to a bank: either directly from compiler
+///     placement hints, or post hoc — segments are first agglomerated
+///     into clusters along their heaviest producer→consumer edges
+///     (majority subtrees, RAW chains), then each cluster goes to the
+///     bank minimizing the CostModel's transfer + load-imbalance cost;
 ///  3. renames segments onto bank-local cells — renaming eliminates the
 ///     WAR/WAW hazards that serial cell reuse created, so only true (RAW)
-///     dependences constrain the schedule — and materializes every
-///     cross-bank operand as an explicit 2-instruction transfer copy
-///     (reset + RM3 copy) in the consuming bank, cached per produced
-///     value so repeated remote reads pay once per bank;
+///     dependences constrain the schedule — and resolves every cross-bank
+///     operand either as an explicit 2-instruction transfer copy
+///     (reset + RM3 copy) in the consuming bank, or, when the producing
+///     chain is short and reads only inputs/constants, as a local
+///     *recomputation* (duplicate-vs-copy decision of the cost model);
+///     both are cached per produced value so repeated remote reads pay
+///     once per bank;
 ///  4. list-schedules the result by critical-path height into steps of at
-///     most one instruction per bank;
+///     most one instruction per bank, issuing at most
+///     `cost.bus_width` cross-bank copies per step when the bus is
+///     bounded (deferred copies are counted as bus stalls);
 ///  5. maps the renamed cells onto a disjoint contiguous cell range per
 ///     bank, recycling dead cells FIFO (the paper's endurance-minded
 ///     policy) once their last scheduled use has passed.
 ///
 /// Throws std::invalid_argument when the program reads memory it never
 /// wrote (its behaviour would depend on pre-existing RRAM content, which
-/// a bank-remapped program cannot reproduce) or when an output cell is
-/// never written, and when `opts.banks` is 0.
+/// a bank-remapped program cannot reproduce), when an output cell is
+/// never written, when `opts.banks` is 0, and when placement hints do
+/// not cover every serial cell.
 [[nodiscard]] ScheduleResult schedule(const arch::Program& serial,
                                       const ScheduleOptions& opts = {});
 

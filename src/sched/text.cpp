@@ -16,6 +16,9 @@ using arch::trim;
 
 void write_text(const ParallelProgram& program, std::ostream& os) {
   os << "# parallel banks " << program.num_banks() << '\n';
+  if (program.bus_width() > 0) {
+    os << "# bus " << program.bus_width() << '\n';
+  }
   std::vector<std::string> input_names;
   input_names.reserve(program.num_inputs());
   for (std::uint32_t i = 0; i < program.num_inputs(); ++i) {
@@ -88,6 +91,18 @@ ParallelProgram parse_parallel_impl(const std::string& text) {
         p.set_bank_range(b, 0, 0);
       }
       saw_banks = true;
+      continue;
+    }
+    if (line.rfind("# bus ", 0) == 0) {
+      if (!saw_banks) {
+        throw std::runtime_error("bus width before '# parallel banks'");
+      }
+      const auto width =
+          static_cast<std::uint32_t>(std::stoul(line.substr(6)));
+      if (width == 0) {
+        throw std::runtime_error("declared bus width must be positive");
+      }
+      p.set_bus_width(width);
       continue;
     }
     if (line.rfind("# input ", 0) == 0) {

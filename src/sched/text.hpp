@@ -12,6 +12,7 @@ namespace plim::sched {
 /// with its executing bank ("b<k>:"); transfer slots are tagged "b<k>*:".
 ///
 ///   # parallel banks 2
+///   # bus 1
 ///   # input 0 i1
 ///   # bank 0 @X1..@X3
 ///   # bank 1 @X4..@X5
@@ -19,6 +20,8 @@ namespace plim::sched {
 ///   02: b0: i1, 0, @X1 | b1*: @X1, 0, @X4
 ///   # output f @X4
 ///
+/// The optional "# bus <k>" line declares the bounded inter-bank bus the
+/// schedule honours (absent = unbounded).
 /// Bank ranges are 1-based inclusive ("@X1..@X3" = cells 0..2); a bank
 /// without cells prints as "# bank <k> empty".
 [[nodiscard]] std::string to_text(const ParallelProgram& program);

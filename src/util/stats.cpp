@@ -145,6 +145,22 @@ JsonWriter& JsonWriter::field(const std::string& k, bool value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint32_t v) {
+  return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  escape(v);
+  return *this;
+}
+
 bool emit_json(const JsonWriter& json, const std::string& path,
                const std::string& tool) {
   if (path == "-") {

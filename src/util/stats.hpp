@@ -50,6 +50,12 @@ class JsonWriter {
   JsonWriter& field(const std::string& key, double value);
   JsonWriter& field(const std::string& key, bool value);
 
+  /// Bare scalar elements for arrays of numbers/strings (between
+  /// begin_array and end_array).
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::uint32_t v);
+  JsonWriter& value(const std::string& v);
+
   /// The document so far; valid JSON once every scope is closed.
   [[nodiscard]] const std::string& str() const noexcept { return out_; }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+#include <vector>
+
 namespace plim::core {
 namespace {
 
@@ -92,6 +96,131 @@ TEST(Allocator, FifoSpreadsWearAcrossCells) {
     } else {
       EXPECT_EQ(uses, (std::vector<int>{0, 0, 0, 100}));
     }
+  }
+}
+
+// ---- banked allocator -------------------------------------------------------
+
+TEST(BankedAllocator, DisjointModularRanges) {
+  // The invariant the scheduler's bank-local compute model rests on:
+  // bank b owns exactly the cells {c : c ≡ b (mod B)}, so per-bank cell
+  // sets can never overlap, no matter the request/release history.
+  BankedAllocator alloc(4);
+  std::vector<std::set<std::uint32_t>> per_bank(4);
+  for (std::uint32_t round = 0; round < 3; ++round) {
+    std::vector<std::uint32_t> cells;
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      for (int k = 0; k < 5; ++k) {
+        const auto c = alloc.request_in(b);
+        EXPECT_EQ(c % 4, b) << "cell " << c;
+        EXPECT_EQ(alloc.bank_of(c), b);
+        per_bank[b].insert(c);
+        cells.push_back(c);
+      }
+    }
+    for (const auto c : cells) {
+      alloc.release(c);
+    }
+  }
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    for (std::uint32_t o = b + 1; o < 4; ++o) {
+      for (const auto c : per_bank[b]) {
+        EXPECT_EQ(per_bank[o].count(c), 0u);
+      }
+    }
+  }
+}
+
+TEST(BankedAllocator, ReleaseReturnsCellToItsOwningBank) {
+  BankedAllocator alloc(2);
+  const auto c0 = alloc.request_in(0);
+  const auto c1 = alloc.request_in(1);
+  alloc.release(c0);
+  alloc.release(c1);
+  // Bank 1 reuses its own released cell, never bank 0's.
+  EXPECT_EQ(alloc.request_in(1), c1);
+  EXPECT_EQ(alloc.request_in(0), c0);
+  EXPECT_EQ(alloc.total_allocated(), 2u);
+}
+
+TEST(BankedAllocator, PerBankPolicyOrdering) {
+  BankedAllocator fifo(2, AllocationPolicy::fifo);
+  const auto a = fifo.request_in(0);
+  const auto b = fifo.request_in(0);
+  fifo.release(a);
+  fifo.release(b);
+  EXPECT_EQ(fifo.request_in(0), a);  // oldest released first
+
+  BankedAllocator lifo(2, AllocationPolicy::lifo);
+  const auto c = lifo.request_in(0);
+  const auto d = lifo.request_in(0);
+  lifo.release(c);
+  lifo.release(d);
+  EXPECT_EQ(lifo.request_in(0), d);  // newest released first
+
+  BankedAllocator fresh(2, AllocationPolicy::fresh);
+  const auto e = fresh.request_in(1);
+  fresh.release(e);
+  EXPECT_NE(fresh.request_in(1), e);  // never reuses
+  EXPECT_EQ(fresh.total_allocated(), 2u);
+}
+
+TEST(BankedAllocator, DefaultRequestBalancesLiveCells) {
+  BankedAllocator alloc(3);
+  // Pre-load bank 0 and 1; the next unconstrained requests go to the
+  // emptiest banks.
+  (void)alloc.request_in(0);
+  (void)alloc.request_in(0);
+  (void)alloc.request_in(1);
+  const auto c = alloc.request();
+  EXPECT_EQ(alloc.bank_of(c), 2u);
+  const auto d = alloc.request();
+  EXPECT_EQ(alloc.bank_of(d), 1u);
+  EXPECT_EQ(alloc.bank_live(0), 2u);
+  EXPECT_EQ(alloc.bank_live(1), 2u);
+  EXPECT_EQ(alloc.bank_live(2), 1u);
+}
+
+TEST(BankedAllocator, CapBoundsTotalAcrossBanks) {
+  BankedAllocator alloc(2, AllocationPolicy::fifo, 3);
+  const auto a = alloc.request_in(0);
+  (void)alloc.request_in(1);
+  (void)alloc.request_in(0);
+  EXPECT_THROW((void)alloc.request_in(1), RramCapExceeded);
+  alloc.release(a);
+  EXPECT_EQ(alloc.request_in(0), a);  // reuse within cap is fine
+  EXPECT_EQ(alloc.total_allocated(), 3u);
+}
+
+TEST(BankedAllocator, RejectsOutOfRangeBank) {
+  BankedAllocator alloc(2);
+  EXPECT_THROW((void)alloc.request_in(2), std::out_of_range);
+}
+
+TEST(BankedAllocator, WorksThroughBaseInterface) {
+  // The compiler holds the allocator behind the RramAllocator interface;
+  // request/release must dispatch virtually.
+  std::unique_ptr<RramAllocator> alloc =
+      std::make_unique<BankedAllocator>(4, AllocationPolicy::fifo);
+  const auto a = alloc->request();
+  const auto b = alloc->request();
+  EXPECT_NE(a % 4, b % 4);  // balancing spreads across banks
+  alloc->release(a);
+  EXPECT_EQ(alloc->request(), a);  // fifo reuse through the base pointer
+  EXPECT_EQ(alloc->total_allocated(), 2u);
+  EXPECT_EQ(alloc->peak_live(), 2u);
+}
+
+TEST(BankedAllocator, PlacementCoversEveryCell) {
+  BankedAllocator alloc(3);
+  for (int i = 0; i < 7; ++i) {
+    (void)alloc.request();
+  }
+  const auto p = alloc.placement(9);
+  EXPECT_EQ(p.num_banks, 3u);
+  ASSERT_EQ(p.cell_bank.size(), 9u);
+  for (std::uint32_t c = 0; c < 9; ++c) {
+    EXPECT_EQ(p.cell_bank[c], c % 3);
   }
 }
 

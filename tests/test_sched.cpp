@@ -31,18 +31,30 @@ void expect_equivalent(const arch::Program& serial,
   EXPECT_TRUE(equivalent_to_serial(serial, parallel, rounds, seed));
 }
 
+ScheduleOptions with_banks(std::uint32_t banks) {
+  ScheduleOptions opts;
+  opts.banks = banks;
+  return opts;
+}
+
 void expect_schedules_equivalent(const arch::Program& serial,
                                  std::uint64_t seed) {
   for (const auto banks : kBankCounts) {
-    const auto result = schedule(serial, {banks});
+    const auto result = schedule(serial, with_banks(banks));
     EXPECT_EQ(result.program.validate(), "") << banks << " banks";
     EXPECT_EQ(result.stats.parallel_instructions,
-              result.stats.serial_instructions + 2 * result.stats.transfers);
+              result.stats.serial_instructions + 2 * result.stats.transfers +
+                  result.stats.duplicated_instructions);
     EXPECT_EQ(result.program.num_instructions(),
               result.stats.parallel_instructions);
     EXPECT_EQ(result.program.num_transfer_instructions(),
               2 * result.stats.transfers);
     EXPECT_GE(result.stats.steps, result.stats.critical_path);
+    std::uint32_t load_sum = 0;
+    for (const auto l : result.stats.bank_load) {
+      load_sum += l;
+    }
+    EXPECT_EQ(load_sum, result.stats.parallel_instructions);
     expect_equivalent(serial, result.program, seed + banks);
   }
 }
@@ -111,7 +123,7 @@ TEST(DepGraph, DetectsInitialStateReads) {
   p.ensure_rram_count(2);
   const auto g = DependenceGraph::build(p);
   EXPECT_TRUE(g.reads_initial_state());
-  EXPECT_THROW((void)schedule(p, {2}), std::invalid_argument);
+  EXPECT_THROW((void)schedule(p, with_banks(2)), std::invalid_argument);
 }
 
 // ---- hazard regressions -----------------------------------------------------
@@ -134,7 +146,7 @@ TEST(SchedHazards, WarWawOnReusedCell) {
   p.add_output("g", 1);
 
   for (const auto banks : kBankCounts) {
-    const auto result = schedule(p, {banks});
+    const auto result = schedule(p, with_banks(banks));
     ASSERT_EQ(result.program.validate(), "");
     arch::Machine machine;
     for (unsigned v = 0; v < 4; ++v) {
@@ -169,7 +181,7 @@ TEST(SchedHazards, MidSegmentReadVersusChainWrite) {
   ASSERT_EQ(g.num_segments(), 2u);  // the late write extends segment 0
 
   for (const auto banks : kBankCounts) {
-    const auto result = schedule(p, {banks});
+    const auto result = schedule(p, with_banks(banks));
     ASSERT_EQ(result.program.validate(), "");
     arch::Machine machine;
     for (unsigned v = 0; v < 8; ++v) {
@@ -227,7 +239,7 @@ TEST(SchedEquivalence, NaiveCompiledProgramsToo) {
 
 TEST(SchedStats, SingleBankDegeneratesToSerial) {
   const auto compiled = core::compile(circuits::make_int2float());
-  const auto result = schedule(compiled.program, {1});
+  const auto result = schedule(compiled.program, with_banks(1));
   EXPECT_EQ(result.stats.transfers, 0u);
   EXPECT_EQ(result.stats.steps, result.stats.serial_instructions);
   EXPECT_DOUBLE_EQ(result.stats.speedup, 1.0);
@@ -236,7 +248,7 @@ TEST(SchedStats, SingleBankDegeneratesToSerial) {
 
 TEST(SchedStats, MultiBankSpeedsUp) {
   const auto compiled = core::compile(circuits::make_int2float());
-  const auto result = schedule(compiled.program, {4});
+  const auto result = schedule(compiled.program, with_banks(4));
   EXPECT_GT(result.stats.speedup, 1.2);
   EXPECT_GT(result.stats.transfers, 0u);
   EXPECT_LE(result.stats.utilization, 1.0);
@@ -245,7 +257,7 @@ TEST(SchedStats, MultiBankSpeedsUp) {
 
 TEST(SchedStats, MachineAccountsCyclesPerStep) {
   const auto compiled = core::compile(circuits::make_ctrl());
-  const auto result = schedule(compiled.program, {4});
+  const auto result = schedule(compiled.program, with_banks(4));
   arch::Machine machine;
   std::vector<std::uint64_t> in(compiled.program.num_inputs(), 0);
   (void)machine.run_parallel_words(result.program, in);
@@ -285,7 +297,7 @@ TEST(RunParallel, RejectsReadOfCellWrittenInSameStep) {
 
 TEST(RunParallel, RejectsWrongInputCount) {
   const auto compiled = core::compile(circuits::make_ctrl());
-  const auto result = schedule(compiled.program, {2});
+  const auto result = schedule(compiled.program, with_banks(2));
   arch::Machine machine;
   EXPECT_THROW((void)machine.run_parallel(result.program, {true}),
                std::invalid_argument);
@@ -332,7 +344,7 @@ TEST(ParallelValidate, AcceptsTransferReadingRemote) {
 
 TEST(ParallelText, RoundTrips) {
   const auto compiled = core::compile(circuits::make_int2float());
-  const auto result = schedule(compiled.program, {3});
+  const auto result = schedule(compiled.program, with_banks(3));
   const auto text = to_text(result.program);
   const auto parsed = parse_parallel_program(text);
   EXPECT_EQ(to_text(parsed), text);
@@ -352,12 +364,25 @@ TEST(ParallelText, RoundTripsWithEmptyBanks) {
   p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
   p.append(arch::Operand::input(a), arch::Operand::constant(false), 0);
   p.add_output("f", 0);
-  const auto result = schedule(p, {8});
+  const auto result = schedule(p, with_banks(8));
   const auto text = to_text(result.program);
   EXPECT_NE(text.find("empty"), std::string::npos);
   const auto parsed = parse_parallel_program(text);
   EXPECT_EQ(to_text(parsed), text);
   expect_equivalent(p, parsed, 77);
+}
+
+TEST(ParallelText, RoundTripsBusWidth) {
+  const auto compiled = core::compile(circuits::make_ctrl());
+  auto opts = with_banks(3);
+  opts.cost.bus_width = 2;
+  const auto result = schedule(compiled.program, opts);
+  const auto text = to_text(result.program);
+  EXPECT_NE(text.find("# bus 2"), std::string::npos);
+  const auto parsed = parse_parallel_program(text);
+  EXPECT_EQ(parsed.bus_width(), 2u);
+  EXPECT_EQ(to_text(parsed), text);
+  expect_equivalent(compiled.program, parsed, 2026);
 }
 
 TEST(ParallelText, ParseRejectsMalformed) {
@@ -376,6 +401,266 @@ TEST(ParallelText, ParseRejectsMalformed) {
       (void)parse_parallel_program(
           "# parallel banks 1\n# bank 0 @X1..@X1\n01: bzz: 0, 1, @X1"),
       std::runtime_error);  // malformed bank tag number
+}
+
+// ---- cost model -------------------------------------------------------------
+
+TEST(CostModel, BusRoundsAndDuplication) {
+  CostModel cost;
+  cost.bus_width = 2;
+  EXPECT_EQ(cost.bus_rounds(0), 0u);
+  EXPECT_EQ(cost.bus_rounds(2), 1u);
+  EXPECT_EQ(cost.bus_rounds(5), 3u);
+  cost.bus_width = 0;
+  EXPECT_EQ(cost.bus_rounds(100), 1u);
+  EXPECT_TRUE(cost.should_duplicate(2));
+  EXPECT_FALSE(cost.should_duplicate(3));
+  // Transfers price at transfer_instructions each; imbalance at the
+  // configured weight.
+  EXPECT_DOUBLE_EQ(cost.assignment_cost(3, 5), 11.0);
+}
+
+// ---- bounded bus ------------------------------------------------------------
+
+TEST(BoundedBus, SchedulerHonoursBusWidth) {
+  const auto compiled = core::compile(circuits::make_int2float());
+  auto opts = with_banks(4);
+  const auto unbounded = schedule(compiled.program, opts);
+  opts.cost.bus_width = 1;
+  const auto bounded = schedule(compiled.program, opts);
+  EXPECT_EQ(bounded.program.validate(), "");
+  EXPECT_EQ(bounded.program.bus_width(), 1u);
+  EXPECT_EQ(bounded.stats.bus_width, 1u);
+  for (std::uint32_t s = 0; s < bounded.program.num_steps(); ++s) {
+    EXPECT_LE(bounded.program.step_bus_ops(s), 1u) << "step " << s;
+  }
+  // Squeezing every copy through a width-1 bus cannot be faster, and the
+  // schedule must still compute the same function.
+  EXPECT_GE(bounded.stats.steps, unbounded.stats.steps);
+  expect_equivalent(compiled.program, bounded.program, 4242);
+}
+
+TEST(BoundedBus, ValidateRejectsOverSubscribedStep) {
+  ParallelProgram p(2);
+  p.set_bank_range(0, 0, 2);
+  p.set_bank_range(1, 2, 4);
+  p.set_bus_width(1);
+  p.begin_step();
+  p.add_slot({0, {arch::Operand::constant(false),
+                  arch::Operand::constant(true), 0}, false});
+  p.add_slot({1, {arch::Operand::constant(false),
+                  arch::Operand::constant(true), 2}, false});
+  p.begin_step();
+  p.add_slot({0, {arch::Operand::constant(false),
+                  arch::Operand::constant(true), 1}, false});
+  p.add_slot({1, {arch::Operand::constant(false),
+                  arch::Operand::constant(true), 3}, false});
+  // Two cross-bank copies in one step over a width-1 bus (into the
+  // freshly reset cells @X2/@X4, away from the cells being read).
+  p.begin_step();
+  p.add_slot({0, {arch::Operand::rram(2), arch::Operand::constant(false), 1},
+              true});
+  p.add_slot({1, {arch::Operand::rram(0), arch::Operand::constant(false), 3},
+              true});
+  EXPECT_NE(p.validate().find("bus width"), std::string::npos);
+  arch::Machine machine;
+  EXPECT_THROW((void)machine.run_parallel(p, {}), std::logic_error);
+  // An unbounded declaration accepts the same step...
+  p.set_bus_width(0);
+  EXPECT_EQ(p.validate(), "");
+  EXPECT_NO_THROW((void)machine.run_parallel(p, {}));
+  // ...and a machine-side width serializes it into an extra bus round.
+  machine.reset_counters();
+  machine.set_bus_width(1);
+  (void)machine.run_parallel(p, {});
+  EXPECT_EQ(machine.bus_stall_cycles(), arch::Machine::phases_per_instruction);
+  EXPECT_EQ(machine.cycles(),
+            4 * arch::Machine::phases_per_instruction);  // 3 steps + 1 stall
+}
+
+TEST(BoundedBus, EndToEndOnCircuits) {
+  // Width-1 and width-2 buses over a real circuit: schedules stay valid,
+  // equivalent, and monotone in steps.
+  const auto compiled = core::compile(circuits::make_cavlc());
+  std::uint32_t prev_steps = 0;
+  for (const auto width : {std::uint32_t{1}, std::uint32_t{2},
+                           std::uint32_t{0}}) {
+    auto opts = with_banks(8);
+    opts.cost.bus_width = width;
+    const auto result = schedule(compiled.program, opts);
+    EXPECT_EQ(result.program.validate(), "") << "width " << width;
+    expect_equivalent(compiled.program, result.program, 7000 + width);
+    if (width == 1) {
+      prev_steps = result.stats.steps;
+    } else {
+      EXPECT_LE(result.stats.steps, prev_steps) << "width " << width;
+      prev_steps = result.stats.steps;
+    }
+  }
+}
+
+// ---- duplicate-computation-vs-copy ------------------------------------------
+
+/// Two banks; bank-crossing reads of a short input-only producer chain
+/// should be recomputed locally (no bus traffic), not transferred.
+TEST(Duplication, RecomputesShortInputOnlyChains) {
+  arch::Program p;
+  const auto a = p.add_input("a");
+  const auto b = p.add_input("b");
+  // Segment 0: X1 ← a (reset + load, self-contained).
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
+  p.append(arch::Operand::input(a), arch::Operand::constant(false), 0);
+  // Segments 1/2: two independent consumers reading X1 — placed apart,
+  // at least one reads it remotely.
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 1);
+  p.append(arch::Operand::rram(0), arch::Operand::input(b), 1);
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 2);
+  p.append(arch::Operand::input(b), arch::Operand::rram(0), 2);
+  p.add_output("f", 1);
+  p.add_output("g", 2);
+  p.add_output("h", 0);
+
+  auto opts = with_banks(2);
+  opts.cluster = false;  // force the consumers apart deterministically
+  opts.cost.duplicate_max_instructions = 2;
+  const auto dup = schedule(p, opts);
+  EXPECT_EQ(dup.program.validate(), "");
+  expect_equivalent(p, dup.program, 555);
+
+  opts.cost.duplicate_max_instructions = 0;  // duplication disabled
+  const auto xfer = schedule(p, opts);
+  EXPECT_EQ(xfer.program.validate(), "");
+  expect_equivalent(p, xfer.program, 556);
+
+  // Same remote reads: resolved by recomputation in one schedule, by bus
+  // copies in the other.
+  EXPECT_GT(dup.stats.duplicates, 0u);
+  EXPECT_EQ(xfer.stats.duplicates, 0u);
+  EXPECT_LT(dup.stats.transfers, xfer.stats.transfers);
+  EXPECT_EQ(dup.stats.parallel_instructions,
+            dup.stats.serial_instructions + 2 * dup.stats.transfers +
+                dup.stats.duplicated_instructions);
+}
+
+TEST(Duplication, NeverDuplicatesChainsReadingCells) {
+  arch::Program p;
+  const auto a = p.add_input("a");
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 0);
+  p.append(arch::Operand::input(a), arch::Operand::constant(false), 0);
+  // Segment 1 reads X1 — not self-contained, must transfer when remote.
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 1);
+  p.append(arch::Operand::rram(0), arch::Operand::constant(false), 1);
+  // Segment 2 reads X2 remotely.
+  p.append(arch::Operand::constant(false), arch::Operand::constant(true), 2);
+  p.append(arch::Operand::rram(1), arch::Operand::input(a), 2);
+  p.add_output("f", 2);
+  p.add_output("g", 1);
+
+  auto opts = with_banks(4);
+  opts.cluster = false;
+  opts.cost.duplicate_max_instructions = 100;  // even with a huge budget
+  const auto result = schedule(p, opts);
+  expect_equivalent(p, result.program, 901);
+  // The X1 chain (input-only) may duplicate; the X2 chain reads an RRAM
+  // cell, so any remote read of it must stay a transfer.
+  for (std::uint32_t s = 0; s < result.program.num_steps(); ++s) {
+    for (const auto& slot : result.program.step(s)) {
+      if (!slot.is_transfer) {
+        const auto [begin, end] = result.program.bank_range(slot.bank);
+        for (const auto op : {slot.instr.a, slot.instr.b}) {
+          EXPECT_FALSE(op.is_rram() &&
+                       (op.address() < begin || op.address() >= end));
+        }
+      }
+    }
+  }
+}
+
+// ---- placement hints --------------------------------------------------------
+
+TEST(PlacementHints, SegmentsFollowTheirCellHints) {
+  const auto compiled = core::compile(circuits::make_int2float());
+  const auto& serial = compiled.program;
+  // Hint every serial cell to a bank by a fixed rule, then check every
+  // non-transfer instruction landed in the hinted bank.
+  auto opts = with_banks(3);
+  opts.cost.duplicate_max_instructions = 0;  // keep compute counts exact
+  opts.placement_hints.resize(serial.num_rrams());
+  for (std::uint32_t c = 0; c < serial.num_rrams(); ++c) {
+    opts.placement_hints[c] = (c * 7 + 1) % 3;
+  }
+  const auto result = schedule(serial, opts);
+  EXPECT_EQ(result.program.validate(), "");
+  EXPECT_TRUE(result.stats.placement_hints_used);
+  expect_equivalent(serial, result.program, 31337);
+
+  const auto graph = DependenceGraph::build(serial);
+  // Per-bank compute-instruction counts must match the hints exactly
+  // (duplicated chains would shift them, so pin that case away first).
+  ASSERT_EQ(result.stats.duplicated_instructions, 0u);
+  std::vector<std::uint32_t> hinted(3, 0);
+  for (std::uint32_t i = 0; i < graph.num_instructions(); ++i) {
+    const auto cell = graph.segment(graph.segment_of(i)).cell;
+    ++hinted[opts.placement_hints[cell] % 3];
+  }
+  std::vector<std::uint32_t> actual(3, 0);
+  for (std::uint32_t s = 0; s < result.program.num_steps(); ++s) {
+    for (const auto& slot : result.program.step(s)) {
+      if (!slot.is_transfer) {
+        ++actual[slot.bank];
+      }
+    }
+  }
+  for (std::uint32_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(actual[b], hinted[b]) << "bank " << b;
+  }
+}
+
+TEST(PlacementHints, RejectsIncompleteHints) {
+  const auto compiled = core::compile(circuits::make_ctrl());
+  auto opts = with_banks(2);
+  opts.placement_hints = {0};  // far fewer entries than serial cells
+  EXPECT_THROW((void)schedule(compiled.program, opts), std::invalid_argument);
+}
+
+TEST(PlacementHints, CompilerPlacementFlowsThroughPipeline) {
+  core::CompileOptions copts;
+  copts.placement_banks = 4;
+  const auto with = core::run_pipeline(
+      circuits::make_cavlc(), core::PipelineConfig::rewriting_and_compilation,
+      {}, copts, 4);
+  ASSERT_TRUE(with.compiled.placement.has_value());
+  EXPECT_EQ(with.compiled.placement->num_banks, 4u);
+  ASSERT_TRUE(with.schedule.has_value());
+  EXPECT_TRUE(with.schedule->stats.placement_hints_used);
+  EXPECT_EQ(with.schedule->program.validate(), "");
+  expect_equivalent(with.compiled.program, with.schedule->program, 60601);
+}
+
+// ---- majority-subtree clustering --------------------------------------------
+
+/// The voter-style regression the clustering exists for: the majority
+/// tree's chains must not ping-pong between banks, so 8 banks must beat
+/// 4 banks in steps (before clustering, 8 banks *lost* to 4).
+TEST(Clustering, VoterStepsImproveFromFourToEightBanks) {
+  const auto network = circuits::make_voter(256);
+  const auto compiled = core::compile(network);
+  const auto four = schedule(compiled.program, with_banks(4));
+  const auto eight = schedule(compiled.program, with_banks(8));
+  EXPECT_LT(eight.stats.steps, four.stats.steps);
+  expect_equivalent(compiled.program, four.program, 881);
+  expect_equivalent(compiled.program, eight.program, 882);
+}
+
+TEST(Clustering, CutsTransfersOnComponentCircuits) {
+  const auto compiled = core::compile(circuits::make_priority(64));
+  auto opts = with_banks(4);
+  const auto clustered = schedule(compiled.program, opts);
+  opts.cluster = false;
+  const auto flat = schedule(compiled.program, opts);
+  EXPECT_LT(clustered.stats.transfers, flat.stats.transfers);
+  expect_equivalent(compiled.program, clustered.program, 19);
+  expect_equivalent(compiled.program, flat.program, 20);
 }
 
 // ---- pipeline integration ---------------------------------------------------
