@@ -18,6 +18,10 @@
 ///   --schedule       shorthand for --banks 4
 ///   --bus-width K    bound the inter-bank bus to K cross-bank copies
 ///                    per step (default unbounded)
+///   --refine-passes N  KL refinement passes over the cluster→bank
+///                    assignment (default 2, 0 disables) — each pass
+///                    re-schedules a bounded set of candidate moves and
+///                    keeps those that reduce steps or transfers
 ///   --placement M    post      = schedule the serial program post hoc
 ///                                (clustering + cost model; default)
 ///                    compiler  = compile bank-aware: the compiler places
@@ -55,7 +59,8 @@ int usage() {
                "[-o <file>] [--effort N] [--naive]\n"
                "             [--alloc fifo|lifo|fresh] [--cap N] "
                "[--banks N] [--schedule]\n"
-               "             [--bus-width K] [--placement post|compiler]\n"
+               "             [--bus-width K] [--refine-passes N] "
+               "[--placement post|compiler]\n"
                "             [--json <file|->] [--no-verify] [--stats]\n";
   return 2;
 }
@@ -70,6 +75,7 @@ int main(int argc, char** argv) {
   unsigned effort = 4;
   std::uint32_t banks = 0;
   std::uint32_t bus_width = 0;
+  std::uint32_t refine_passes = 2;
   bool compiler_placement = false;
   bool naive = false;
   bool verify = true;
@@ -146,6 +152,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--bus-width") {
       if (const char* v = next()) {
         bus_width = static_cast<std::uint32_t>(std::stoul(v));
+      } else {
+        return usage();
+      }
+    } else if (arg == "--refine-passes") {
+      if (const char* v = next()) {
+        refine_passes = static_cast<std::uint32_t>(std::stoul(v));
       } else {
         return usage();
       }
@@ -242,6 +254,7 @@ int main(int argc, char** argv) {
     plim::sched::ScheduleOptions sopts;
     sopts.banks = banks;
     sopts.cost.bus_width = bus_width;
+    sopts.refine_passes = refine_passes;
     if (result.placement) {
       sopts.placement_hints = result.placement->cell_bank;
     }
@@ -279,7 +292,14 @@ int main(int argc, char** argv) {
                 << s.transfers << " transfers, " << s.duplicates
                 << " duplicated values), utilization " << s.utilization
                 << ", speedup " << s.speedup << "x (critical path "
-                << s.critical_path << ")\n";
+                << s.critical_path << ", lower bound " << s.step_lower_bound
+                << ")\n";
+      if (s.refine_passes > 0) {
+        std::cerr << "refinement: " << s.refine_passes << " passes, "
+                  << s.refine_moves_kept << " moves kept, "
+                  << s.refine_steps_saved << " steps saved ("
+                  << s.schedule_ms << " ms scheduling)\n";
+      }
       if (s.bus_width > 0) {
         std::cerr << "bus: width " << s.bus_width << ", " << s.bus_stalls
                   << " stalled bank-steps\n";

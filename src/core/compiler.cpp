@@ -50,7 +50,6 @@ class Compiler {
           opts_.placement_banks, opts_.allocation, opts_.rram_cap);
       banked_ = banked.get();
       alloc_ = std::move(banked);
-      bank_load_.assign(opts_.placement_banks, 0);
     } else {
       alloc_ = std::make_unique<RramAllocator>(opts_.allocation,
                                                opts_.rram_cap);
@@ -223,6 +222,10 @@ class Compiler {
   }
 
   void run_smart_order() {
+    if (banked_ != nullptr) {
+      run_smart_order_interleaved();
+      return;
+    }
     // Lazy priority queue: keys are snapshots; stale entries are re-keyed
     // at pop time (the paper's criteria change as RRAMs are released).
     std::priority_queue<std::pair<Key, mig::node>> queue;
@@ -251,6 +254,56 @@ class Compiler {
     }
   }
 
+  /// Bank-aware candidate selection: one lazy priority queue per bank
+  /// (each node's bank is its cluster's, committed when the node first
+  /// becomes ready) drained round-robin, so the serial RM3 stream
+  /// interleaves bank-local groups instead of emitting one bank's work
+  /// in long runs. The scheduler inherits an order whose neighbourhoods
+  /// already parallelize across banks, recovering the step speedup that
+  /// compiler placement otherwise loses to the serial stream.
+  void run_smart_order_interleaved() {
+    const auto num_banks = banked_->num_banks();
+    std::vector<std::priority_queue<std::pair<Key, mig::node>>> queues(
+        num_banks);
+    const auto enqueue = [&](mig::node n) {
+      queues[pick_bank(n)].emplace(make_key(n), n);
+    };
+    mig_.foreach_gate([&](mig::node n) {
+      if (reach_[n] && pending_children_[n] == 0) {
+        enqueue(n);
+      }
+    });
+    std::uint32_t cursor = 0;
+    while (true) {
+      std::uint32_t scanned = 0;
+      while (scanned < num_banks && queues[cursor].empty()) {
+        cursor = (cursor + 1) % num_banks;
+        ++scanned;
+      }
+      if (scanned == num_banks) {
+        break;  // every queue drained
+      }
+      auto& queue = queues[cursor];
+      const auto [key, v] = queue.top();
+      queue.pop();
+      if (computed_[v]) {
+        continue;  // duplicate entry
+      }
+      const Key fresh = make_key(v);
+      if (fresh != key) {
+        queue.emplace(fresh, v);  // bank is committed, key is stale
+        continue;
+      }
+      translate(v);
+      for (const auto p : fanout_.parents(v)) {
+        if (reach_[p] && --pending_children_[p] == 0) {
+          enqueue(p);
+        }
+      }
+      cursor = (cursor + 1) % num_banks;
+    }
+  }
+
   void run_index_order() {
     // Node indices are a topological order, so translating gates in index
     // order is always feasible — this is the paper's "naïve" schedule.
@@ -263,12 +316,7 @@ class Compiler {
 
   // ---- instruction emission -------------------------------------------------
 
-  void emit(Operand a, Operand b, std::uint32_t z) {
-    program_.append(a, b, z);
-    if (banked_ != nullptr) {
-      ++bank_load_[banked_->bank_of(z)];
-    }
-  }
+  void emit(Operand a, Operand b, std::uint32_t z) { program_.append(a, b, z); }
 
   /// A ready cell for the value being built: bank-aware placement requests
   /// it in the current node's bank, flat allocation from the global pool.
@@ -289,17 +337,19 @@ class Compiler {
   /// every external operand cluster already placed elsewhere costs one
   /// transfer, landing on a busy bank costs its load surplus — and all
   /// later nodes of the cluster inherit it, so operand clusters stay
-  /// bank-local by construction.
+  /// bank-local by construction. Crucially, the chosen bank is charged
+  /// the *whole cluster's* expected load up front: charging only emitted
+  /// instructions lets every cluster commit to the same near-empty bank
+  /// long before its load materializes, and chain-structured circuits
+  /// (sqrt) ratchet the entire program into one bank.
   std::uint32_t pick_bank(mig::node v) {
     const auto c = cluster_of_[v];
     if (cluster_bank_[c] != kNoBank) {
       return cluster_bank_[c];
     }
     const auto banks = banked_->num_banks();
-    std::uint64_t min_load = bank_load_[0];
-    for (std::uint32_t b = 1; b < banks; ++b) {
-      min_load = std::min(min_load, bank_load_[b]);
-    }
+    const auto min_load =
+        *std::min_element(bank_committed_.begin(), bank_committed_.end());
     std::uint32_t best = 0;
     double best_cost = 0.0;
     for (std::uint32_t b = 0; b < banks; ++b) {
@@ -311,13 +361,14 @@ class Compiler {
         }
       }
       const auto cost =
-          opts_.cost.assignment_cost(transfers, bank_load_[b] - min_load);
+          opts_.cost.placement_cost(transfers, bank_committed_[b], min_load);
       if (b == 0 || cost < best_cost) {
         best = b;
         best_cost = cost;
       }
     }
     cluster_bank_[c] = best;
+    bank_committed_[best] += cluster_gates_[c];
     return best;
   }
 
@@ -347,9 +398,12 @@ class Compiler {
         std::move(pairs),
         sched::cluster_budget(num_gates, opts_.placement_banks));
     cluster_of_.resize(size);
+    cluster_gates_.assign(size, 0);
     for (mig::node v = 0; v < size; ++v) {
       cluster_of_[v] = clusters.find(v);
+      cluster_gates_[cluster_of_[v]] += mig_.is_gate(v) && reach_[v] ? 1 : 0;
     }
+    bank_committed_.assign(opts_.placement_banks, 0);
 
     // External gate operands per cluster (deduplicated), for the
     // first-use bank decision.
@@ -756,9 +810,12 @@ class Compiler {
   static constexpr std::uint32_t kNoBank = 0xffffffffu;
   std::unique_ptr<RramAllocator> alloc_;
   BankedAllocator* banked_ = nullptr;  ///< non-null iff placement is on
-  std::vector<std::uint64_t> bank_load_;
+  /// Gate load committed per bank at cluster-decision time (clusters are
+  /// charged up front, before their instructions are emitted).
+  std::vector<std::uint64_t> bank_committed_;
   std::uint32_t current_bank_ = 0;
   std::vector<mig::node> cluster_of_;
+  std::vector<std::uint32_t> cluster_gates_;  ///< reachable gates per cluster
   std::vector<std::uint32_t> cluster_bank_;
   std::vector<std::vector<mig::node>> cluster_ext_;
   arch::Program program_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sched/depgraph.hpp"
+
 namespace plim::sched {
 
 HeavyEdgeClusters::HeavyEdgeClusters(std::vector<std::uint32_t> node_size)
@@ -63,6 +65,43 @@ void HeavyEdgeClusters::agglomerate(
   for (const auto& e : edges) {
     merge(e.link.first, e.link.second, budget);
   }
+}
+
+std::vector<std::uint32_t> cluster_segments(const DependenceGraph& graph,
+                                            std::uint32_t banks) {
+  constexpr auto npos = DependenceGraph::npos;
+  const auto n = graph.num_instructions();
+  const auto num_segments = graph.num_segments();
+
+  std::vector<std::uint32_t> seg_size(num_segments, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ++seg_size[graph.segment_of(i)];
+  }
+
+  // Producer→consumer operand reads between segments, one pair per read:
+  // duplicate pairs aggregate into edge weights inside agglomerate().
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(std::size_t{2} * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto s = graph.segment_of(i);
+    for (const auto def : {graph.def_of_a(i), graph.def_of_b(i)}) {
+      if (def == npos) {
+        continue;
+      }
+      const auto ps = graph.segment_of(def);
+      if (ps != s) {
+        pairs.emplace_back(ps, s);
+      }
+    }
+  }
+
+  HeavyEdgeClusters clusters(std::move(seg_size));
+  clusters.agglomerate(std::move(pairs), cluster_budget(n, banks));
+  std::vector<std::uint32_t> cluster_of(num_segments);
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    cluster_of[s] = clusters.find(s);
+  }
+  return cluster_of;
 }
 
 std::uint32_t cluster_budget(std::uint32_t total, std::uint32_t banks) {

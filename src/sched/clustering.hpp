@@ -42,6 +42,17 @@ class HeavyEdgeClusters {
   std::vector<std::uint32_t> size_;
 };
 
+class DependenceGraph;
+
+/// Heavy-edge clusters of a program's value-lifetime segments: segments
+/// are weighted by their instruction count, producer→consumer operand
+/// reads become edges, and whole majority subtrees / RAW chains merge up
+/// to the shared budget. Returns segment → cluster root (roots at the
+/// smallest member id). This is the cluster granularity both the
+/// post-hoc bank assignment and the KL refinement pass move around.
+[[nodiscard]] std::vector<std::uint32_t> cluster_segments(
+    const DependenceGraph& graph, std::uint32_t banks);
+
 /// The shared cluster-size budget: a quarter of a bank's fair share of
 /// `total` load. Coarse enough that chains rarely cross clusters, fine
 /// enough that bank assignment can still balance (picked empirically on

@@ -34,13 +34,24 @@ struct CostModel {
   /// least-loaded bank) relative to transfer cost.
   double load_balance_weight = 1.0;
 
-  /// Cost of an assignment that needs `transfers` cross-bank copies and
-  /// lands on a bank `excess_load` instructions above the least loaded.
-  [[nodiscard]] double assignment_cost(std::uint32_t transfers,
-                                       std::uint64_t excess_load) const {
+  /// Cost of placing a cluster onto a bank currently carrying `bank_load`
+  /// instructions (least-loaded bank: `min_load`) when the move needs
+  /// `transfers` cross-bank copies. The load term prices the transfers'
+  /// landing cost too: every copy
+  /// materializes as `transfer_instructions` RM3 ops *in the consuming
+  /// bank*, so a lightly loaded bank that needs many transfers is not
+  /// actually cheap. Without this, wide circuits over-fragment — clusters
+  /// chase the emptiest bank, each dragging a transfer chain behind it
+  /// (the adder-at-8-banks utilization collapse).
+  [[nodiscard]] double placement_cost(std::uint32_t transfers,
+                                      std::uint64_t bank_load,
+                                      std::uint64_t min_load) const {
+    const auto effective =
+        bank_load + std::uint64_t{transfer_instructions} * transfers;
+    const auto excess = effective > min_load ? effective - min_load : 0;
     return static_cast<double>(transfer_instructions) *
                static_cast<double>(transfers) +
-           load_balance_weight * static_cast<double>(excess_load);
+           load_balance_weight * static_cast<double>(excess);
   }
 
   /// Whether recomputing a producer chain of `chain_instructions` beats

@@ -7,15 +7,21 @@ namespace plim::sched {
 DependenceGraph DependenceGraph::build(const arch::Program& program) {
   DependenceGraph g;
   const auto n = static_cast<std::uint32_t>(program.num_instructions());
-  g.deps_.resize(n);
+  // Instructions append their dependences in index order, so the CSR
+  // payload fills strictly left to right: push edges, then close the row.
+  g.dep_flat_.reserve(std::size_t{3} * n);
+  g.dep_offset_.reserve(n + 1);
+  g.dep_offset_.push_back(0);
   g.a_def_.assign(n, npos);
   g.b_def_.assign(n, npos);
   g.z_def_.assign(n, npos);
   g.reset_.assign(n, false);
   g.segment_of_.assign(n, npos);
   g.heights_.assign(n, 1);
+  g.segments_.reserve(n / 2);
 
-  // Per-cell bookkeeping: last writer and the readers of its value.
+  // Per-cell bookkeeping, flat over cell ids: last writer and the readers
+  // of its current value.
   std::vector<std::uint32_t> last_write(program.num_rrams(), npos);
   std::vector<std::vector<std::uint32_t>> readers(program.num_rrams());
   std::vector<std::uint32_t> cell_segment(program.num_rrams(), npos);
@@ -35,7 +41,7 @@ DependenceGraph DependenceGraph::build(const arch::Program& program) {
       if (def == npos) {
         g.reads_initial_state_ = true;
       } else {
-        g.deps_[i].push_back({def, DepKind::raw});
+        g.dep_flat_.push_back({def, DepKind::raw});
       }
       readers[cell].push_back(i);
     };
@@ -50,16 +56,17 @@ DependenceGraph DependenceGraph::build(const arch::Program& program) {
       if (last_write[z] == npos) {
         g.reads_initial_state_ = true;
       } else {
-        g.deps_[i].push_back({last_write[z], DepKind::raw});
+        g.dep_flat_.push_back({last_write[z], DepKind::raw});
       }
     } else if (last_write[z] != npos) {
-      g.deps_[i].push_back({last_write[z], DepKind::waw});
+      g.dep_flat_.push_back({last_write[z], DepKind::waw});
     }
     for (const auto r : readers[z]) {
       if (r != i) {
-        g.deps_[i].push_back({r, DepKind::war});
+        g.dep_flat_.push_back({r, DepKind::war});
       }
     }
+    g.dep_offset_.push_back(static_cast<std::uint32_t>(g.dep_flat_.size()));
 
     // Segment: a reset (or a first write) opens a new value lifetime.
     if (reset || last_write[z] == npos) {
@@ -75,12 +82,23 @@ DependenceGraph DependenceGraph::build(const arch::Program& program) {
   }
 
   // Heights over RAW edges: sweep backwards; every successor of i has
-  // already pushed its height into heights_[i] when i is visited.
+  // already pushed its height into heights_[i] when i is visited. The
+  // renamed heights additionally keep the WAR edges renaming cannot
+  // remove — a reader of a chain value before the segment's next
+  // (non-reset) write — giving the post-renaming chain lower bound.
+  std::vector<std::uint32_t> renamed_heights(n, 1);
   for (std::uint32_t i = n; i-- > 0;) {
     g.critical_path_ = std::max(g.critical_path_, g.heights_[i]);
-    for (const auto& d : g.deps_[i]) {
+    g.renamed_critical_path_ =
+        std::max(g.renamed_critical_path_, renamed_heights[i]);
+    for (const auto& d : g.deps(i)) {
       if (d.kind == DepKind::raw) {
         g.heights_[d.pred] = std::max(g.heights_[d.pred], g.heights_[i] + 1);
+      }
+      if (d.kind == DepKind::raw ||
+          (d.kind == DepKind::war && !g.reset_[i])) {
+        renamed_heights[d.pred] =
+            std::max(renamed_heights[d.pred], renamed_heights[i] + 1);
       }
     }
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "arch/program.hpp"
@@ -48,12 +49,18 @@ class DependenceGraph {
   [[nodiscard]] static DependenceGraph build(const arch::Program& program);
 
   [[nodiscard]] std::uint32_t num_instructions() const noexcept {
-    return static_cast<std::uint32_t>(deps_.size());
+    return static_cast<std::uint32_t>(dep_offset_.empty()
+                                          ? 0
+                                          : dep_offset_.size() - 1);
   }
 
   /// Predecessor dependences of instruction `i` (RAW, WAR and WAW).
-  [[nodiscard]] const std::vector<Dep>& deps(std::uint32_t i) const {
-    return deps_[i];
+  /// Stored flat (CSR over all instructions) so graph construction and the
+  /// scheduler's sweeps touch one contiguous buffer instead of chasing
+  /// per-instruction vectors.
+  [[nodiscard]] std::span<const Dep> deps(std::uint32_t i) const {
+    return {dep_flat_.data() + dep_offset_[i],
+            dep_offset_[i + 1] - dep_offset_[i]};
   }
 
   /// Producing instruction of the A / B operand (npos when the operand is
@@ -98,6 +105,20 @@ class DependenceGraph {
     return critical_path_;
   }
 
+  /// The schedule-length lower bound *after renaming*: longest chain over
+  /// RAW edges plus the WAR orderings renaming cannot remove — a reader
+  /// of a chain value must still execute before the next write of the
+  /// same segment (the lockstep machine forbids reading a cell another
+  /// slot writes in the same step). Always ≥ critical_path(); the gap is
+  /// the cost of mid-chain fanout. One caveat keeps this a heuristic
+  /// rather than an absolute bound: a reader that the scheduler resolves
+  /// by local recomputation (duplication) detaches from the chain it
+  /// reads, so schedulers cap it with the expanded program's exact chain
+  /// length when reporting lower bounds.
+  [[nodiscard]] std::uint32_t renamed_critical_path() const noexcept {
+    return renamed_critical_path_;
+  }
+
   /// Longest RAW path from `i` to any sink, in instructions (≥ 1) — the
   /// classic list-scheduling priority.
   [[nodiscard]] const std::vector<std::uint32_t>& heights() const noexcept {
@@ -105,7 +126,8 @@ class DependenceGraph {
   }
 
  private:
-  std::vector<std::vector<Dep>> deps_;
+  std::vector<Dep> dep_flat_;            ///< CSR payload
+  std::vector<std::uint32_t> dep_offset_;  ///< CSR offsets (n + 1 entries)
   std::vector<std::uint32_t> a_def_;
   std::vector<std::uint32_t> b_def_;
   std::vector<std::uint32_t> z_def_;
@@ -115,6 +137,7 @@ class DependenceGraph {
   std::vector<std::uint32_t> heights_;
   bool reads_initial_state_ = false;
   std::uint32_t critical_path_ = 0;
+  std::uint32_t renamed_critical_path_ = 0;
 };
 
 }  // namespace plim::sched

@@ -17,6 +17,8 @@ void write_json_fields(const ScheduleStats& stats, util::JsonWriter& json) {
   json.field("duplicated_instructions", stats.duplicated_instructions);
   json.field("rrams", stats.parallel_rrams);
   json.field("critical_path", stats.critical_path);
+  json.field("step_lower_bound", stats.step_lower_bound);
+  json.field("virtual_critical_path", stats.virtual_critical_path);
   json.field("bus_width", stats.bus_width);
   json.field("bus_stalls", stats.bus_stalls);
   json.field("placement", stats.placement_hints_used ? "compiler" : "post");
@@ -27,6 +29,12 @@ void write_json_fields(const ScheduleStats& stats, util::JsonWriter& json) {
   json.end_array();
   json.field("utilization", stats.utilization);
   json.field("speedup", stats.speedup);
+  json.field("refine_passes", stats.refine_passes);
+  json.field("refine_moves_kept", stats.refine_moves_kept);
+  json.field("refine_steps_saved", stats.refine_steps_saved);
+  json.field("refine_transfers_saved",
+             static_cast<double>(stats.refine_transfers_saved));
+  json.field("schedule_ms", stats.schedule_ms);
 }
 
 std::uint32_t ParallelProgram::add_input(std::string name) {

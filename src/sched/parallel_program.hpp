@@ -133,14 +133,34 @@ struct ScheduleStats {
   std::uint32_t duplicated_instructions = 0;  ///< instructions they cost
   std::uint32_t steps = 0;
   std::uint32_t critical_path = 0;  ///< RAW chain lower bound (serial)
+  /// Dependence-graph lower bound on steps for this assignment: the
+  /// chain bound — min(renamed critical path, virtual_critical_path),
+  /// since duplication can detach a remote reader from the renamed
+  /// chain — or the throughput bound ⌈parallel_instructions / banks⌉,
+  /// whichever binds. steps ≥ step_lower_bound always holds; the slack
+  /// scheduler + refinement converge toward it.
+  std::uint32_t step_lower_bound = 0;
+  /// Longest chain of the expanded (renamed + transfers materialized)
+  /// program — the exact chain bound for the chosen assignment. steps −
+  /// virtual_critical_path measures list-scheduler packing loss;
+  /// virtual_critical_path − step_lower_bound measures assignment loss.
+  std::uint32_t virtual_critical_path = 0;
   std::uint32_t serial_rrams = 0;
   std::uint32_t parallel_rrams = 0;  ///< sum over banks after remapping
   std::uint32_t bus_width = 0;   ///< bounded bus the schedule honours (0 = ∞)
   std::uint32_t bus_stalls = 0;  ///< bank-steps idled waiting for the bus
   bool placement_hints_used = false;  ///< banks came from the compiler
+  std::uint32_t refine_passes = 0;      ///< KL refinement passes run
+  std::uint32_t refine_moves_kept = 0;  ///< moves/swaps that survived
+  std::uint32_t refine_steps_saved = 0;  ///< steps removed by refinement
+  /// Transfers removed — negative when refinement traded extra copies
+  /// for a shorter critical chain (its objective is lexicographic:
+  /// steps, then transfers).
+  std::int64_t refine_transfers_saved = 0;
   std::vector<std::uint32_t> bank_load;  ///< instructions per bank
   double utilization = 0.0;  ///< parallel_instructions / (steps × banks)
   double speedup = 0.0;      ///< serial_instructions / steps
+  double schedule_ms = 0.0;  ///< scheduler wall-clock, refinement included
 };
 
 /// Emits the stats as fields of the currently open JSON object — the one

@@ -1,0 +1,693 @@
+#include "sched/refine.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace plim::sched {
+
+namespace {
+
+constexpr std::uint32_t npos = DependenceGraph::npos;
+
+/// One candidate relocation: move every segment of `cluster` — or, when
+/// `seg` is set, just that segment (a finer spread move that can peel a
+/// critical reader out of its own chain's cluster) — to `bank`.
+struct Move {
+  std::uint32_t cluster;  ///< dense cluster index
+  std::uint32_t bank;
+  std::uint32_t seg = npos;  ///< npos = whole cluster
+};
+
+/// Static, assignment-independent view of the segment/cluster structure:
+/// cluster membership, per-cluster sizes, and the deduplicated
+/// def→reader-segment read graph that transfer estimates walk.
+struct Structure {
+  std::uint32_t banks = 0;
+  std::vector<std::uint32_t> cluster_idx;  ///< segment → dense cluster index
+  // Cluster membership (CSR over dense cluster indices).
+  std::vector<std::uint32_t> member_off;
+  std::vector<std::uint32_t> member_seg;
+  std::vector<std::uint32_t> cluster_size;  ///< instructions per cluster
+  // Deduplicated cross-segment reads, grouped by producing instruction:
+  // def d (dense index) is produced by producer_seg[d] and read by the
+  // segments in readers CSR row d.
+  std::vector<std::uint32_t> producer_seg;
+  std::vector<std::uint32_t> reader_off;
+  std::vector<std::uint32_t> reader_seg;
+  // Defs each cluster reads from other segments / produces for other
+  // segments (dense def indices, CSR over clusters).
+  std::vector<std::uint32_t> reads_off;
+  std::vector<std::uint32_t> reads_def;
+  std::vector<std::uint32_t> produced_off;
+  std::vector<std::uint32_t> produced_def;
+
+  [[nodiscard]] std::uint32_t num_clusters() const {
+    return static_cast<std::uint32_t>(member_off.size() - 1);
+  }
+};
+
+Structure build_structure(const DependenceGraph& graph,
+                          const std::vector<std::uint32_t>& cluster_of,
+                          std::uint32_t banks) {
+  Structure st;
+  st.banks = banks;
+  const auto n = graph.num_instructions();
+  const auto num_segments = graph.num_segments();
+
+  // Dense cluster indices (cluster_of values are root segment ids).
+  std::vector<std::uint32_t> idx_of_root(num_segments, npos);
+  st.cluster_idx.resize(num_segments);
+  std::uint32_t num_clusters = 0;
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    const auto root = cluster_of[s];
+    if (idx_of_root[root] == npos) {
+      idx_of_root[root] = num_clusters++;
+    }
+    st.cluster_idx[s] = idx_of_root[root];
+  }
+
+  // Membership CSR + instruction sizes.
+  st.member_off.assign(num_clusters + 1, 0);
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    ++st.member_off[st.cluster_idx[s] + 1];
+  }
+  for (std::uint32_t c = 0; c < num_clusters; ++c) {
+    st.member_off[c + 1] += st.member_off[c];
+  }
+  st.member_seg.resize(num_segments);
+  {
+    auto cursor = st.member_off;
+    for (std::uint32_t s = 0; s < num_segments; ++s) {
+      st.member_seg[cursor[st.cluster_idx[s]]++] = s;
+    }
+  }
+  st.cluster_size.assign(num_clusters, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ++st.cluster_size[st.cluster_idx[graph.segment_of(i)]];
+  }
+
+  // Distinct (def, reader segment) pairs across segments.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(std::size_t{2} * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto s = graph.segment_of(i);
+    for (const auto def : {graph.def_of_a(i), graph.def_of_b(i)}) {
+      if (def != npos && graph.segment_of(def) != s) {
+        pairs.emplace_back(def, s);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  // Group by def into CSR rows.
+  std::vector<std::uint32_t> def_of;  // dense def → instruction id
+  st.reader_off.push_back(0);
+  for (std::size_t k = 0; k < pairs.size();) {
+    const auto d = pairs[k].first;
+    def_of.push_back(d);
+    st.producer_seg.push_back(graph.segment_of(d));
+    while (k < pairs.size() && pairs[k].first == d) {
+      st.reader_seg.push_back(pairs[k].second);
+      ++k;
+    }
+    st.reader_off.push_back(static_cast<std::uint32_t>(st.reader_seg.size()));
+  }
+  const auto num_defs = static_cast<std::uint32_t>(def_of.size());
+
+  // Per-cluster read sets (dedup per (cluster, def)) and produced defs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cluster_reads;
+  cluster_reads.reserve(st.reader_seg.size());
+  for (std::uint32_t d = 0; d < num_defs; ++d) {
+    for (auto k = st.reader_off[d]; k < st.reader_off[d + 1]; ++k) {
+      cluster_reads.emplace_back(st.cluster_idx[st.reader_seg[k]], d);
+    }
+  }
+  std::sort(cluster_reads.begin(), cluster_reads.end());
+  cluster_reads.erase(std::unique(cluster_reads.begin(), cluster_reads.end()),
+                      cluster_reads.end());
+  st.reads_off.assign(num_clusters + 1, 0);
+  for (const auto& [c, d] : cluster_reads) {
+    ++st.reads_off[c + 1];
+  }
+  for (std::uint32_t c = 0; c < num_clusters; ++c) {
+    st.reads_off[c + 1] += st.reads_off[c];
+  }
+  st.reads_def.resize(cluster_reads.size());
+  {
+    auto cursor = st.reads_off;
+    for (const auto& [c, d] : cluster_reads) {
+      st.reads_def[cursor[c]++] = d;
+    }
+  }
+  st.produced_off.assign(num_clusters + 1, 0);
+  for (std::uint32_t d = 0; d < num_defs; ++d) {
+    ++st.produced_off[st.cluster_idx[st.producer_seg[d]] + 1];
+  }
+  for (std::uint32_t c = 0; c < num_clusters; ++c) {
+    st.produced_off[c + 1] += st.produced_off[c];
+  }
+  st.produced_def.resize(num_defs);
+  {
+    auto cursor = st.produced_off;
+    for (std::uint32_t d = 0; d < num_defs; ++d) {
+      st.produced_def[cursor[st.cluster_idx[st.producer_seg[d]]]++] = d;
+    }
+  }
+  return st;
+}
+
+/// Estimated transfers def `d` causes: distinct reader banks other than
+/// the producer's bank (the scheduler caches one copy per consuming
+/// bank). `mov` != npos pretends cluster `mov` sits in bank `mov_bank`.
+std::uint32_t def_transfers(const Structure& st,
+                            const std::vector<std::uint32_t>& seg_bank,
+                            std::uint32_t d, std::uint32_t mov,
+                            std::uint32_t mov_bank,
+                            std::vector<std::uint32_t>& scratch) {
+  const auto bank_of = [&](std::uint32_t s) {
+    return st.cluster_idx[s] == mov ? mov_bank : seg_bank[s];
+  };
+  const auto pb = bank_of(st.producer_seg[d]);
+  scratch.clear();
+  for (auto k = st.reader_off[d]; k < st.reader_off[d + 1]; ++k) {
+    const auto b = bank_of(st.reader_seg[k]);
+    if (b != pb &&
+        std::find(scratch.begin(), scratch.end(), b) == scratch.end()) {
+      scratch.push_back(b);
+    }
+  }
+  return static_cast<std::uint32_t>(scratch.size());
+}
+
+/// Surrogate transfer delta of moving cluster `c` to bank `q`: only defs
+/// read or produced by the cluster can change their transfer count.
+std::int64_t transfer_delta(const Structure& st,
+                            const std::vector<std::uint32_t>& seg_bank,
+                            std::uint32_t c, std::uint32_t q,
+                            std::vector<std::uint32_t>& scratch) {
+  std::int64_t delta = 0;
+  const auto visit = [&](std::uint32_t d) {
+    delta +=
+        static_cast<std::int64_t>(def_transfers(st, seg_bank, d, c, q,
+                                                scratch)) -
+        static_cast<std::int64_t>(def_transfers(st, seg_bank, d, npos, 0,
+                                                scratch));
+  };
+  for (auto k = st.reads_off[c]; k < st.reads_off[c + 1]; ++k) {
+    visit(st.reads_def[k]);
+  }
+  for (auto k = st.produced_off[c]; k < st.produced_off[c + 1]; ++k) {
+    visit(st.produced_def[k]);
+  }
+  return delta;
+}
+
+}  // namespace
+
+RefineStats refine(const DependenceGraph& graph,
+                   std::vector<std::uint32_t>& seg_bank,
+                   const std::vector<std::uint32_t>& cluster_of,
+                   std::uint32_t banks, const CostModel& cost,
+                   std::uint32_t passes, const RefineEvaluator& evaluate,
+                   const RefineEval* baseline) {
+  RefineStats stats;
+  if (banks <= 1 || passes == 0 || graph.num_segments() == 0) {
+    return stats;
+  }
+  const auto st = build_structure(graph, cluster_of, banks);
+  const auto num_clusters = st.num_clusters();
+  if (num_clusters <= 1) {
+    return stats;
+  }
+
+  // Per-bank instruction loads (throughput-bound surrogate) and, per
+  // cluster, the per-member load split by bank — clusters may straddle
+  // banks under compiler placement hints until a kept move homes them.
+  std::vector<std::uint32_t> seg_size(graph.num_segments(), 0);
+  for (std::uint32_t i = 0; i < graph.num_instructions(); ++i) {
+    ++seg_size[graph.segment_of(i)];
+  }
+  std::vector<std::uint64_t> bank_load(banks, 0);
+  for (std::uint32_t s = 0; s < graph.num_segments(); ++s) {
+    bank_load[seg_bank[s]] += seg_size[s];
+  }
+  const auto cluster_bank_load = [&](std::uint32_t c) {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> loads;
+    for (auto k = st.member_off[c]; k < st.member_off[c + 1]; ++k) {
+      const auto s = st.member_seg[k];
+      const auto b = seg_bank[s];
+      auto it = std::find_if(loads.begin(), loads.end(),
+                             [&](const auto& e) { return e.first == b; });
+      if (it == loads.end()) {
+        loads.emplace_back(b, seg_size[s]);
+      } else {
+        it->second += seg_size[s];
+      }
+    }
+    return loads;
+  };
+
+  // Peak-load change of moving cluster `c` (bank split `from`) to `q`.
+  const auto peak_delta = [&](std::uint32_t c, std::uint32_t q,
+                              const auto& from) {
+    std::uint64_t peak_before = 0;
+    std::uint64_t peak_after = 0;
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      auto load = bank_load[b];
+      peak_before = std::max(peak_before, load);
+      for (const auto& [fb, fl] : from) {
+        if (fb == b) {
+          load -= fl;
+        }
+      }
+      if (b == q) {
+        load += st.cluster_size[c];
+      }
+      peak_after = std::max(peak_after, load);
+    }
+    return static_cast<std::int64_t>(peak_before) -
+           static_cast<std::int64_t>(peak_after);
+  };
+
+  RefineEval best = baseline != nullptr ? *baseline : evaluate(seg_bank);
+  stats.steps_before = best.steps;
+  stats.transfers_before = best.transfers;
+
+  std::vector<std::uint32_t> scratch;
+  scratch.reserve(banks);
+  const std::uint32_t budget = 8 + 2 * banks;
+
+  const auto move_seg = [&](std::uint32_t s, std::uint32_t q) {
+    bank_load[seg_bank[s]] -= seg_size[s];
+    seg_bank[s] = q;
+    bank_load[q] += seg_size[s];
+  };
+  const auto apply_move = [&](const Move& m,
+                              std::vector<std::uint32_t>& undo) {
+    undo.clear();
+    if (m.seg != npos) {
+      undo.push_back(seg_bank[m.seg]);
+      move_seg(m.seg, m.bank);
+      return;
+    }
+    for (auto k = st.member_off[m.cluster]; k < st.member_off[m.cluster + 1];
+         ++k) {
+      undo.push_back(seg_bank[st.member_seg[k]]);
+      move_seg(st.member_seg[k], m.bank);
+    }
+  };
+  const auto revert_move = [&](const Move& m,
+                               const std::vector<std::uint32_t>& undo) {
+    if (m.seg != npos) {
+      move_seg(m.seg, undo[0]);
+      return;
+    }
+    std::uint32_t u = 0;
+    for (auto k = st.member_off[m.cluster]; k < st.member_off[m.cluster + 1];
+         ++k) {
+      move_seg(st.member_seg[k], undo[u++]);
+    }
+  };
+  // Lexicographic objective: makespan first, transfers as tie-break.
+  // Steps never increase; transfers may only rise when steps strictly
+  // fall (a spread move trades one extra copy for a shorter chain).
+  const auto improves = [&](const RefineEval& r) {
+    return r.steps < best.steps ||
+           (r.steps == best.steps && r.transfers < best.transfers);
+  };
+  const auto fully_in = [&](std::uint32_t c, std::uint32_t q) {
+    for (auto k = st.member_off[c]; k < st.member_off[c + 1]; ++k) {
+      if (seg_bank[st.member_seg[k]] != q) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Swap partner: the cluster homed in `q` closest in size to `c` (pure
+  // load exchanges a one-way move cannot express).
+  const auto swap_partner = [&](std::uint32_t c, std::uint32_t q) {
+    auto partner = npos;
+    std::uint64_t best_gap = ~std::uint64_t{0};
+    for (std::uint32_t d = 0; d < num_clusters; ++d) {
+      if (d == c || !fully_in(d, q)) {
+        continue;
+      }
+      const auto gap =
+          st.cluster_size[d] > st.cluster_size[c]
+              ? std::uint64_t{st.cluster_size[d] - st.cluster_size[c]}
+              : std::uint64_t{st.cluster_size[c] - st.cluster_size[d]};
+      if (gap < best_gap) {
+        best_gap = gap;
+        partner = d;
+      }
+    }
+    return partner;
+  };
+
+  // Moves rejected by the evaluator, remembered across passes: the
+  // candidate generators are deterministic, so without this a pass that
+  // keeps nothing would regenerate and retry the exact same rejected
+  // list forever instead of exploring further down the gain order.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> rejected;
+  const auto move_key = [](const Move& m) {
+    return m.seg != npos ? std::make_pair(m.seg | 0x80000000u, m.bank)
+                         : std::make_pair(m.cluster, m.bank);
+  };
+  // A rejected batch regenerates identically while the assignment is
+  // unchanged — remember it so convergence is detected.
+  std::vector<Move> rejected_batch;
+  const auto same_moves = [](const std::vector<Move>& x,
+                             const std::vector<Move>& y) {
+    if (x.size() != y.size()) {
+      return false;
+    }
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      if (x[k].cluster != y[k].cluster || x[k].bank != y[k].bank ||
+          x[k].seg != y[k].seg) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Effective per-bank load: segment instructions plus the
+  // transfer-copy instructions (one reset + copy per distinct
+  // (def, consuming bank)) the current assignment makes each bank
+  // execute. Raw segment loads alone misidentify the peak bank whenever
+  // transfers are a noticeable share of the work.
+  const auto num_defs = static_cast<std::uint32_t>(st.producer_seg.size());
+  const auto effective_loads = [&] {
+    auto load = bank_load;
+    for (std::uint32_t d = 0; d < num_defs; ++d) {
+      const auto pb = seg_bank[st.producer_seg[d]];
+      scratch.clear();
+      for (auto k = st.reader_off[d]; k < st.reader_off[d + 1]; ++k) {
+        const auto b = seg_bank[st.reader_seg[k]];
+        if (b != pb &&
+            std::find(scratch.begin(), scratch.end(), b) == scratch.end()) {
+          scratch.push_back(b);
+          load[b] += cost.transfer_instructions;
+        }
+      }
+    }
+    return load;
+  };
+
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    ++stats.passes_run;
+    const auto eff_load = effective_loads();
+
+    // Candidates: critical cross-bank edges first (they attack makespan
+    // directly), then FM-style gain buckets over the cost surrogate.
+    std::vector<Move> cand_cross;
+    std::vector<Move> cand_local;
+    std::vector<Move> cand_balance;
+    std::vector<Move> cand_bucket;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> seen;
+    const auto push_candidate = [&](std::vector<Move>& out, std::uint32_t c,
+                                    std::uint32_t q) {
+      if (q >= banks || fully_in(c, q)) {
+        return;
+      }
+      const auto key = std::make_pair(c, q);
+      if (std::find(seen.begin(), seen.end(), key) != seen.end() ||
+          std::find(rejected.begin(), rejected.end(), key) != rejected.end()) {
+        return;
+      }
+      seen.push_back(key);
+      out.push_back({c, q});
+    };
+    const auto push_segment_candidate = [&](std::vector<Move>& out,
+                                            std::uint32_t s, std::uint32_t q) {
+      if (q >= banks || seg_bank[s] == q) {
+        return;
+      }
+      const auto key = std::make_pair(s | 0x80000000u, q);
+      if (std::find(seen.begin(), seen.end(), key) != seen.end() ||
+          std::find(rejected.begin(), rejected.end(), key) != rejected.end()) {
+        return;
+      }
+      seen.push_back(key);
+      out.push_back({npos, q, s});
+    };
+    for (const auto& [ps, cs] : best.critical_cross_edges) {
+      push_candidate(cand_cross, st.cluster_idx[cs], seg_bank[ps]);
+      push_candidate(cand_cross, st.cluster_idx[ps], seg_bank[cs]);
+      if (cand_cross.size() >= budget) {
+        break;
+      }
+    }
+    // Same-bank critical readers: spread the *reader segment* to the
+    // least-loaded other bank, so chain fanout parallelizes across banks
+    // instead of serializing the chain's own bank. Segment granularity
+    // matters — heavy-edge clustering usually bundles a chain's readers
+    // into the chain's own cluster, where whole-cluster moves cannot
+    // separate them.
+    for (const auto& [ps, rs] : best.critical_local_edges) {
+      if (cand_local.size() >= budget) {
+        break;
+      }
+      const auto home = seg_bank[rs];
+      auto target = npos;
+      for (std::uint32_t q = 0; q < banks; ++q) {
+        if (q != home && (target == npos || eff_load[q] < eff_load[target])) {
+          target = q;
+        }
+      }
+      if (target != npos) {
+        push_segment_candidate(cand_local, rs, target);
+      }
+    }
+
+    // Peak-load relief: propose evacuating the most-loaded bank toward
+    // the least-loaded one even when the transfer surrogate disapproves
+    // (tightly coupled clusters always price negative there) — for a
+    // throughput-bound circuit the exact evaluator confirms the step win
+    // the surrogate cannot see.
+    {
+      std::uint32_t peak_bank = 0;
+      std::uint32_t low_bank = 0;
+      for (std::uint32_t b = 1; b < banks; ++b) {
+        if (eff_load[b] > eff_load[peak_bank]) {
+          peak_bank = b;
+        }
+        if (eff_load[b] < eff_load[low_bank]) {
+          low_bank = b;
+        }
+      }
+      if (eff_load[peak_bank] > eff_load[low_bank]) {
+        // Rank by *net* peak relief, not raw size: evacuating a cluster
+        // whose defs the peak bank keeps consuming re-imports
+        // transfer_instructions of copy work per such def right back
+        // into the peak bank. Boundary clusters relieve; embedded ones
+        // backfire.
+        const auto net_relief = [&](std::uint32_t c) {
+          std::int64_t copies_back = 0;
+          for (auto k = st.produced_off[c]; k < st.produced_off[c + 1]; ++k) {
+            const auto d = st.produced_def[k];
+            for (auto r = st.reader_off[d]; r < st.reader_off[d + 1]; ++r) {
+              const auto rs = st.reader_seg[r];
+              if (st.cluster_idx[rs] != c && seg_bank[rs] == peak_bank) {
+                ++copies_back;
+                break;  // one copy per (def, bank), however many readers
+              }
+            }
+          }
+          return static_cast<std::int64_t>(st.cluster_size[c]) -
+                 static_cast<std::int64_t>(cost.transfer_instructions) *
+                     copies_back;
+        };
+        std::vector<std::pair<std::int64_t, std::uint32_t>> in_peak;
+        for (std::uint32_t c = 0; c < num_clusters; ++c) {
+          if (fully_in(c, peak_bank)) {
+            const auto relief = net_relief(c);
+            if (relief > 0) {
+              in_peak.emplace_back(-relief, c);  // best relief first
+            }
+          }
+        }
+        std::sort(in_peak.begin(), in_peak.end());
+        for (const auto& [neg_relief, c] : in_peak) {
+          if (cand_balance.size() >= budget / 2) {
+            break;
+          }
+          // Only moves that actually lower the peak are worth a trial.
+          if (eff_load[low_bank] + st.cluster_size[c] <
+              eff_load[peak_bank]) {
+            push_candidate(cand_balance, c, low_bank);
+          }
+        }
+      }
+    }
+
+    // Gain buckets: clamp the surrogate gain into a fixed bucket range
+    // and drain from the top — classic FM, no sorting of the full list.
+    constexpr std::int64_t kMaxGain = 32;
+    std::vector<std::vector<Move>> buckets(2 * kMaxGain + 1);
+    for (std::uint32_t c = 0; c < num_clusters; ++c) {
+      const auto from = cluster_bank_load(c);
+      std::int64_t best_gain = 0;
+      auto best_bank = npos;
+      for (std::uint32_t q = 0; q < banks; ++q) {
+        if (fully_in(c, q)) {
+          continue;
+        }
+        const auto gain =
+            static_cast<std::int64_t>(
+                static_cast<double>(cost.transfer_instructions) *
+                static_cast<double>(-transfer_delta(st, seg_bank, c, q,
+                                                    scratch))) +
+            static_cast<std::int64_t>(cost.load_balance_weight *
+                                      static_cast<double>(
+                                          peak_delta(c, q, from)));
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_bank = q;
+        }
+      }
+      if (best_bank != npos && best_gain > 0) {
+        const auto bucket = static_cast<std::size_t>(
+            std::min(best_gain, kMaxGain) + kMaxGain);
+        buckets[bucket].push_back({c, best_bank});
+      }
+    }
+    for (std::size_t bkt = buckets.size(); bkt-- > 0;) {
+      for (const auto& m : buckets[bkt]) {
+        if (cand_bucket.size() >= budget) {
+          break;
+        }
+        push_candidate(cand_bucket, m.cluster, m.bank);
+      }
+    }
+
+    // Batched spread: relocate *every* critical local reader at once,
+    // round-robining same-chain readers across the other banks, and
+    // judge the whole batch with one trial schedule. Single-reader moves
+    // shave one step each; the batch removes whole stretches of
+    // chain-bank serialization per evaluation.
+    std::vector<Move> batch;
+    {
+      std::vector<std::uint32_t> seen_readers;
+      std::uint32_t rr = 0;
+      for (const auto& [ps, rs] : best.critical_local_edges) {
+        if (std::find(seen_readers.begin(), seen_readers.end(), rs) !=
+            seen_readers.end()) {
+          continue;
+        }
+        seen_readers.push_back(rs);
+        const auto home = seg_bank[rs];
+        const auto target = (home + 1 + (rr++ % (banks - 1))) % banks;
+        batch.push_back({npos, target, rs});
+      }
+    }
+
+    // Candidate groups, one trial schedule each: the batch first, then
+    // the three single-move streams interleaved so a latency-bound
+    // circuit's spread moves and a throughput-bound circuit's balance
+    // moves both get tried within the bounded budget.
+    std::vector<std::vector<Move>> groups;
+    if (batch.size() > 1 && !same_moves(batch, rejected_batch)) {
+      groups.push_back(std::move(batch));
+    }
+    for (std::size_t k = 0;
+         k < std::max({cand_cross.size(), cand_local.size(),
+                       cand_balance.size(), cand_bucket.size()});
+         ++k) {
+      for (const auto* src :
+           {&cand_cross, &cand_local, &cand_balance, &cand_bucket}) {
+        if (k < src->size()) {
+          groups.push_back({(*src)[k]});
+        }
+      }
+    }
+
+    std::uint32_t tried = 0;
+    std::vector<std::vector<std::uint32_t>> undos;
+    std::vector<std::uint32_t> undo_partner;
+    const auto apply_group = [&](const std::vector<Move>& g) {
+      undos.clear();
+      for (const auto& m : g) {
+        undos.emplace_back();
+        apply_move(m, undos.back());
+      }
+    };
+    const auto revert_group = [&](const std::vector<Move>& g) {
+      for (std::size_t k = g.size(); k-- > 0;) {
+        revert_move(g[k], undos[k]);
+      }
+    };
+    for (const auto& group : groups) {
+      if (tried >= budget) {
+        break;
+      }
+      const auto& m = group.front();
+      if (group.size() == 1 &&
+          (m.seg != npos ? seg_bank[m.seg] == m.bank
+                         : fully_in(m.cluster, m.bank))) {
+        continue;  // an earlier kept move already homed it
+      }
+      apply_group(group);
+      auto r = evaluate(seg_bank);
+      ++tried;
+      ++stats.moves_tried;
+      if (std::getenv("PLIM_REFINE_DEBUG") != nullptr) {
+        std::fprintf(stderr,
+                     "refine: pass %u group#%zu size=%zu first=(c%u b%u s%d) "
+                     "-> steps %u xfer %u (best %u/%u) %s\n",
+                     pass, static_cast<std::size_t>(&group - groups.data()),
+                     group.size(), m.cluster, m.bank,
+                     m.seg == npos ? -1 : static_cast<int>(m.seg), r.steps,
+                     r.transfers, best.steps, best.transfers,
+                     improves(r) ? "KEEP" : "reject");
+      }
+      if (improves(r)) {
+        best = std::move(r);
+        ++stats.moves_kept;
+        continue;
+      }
+      revert_group(group);
+      if (group.size() == 1) {
+        rejected.push_back(move_key(m));
+      } else {
+        rejected_batch = group;
+      }
+      if (group.size() > 1 || m.seg != npos || tried >= budget) {
+        continue;  // swap retries only make sense for single cluster moves
+      }
+      // One swap retry: exchange with the closest-sized cluster of the
+      // target bank, so the move is load-neutral.
+      const auto partner = swap_partner(m.cluster, m.bank);
+      if (partner == npos) {
+        continue;
+      }
+      const Move back{partner,
+                      seg_bank[st.member_seg[st.member_off[m.cluster]]]};
+      apply_group(group);
+      apply_move(back, undo_partner);
+      r = evaluate(seg_bank);
+      ++tried;
+      ++stats.moves_tried;
+      if (improves(r)) {
+        best = std::move(r);
+        ++stats.moves_kept;
+      } else {
+        revert_move(back, undo_partner);
+        revert_group(group);
+      }
+    }
+    if (tried == 0) {
+      break;  // nothing new to try — further passes would be no-ops
+    }
+  }
+  stats.steps_after = best.steps;
+  stats.transfers_after = best.transfers;
+  return stats;
+}
+
+}  // namespace plim::sched

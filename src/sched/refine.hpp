@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sched/cost_model.hpp"
+#include "sched/depgraph.hpp"
+
+namespace plim::sched {
+
+/// Exact quality of one candidate bank assignment, measured by actually
+/// re-scheduling it (the scheduler provides the evaluator): makespan in
+/// steps, cross-bank transfers, and the cross-bank RAW edges that sit on
+/// the schedule's critical chain — zero-slack producer→consumer segment
+/// pairs whose transfer latency directly stretches the makespan. Those
+/// edges seed the next round of move candidates.
+struct RefineEval {
+  std::uint32_t steps = 0;
+  std::uint32_t transfers = 0;
+  /// (producer segment, consumer segment) of critical cross-bank reads.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> critical_cross_edges;
+  /// (producer segment, reader segment) of zero-slack *same-bank* reads
+  /// of a chain value: each such reader occupies the chain's bank for a
+  /// step between two chain writes, serializing the critical chain.
+  /// Spreading readers across banks turns them into transfer copies that
+  /// execute in parallel — a makespan move the transfer surrogate cannot
+  /// see.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> critical_local_edges;
+};
+
+using RefineEvaluator =
+    std::function<RefineEval(const std::vector<std::uint32_t>& seg_bank)>;
+
+struct RefineStats {
+  std::uint32_t passes_run = 0;
+  std::uint32_t moves_tried = 0;   ///< evaluator invocations beyond baseline
+  std::uint32_t moves_kept = 0;    ///< moves/swaps that survived
+  std::uint32_t steps_before = 0;
+  std::uint32_t steps_after = 0;
+  std::uint32_t transfers_before = 0;
+  std::uint32_t transfers_after = 0;
+};
+
+/// Kernighan–Lin-style iterative improvement over the cluster→bank
+/// assignment. Each pass:
+///
+///  1. prices every cluster's best relocation with the shared CostModel
+///     surrogate — transfer delta from the segment-level read graph plus
+///     the change in peak bank load (the throughput bound) — and ranks
+///     candidates in FM-style gain buckets;
+///  2. prepends moves suggested by the previous evaluation's critical
+///     cross-bank edges (pull a critical consumer into its producer's
+///     bank or vice versa) — the surrogate cannot see makespan, these
+///     target it directly;
+///  3. re-schedules each candidate move through `evaluate` and keeps it
+///     only when it improves the lexicographic objective (fewer steps,
+///     or equal steps and fewer transfers) — steps never increase, and
+///     transfers only rise when steps strictly fall; a rejected move may
+///     retry once as a swap with the closest-sized cluster of the target
+///     bank (covers pure load exchanges the one-way move cannot
+///     express).
+///
+/// At most a bounded number of evaluations run per pass (the compile-time
+/// budget: `refine_passes` passes × O(banks) evaluations), and a pass
+/// that keeps nothing ends the loop early, so refinement never increases
+/// steps or transfers and its cost is strictly bounded.
+///
+/// `cluster_of` maps every segment to a cluster root (see
+/// cluster_segments()); `seg_bank` is updated in place with the refined
+/// assignment. Clusters whose segments straddle banks (possible under
+/// compiler placement hints) are moved as a whole.
+/// `baseline`, when given, is the already-computed evaluation of the
+/// incoming `seg_bank` (e.g. from the scheduler's dual-start trial), so
+/// refinement does not re-schedule the starting point.
+RefineStats refine(const DependenceGraph& graph,
+                   std::vector<std::uint32_t>& seg_bank,
+                   const std::vector<std::uint32_t>& cluster_of,
+                   std::uint32_t banks, const CostModel& cost,
+                   std::uint32_t passes, const RefineEvaluator& evaluate,
+                   const RefineEval* baseline = nullptr);
+
+}  // namespace plim::sched

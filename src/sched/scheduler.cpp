@@ -1,15 +1,16 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "sched/clustering.hpp"
+#include "sched/refine.hpp"
 
 namespace plim::sched {
 
@@ -27,75 +28,51 @@ struct VirtualInstr {
   arch::Operand a;
   arch::Operand b;
   std::uint32_t z = 0;  ///< virtual cell
+  std::uint32_t src_seg = npos;  ///< transfer copies: producing segment
   bool is_transfer = false;
   bool uses_bus = false;  ///< transfer copy reading a remote cell
   std::vector<std::uint32_t> deps;  ///< predecessor virtual instructions
 };
 
-/// Segment → bank assignment. With compiler placement hints, segments
-/// inherit the bank of their serial cell. Post hoc, segments are first
-/// agglomerated into clusters along their heaviest producer→consumer
-/// edges (majority subtrees, RAW chains), then each cluster takes the
-/// bank minimizing the cost model's transfer + load-imbalance cost.
-std::vector<std::uint32_t> assign_banks(const DependenceGraph& graph,
-                                        const arch::Program& serial,
-                                        const ScheduleOptions& opts) {
+/// The renamed multi-bank program before step packing: what the list
+/// scheduler and the refinement evaluator both consume.
+struct Expansion {
+  std::vector<VirtualInstr> virt;
+  std::uint32_t num_segments = 0;  ///< virtual cells below this are segments
+  std::uint32_t num_vcells = 0;
+  std::vector<std::uint32_t> vcell_bank;
+  std::uint32_t transfers = 0;
+  std::uint32_t duplicates = 0;
+  std::uint32_t duplicated_instructions = 0;
+};
+
+/// Post-hoc cluster→bank assignment: greedy over clusters, each taking
+/// the bank minimizing the cost model's transfer + post-transfer load
+/// cost. Two visit orders exist — ascending root id (producers mostly
+/// first, best transfer estimates) and LPT (biggest clusters first,
+/// best load balance); when refinement is on, schedule() trial-runs both
+/// and keeps the better start.
+std::vector<std::uint32_t> assign_clusters(
+    const DependenceGraph& graph, const std::vector<std::uint32_t>& cluster_of,
+    const ScheduleOptions& opts, bool lpt_order) {
   const auto banks = opts.banks;
-  const auto num_segments = graph.num_segments();
-  std::vector<std::uint32_t> seg_bank(num_segments, 0);
-  if (banks <= 1) {
-    return seg_bank;
-  }
-
-  if (!opts.placement_hints.empty()) {
-    if (opts.placement_hints.size() < serial.num_rrams()) {
-      throw std::invalid_argument(
-          "sched: placement hints do not cover every serial cell");
-    }
-    for (std::uint32_t s = 0; s < num_segments; ++s) {
-      seg_bank[s] = opts.placement_hints[graph.segment(s).cell] % banks;
-    }
-    return seg_bank;
-  }
-
   const auto n = graph.num_instructions();
+  const auto num_segments = graph.num_segments();
+
   std::vector<std::uint32_t> seg_size(num_segments, 0);
   for (std::uint32_t i = 0; i < n; ++i) {
     ++seg_size[graph.segment_of(i)];
   }
-
-  HeavyEdgeClusters clusters(std::move(seg_size));
-  if (opts.cluster) {
-    // Heavy-edge agglomeration over the segment graph: producer→consumer
-    // operand reads become weighted edges, and whole subtrees / RAW
-    // chains merge into bank-sized clusters (see sched/clustering.hpp).
-    // This is what fixes the voter-style adder trees whose chains
-    // otherwise ping-pong between banks and stretch the schedule far
-    // past the critical path.
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
-    pairs.reserve(2 * n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const auto s = graph.segment_of(i);
-      for (const auto def : {graph.def_of_a(i), graph.def_of_b(i)}) {
-        if (def == npos) {
-          continue;
-        }
-        const auto ps = graph.segment_of(def);
-        if (ps != s) {
-          pairs.emplace_back(ps, s);
-        }
-      }
-    }
-    clusters.agglomerate(std::move(pairs), cluster_budget(n, banks));
+  std::vector<std::uint32_t> cluster_size(num_segments, 0);
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    cluster_size[cluster_of[s]] += seg_size[s];
   }
 
   // Distinct operand defs a cluster reads from other clusters — each one
-  // is a potential transfer, cached per (def, bank).
-  std::vector<std::uint32_t> cluster_of(num_segments);
-  for (std::uint32_t s = 0; s < num_segments; ++s) {
-    cluster_of[s] = clusters.find(s);
-  }
+  // is a potential transfer, cached per (def, bank). Flat CSR keyed by
+  // cluster root instead of a per-cluster map.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> reads;  // (cluster, def)
+  reads.reserve(n / 2);
   for (std::uint32_t i = 0; i < n; ++i) {
     const auto c = cluster_of[graph.segment_of(i)];
     for (const auto def : {graph.def_of_a(i), graph.def_of_b(i)}) {
@@ -106,18 +83,38 @@ std::vector<std::uint32_t> assign_banks(const DependenceGraph& graph,
   }
   std::sort(reads.begin(), reads.end());
   reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
-  std::map<std::uint32_t, std::vector<std::uint32_t>> remote_defs;
+
+  // CSR over the sorted (cluster, def) pairs, indexed by cluster root.
+  std::vector<std::uint32_t> read_off(num_segments + 1, 0);
   for (const auto& [c, def] : reads) {
-    remote_defs[c].push_back(def);
+    ++read_off[c + 1];
+  }
+  for (std::uint32_t c = 0; c < num_segments; ++c) {
+    read_off[c + 1] += read_off[c];
   }
 
-  // Assign clusters in ascending root id (producers mostly first).
+  // Visit order. Root-id order sees producers before consumers, so the
+  // transfer term prices well but a late big cluster lands on whatever
+  // bank is left (baked-in imbalance, e.g. `max`). LPT order places the
+  // heavy hitters first and balances the throughput bound from the
+  // start, at the price of blinder transfer estimates (e.g. `adder`).
   std::vector<std::uint32_t> order;
-  for (std::uint32_t s = 0; s < num_segments; ++s) {
-    if (cluster_of[s] == s) {
-      order.push_back(s);
+  order.reserve(num_segments);
+  for (std::uint32_t c = 0; c < num_segments; ++c) {
+    if (cluster_of[c] == c) {
+      order.push_back(c);
     }
   }
+  if (lpt_order) {
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                if (cluster_size[x] != cluster_size[y]) {
+                  return cluster_size[x] > cluster_size[y];
+                }
+                return x < y;
+              });
+  }
+
   std::vector<std::uint32_t> cluster_bank(num_segments, npos);
   std::vector<std::uint64_t> load(banks, 0);
   for (const auto c : order) {
@@ -126,67 +123,59 @@ std::vector<std::uint32_t> assign_banks(const DependenceGraph& graph,
     double best_cost = 0.0;
     for (std::uint32_t b = 0; b < banks; ++b) {
       std::uint32_t transfers = 0;
-      const auto it = remote_defs.find(c);
-      if (it != remote_defs.end()) {
-        for (const auto def : it->second) {
-          const auto pc = cluster_of[graph.segment_of(def)];
-          if (cluster_bank[pc] != npos && cluster_bank[pc] != b) {
-            ++transfers;
-          }
+      for (auto k = read_off[c]; k < read_off[c + 1]; ++k) {
+        const auto pc = cluster_of[graph.segment_of(reads[k].second)];
+        if (cluster_bank[pc] != npos && cluster_bank[pc] != b) {
+          ++transfers;
         }
       }
-      const auto cost = opts.cost.assignment_cost(transfers, load[b] - min_load);
+      const auto cost = opts.cost.placement_cost(transfers, load[b], min_load);
       if (b == 0 || cost < best_cost) {
         best = b;
         best_cost = cost;
       }
     }
     cluster_bank[c] = best;
-    load[best] += clusters.size(c);
+    load[best] += cluster_size[c];
   }
+
+  std::vector<std::uint32_t> seg_bank(num_segments, 0);
   for (std::uint32_t s = 0; s < num_segments; ++s) {
     seg_bank[s] = cluster_bank[cluster_of[s]];
   }
   return seg_bank;
 }
 
-}  // namespace
-
-ScheduleResult schedule(const arch::Program& serial,
-                        const ScheduleOptions& opts) {
-  if (opts.banks == 0) {
-    throw std::invalid_argument("sched: banks must be >= 1");
-  }
-  const auto graph = DependenceGraph::build(serial);
-  if (graph.reads_initial_state()) {
-    throw std::invalid_argument(
-        "sched: program reads RRAM cells it never wrote; its behaviour "
-        "depends on pre-existing memory content and cannot be bank-remapped");
-  }
-  const auto banks = opts.banks;
+/// Renames the serial program onto virtual cells under a fixed
+/// segment→bank assignment and materializes every cross-bank operand as
+/// a transfer copy or a local recomputation (see scheduler.hpp, step 3).
+Expansion expand(const DependenceGraph& graph, const arch::Program& serial,
+                 const std::vector<std::uint32_t>& seg_bank,
+                 const CostModel& cost) {
   const auto n = graph.num_instructions();
-  const auto seg_bank = assign_banks(graph, serial, opts);
+  Expansion ex;
+  ex.num_segments = graph.num_segments();
+  ex.num_vcells = graph.num_segments();
+  ex.virt.reserve(n + n / 8);
+  ex.vcell_bank.assign(seg_bank.begin(), seg_bank.end());
 
-  // ---- expansion: rename to virtual cells, resolve remote operands ------
-  std::vector<VirtualInstr> virt;
-  virt.reserve(n);
   std::vector<std::uint32_t> vidx_of(n, npos);
-  auto num_vcells = graph.num_segments();
-  std::vector<std::uint32_t> vcell_bank(num_vcells);
-  for (std::uint32_t s = 0; s < graph.num_segments(); ++s) {
-    vcell_bank[s] = seg_bank[s];
-  }
   // Readers of each virtual cell's *current* value: the next chain-write
   // must wait for them (the one WAR hazard renaming does not remove).
-  std::vector<std::vector<std::uint32_t>> vreaders(num_vcells);
+  std::vector<std::vector<std::uint32_t>> vreaders(ex.num_vcells);
+
+  // Per-(def, bank) cache of the local replica, flat over defs: a short
+  // intrusive chain per def (most remotely-read values reach one or two
+  // foreign banks) instead of a std::map on the hot path.
   struct Remote {
+    std::uint32_t bank;
     std::uint32_t vidx;  ///< instruction producing the local replica
     std::uint32_t cell;  ///< local virtual cell holding it
+    std::uint32_t next;  ///< next cache entry of the same def
   };
-  std::map<std::pair<std::uint32_t, std::uint32_t>, Remote> remote_cache;
-  std::uint32_t transfers = 0;
-  std::uint32_t duplicates = 0;
-  std::uint32_t duplicated_instructions = 0;
+  std::vector<std::uint32_t> remote_head(n, npos);
+  std::vector<Remote> remote_entries;
+  remote_entries.reserve(n / 8);
 
   // Length of the producing chain prefix of `def` within its segment,
   // and whether it reads only inputs/constants (then it can be
@@ -207,7 +196,7 @@ ScheduleResult schedule(const arch::Program& serial,
         p.self_contained = false;
         break;
       }
-      if (!opts.cost.should_duplicate(p.length)) {
+      if (!cost.should_duplicate(p.length)) {
         break;  // already too long to recompute
       }
       if (graph.is_reset(j)) {
@@ -246,17 +235,18 @@ ScheduleResult schedule(const arch::Program& serial,
         read_cells.push_back(pseg);
         return arch::Operand::rram(pseg);
       }
-      const auto key = std::make_pair(def, bank);
-      auto it = remote_cache.find(key);
-      if (it == remote_cache.end()) {
+      auto entry = remote_head[def];
+      while (entry != npos && remote_entries[entry].bank != bank) {
+        entry = remote_entries[entry].next;
+      }
+      if (entry == npos) {
         const auto prefix = chain_prefix(def);
-        if (prefix.self_contained &&
-            opts.cost.should_duplicate(prefix.length)) {
+        if (prefix.self_contained && cost.should_duplicate(prefix.length)) {
           // Recompute the producing chain locally: same instruction
           // count as a transfer when the chain is short, but no bus
           // slot and no cross-bank dependence.
-          const auto dcell = num_vcells++;
-          vcell_bank.push_back(bank);
+          const auto dcell = ex.num_vcells++;
+          ex.vcell_bank.push_back(bank);
           vreaders.emplace_back();
           std::uint32_t prev = npos;
           for (std::uint32_t j = prefix.first; j <= def; ++j) {
@@ -271,15 +261,17 @@ ScheduleResult schedule(const arch::Program& serial,
             if (prev != npos && !graph.is_reset(j)) {
               dup.deps.push_back(prev);
             }
-            prev = static_cast<std::uint32_t>(virt.size());
-            virt.push_back(std::move(dup));
-            ++duplicated_instructions;
+            prev = static_cast<std::uint32_t>(ex.virt.size());
+            ex.virt.push_back(std::move(dup));
+            ++ex.duplicated_instructions;
           }
-          ++duplicates;
-          it = remote_cache.emplace(key, Remote{prev, dcell}).first;
+          ++ex.duplicates;
+          entry = static_cast<std::uint32_t>(remote_entries.size());
+          remote_entries.push_back({bank, prev, dcell, remote_head[def]});
+          remote_head[def] = entry;
         } else {
-          const auto tcell = num_vcells++;
-          vcell_bank.push_back(bank);
+          const auto tcell = ex.num_vcells++;
+          ex.vcell_bank.push_back(bank);
           vreaders.emplace_back();
           VirtualInstr reset;
           reset.bank = bank;
@@ -287,26 +279,29 @@ ScheduleResult schedule(const arch::Program& serial,
           reset.b = arch::Operand::constant(true);
           reset.z = tcell;
           reset.is_transfer = true;
-          const auto reset_idx = static_cast<std::uint32_t>(virt.size());
-          virt.push_back(std::move(reset));
+          const auto reset_idx = static_cast<std::uint32_t>(ex.virt.size());
+          ex.virt.push_back(std::move(reset));
           VirtualInstr copy;  // with the cell reset to 0: tcell ← src ∨ 0
           copy.bank = bank;
           copy.a = arch::Operand::rram(pseg);
           copy.b = arch::Operand::constant(false);
           copy.z = tcell;
+          copy.src_seg = pseg;
           copy.is_transfer = true;
           copy.uses_bus = true;
           copy.deps = {reset_idx, vidx_of[def]};
-          const auto copy_idx = static_cast<std::uint32_t>(virt.size());
+          const auto copy_idx = static_cast<std::uint32_t>(ex.virt.size());
           vreaders[pseg].push_back(copy_idx);
-          virt.push_back(std::move(copy));
-          it = remote_cache.emplace(key, Remote{copy_idx, tcell}).first;
-          ++transfers;
+          ex.virt.push_back(std::move(copy));
+          entry = static_cast<std::uint32_t>(remote_entries.size());
+          remote_entries.push_back({bank, copy_idx, tcell, remote_head[def]});
+          remote_head[def] = entry;
+          ++ex.transfers;
         }
       }
-      v.deps.push_back(it->second.vidx);
-      read_cells.push_back(it->second.cell);
-      return arch::Operand::rram(it->second.cell);
+      v.deps.push_back(remote_entries[entry].vidx);
+      read_cells.push_back(remote_entries[entry].cell);
+      return arch::Operand::rram(remote_entries[entry].cell);
     };
     v.a = resolve(ins.a, graph.def_of_a(i));
     v.b = resolve(ins.b, graph.def_of_b(i));
@@ -322,65 +317,159 @@ ScheduleResult schedule(const arch::Program& serial,
       vreaders[seg].clear();
     }
 
-    const auto self = static_cast<std::uint32_t>(virt.size());
+    const auto self = static_cast<std::uint32_t>(ex.virt.size());
     for (const auto cell : read_cells) {
       if (cell != seg) {  // a chain-write's own Z read needs no WAR edge
         vreaders[cell].push_back(self);
       }
     }
     vidx_of[i] = self;
-    virt.push_back(std::move(v));
+    ex.virt.push_back(std::move(v));
   }
 
-  const auto vn = static_cast<std::uint32_t>(virt.size());
-  for (auto& v : virt) {
+  for (auto& v : ex.virt) {
     std::sort(v.deps.begin(), v.deps.end());
     v.deps.erase(std::unique(v.deps.begin(), v.deps.end()), v.deps.end());
   }
+  return ex;
+}
 
-  // ---- list scheduling by critical-path height --------------------------
-  // With a bounded bus (cost.bus_width > 0), at most that many cross-bank
-  // copies issue per step; a bank whose only ready work is a deferred
-  // copy idles and the lost slot is counted as a bus stall.
+/// A packed schedule of the expanded program: step assignment per virtual
+/// instruction plus, on request, the zero-slack cross-bank reads (the
+/// critical transfer edges refinement targets).
+struct ListSchedule {
+  std::vector<std::uint32_t> step_of;
+  std::vector<std::vector<std::uint32_t>> step_instrs;
+  std::uint32_t virtual_critical_path = 0;
+  std::uint32_t bus_stalls = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> critical_cross_edges;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> critical_local_edges;
+};
+
+/// Slack-driven list scheduling into steps of at most one instruction
+/// per bank. Priorities come from ASAP/ALAP slack over the virtual
+/// dependence graph: zero-slack instructions sit on a critical chain and
+/// preempt ties that plain height priority would break arbitrarily;
+/// height (then serial order) breaks remaining ties. On a bounded bus,
+/// banks are served most-critical-first each step and — with lookahead —
+/// off-chain copies leave bus slots to ready zero-slack copies, so the
+/// critical chain never waits behind bulk transfers.
+ListSchedule list_schedule(const Expansion& ex, std::uint32_t banks,
+                           const CostModel& cost, bool lookahead,
+                           bool want_critical_edges) {
+  const auto& virt = ex.virt;
+  const auto vn = static_cast<std::uint32_t>(virt.size());
+  ListSchedule ls;
+
+  // ASAP depth (deps always point backwards) and ALAP height, flat.
+  std::vector<std::uint32_t> depth(vn, 1);
+  for (std::uint32_t i = 0; i < vn; ++i) {
+    for (const auto p : virt[i].deps) {
+      depth[i] = std::max(depth[i], depth[p] + 1);
+    }
+  }
   std::vector<std::uint32_t> height(vn, 1);
+  std::uint32_t cp = 0;
   for (std::uint32_t i = vn; i-- > 0;) {
+    cp = std::max(cp, depth[i] + height[i] - 1);
     for (const auto p : virt[i].deps) {
       height[p] = std::max(height[p], height[i] + 1);
     }
   }
-  std::vector<std::vector<std::uint32_t>> succs(vn);
+  std::vector<std::uint32_t> slack(vn, 0);
+  for (std::uint32_t i = 0; i < vn; ++i) {
+    slack[i] = cp - (depth[i] + height[i] - 1);
+  }
+  ls.virtual_critical_path = cp;
+
+  // Successors as CSR (flat, counted then filled).
+  std::vector<std::uint32_t> succ_off(vn + 1, 0);
+  for (std::uint32_t i = 0; i < vn; ++i) {
+    for (const auto p : virt[i].deps) {
+      ++succ_off[p + 1];
+    }
+  }
+  for (std::uint32_t i = 0; i < vn; ++i) {
+    succ_off[i + 1] += succ_off[i];
+  }
+  std::vector<std::uint32_t> succ(succ_off[vn]);
+  {
+    auto cursor = succ_off;
+    for (std::uint32_t i = 0; i < vn; ++i) {
+      for (const auto p : virt[i].deps) {
+        succ[cursor[p]++] = i;
+      }
+    }
+  }
+
+  // Max-heap per bank: least slack, then tallest, then serial order.
+  struct Prio {
+    std::uint32_t slack;
+    std::uint32_t height;
+    std::uint32_t vidx;
+    bool operator<(const Prio& o) const {  // "worse-than" for the max-heap
+      if (slack != o.slack) {
+        return slack > o.slack;
+      }
+      if (height != o.height) {
+        return height < o.height;
+      }
+      return vidx > o.vidx;
+    }
+  };
+  std::vector<std::priority_queue<Prio>> ready(banks);
   std::vector<std::uint32_t> remaining(vn, 0);
+  const auto push_ready = [&](std::uint32_t i) {
+    ready[virt[i].bank].push({slack[i], height[i], i});
+  };
   for (std::uint32_t i = 0; i < vn; ++i) {
     remaining[i] = static_cast<std::uint32_t>(virt[i].deps.size());
-    for (const auto p : virt[i].deps) {
-      succs[p].push_back(i);
-    }
-  }
-  // Max-heap per bank: (height, ~vidx) prefers tall chains, then serial
-  // order for determinism.
-  using Prio = std::pair<std::uint32_t, std::uint32_t>;
-  std::vector<std::priority_queue<Prio>> ready(banks);
-  for (std::uint32_t i = 0; i < vn; ++i) {
     if (remaining[i] == 0) {
-      ready[virt[i].bank].push({height[i], ~i});
+      push_ready(i);
     }
   }
-  const auto bus_width = opts.cost.bus_width;
-  std::vector<std::uint32_t> step_of(vn, npos);
-  std::vector<std::vector<std::uint32_t>> step_instrs;
+
+  const auto bus_width = cost.bus_width;
+  ls.step_of.assign(vn, npos);
   std::vector<Prio> deferred;
+  std::vector<std::pair<Prio, std::uint32_t>> bank_order;  // (top, bank)
   std::uint32_t scheduled = 0;
-  std::uint32_t bus_stalls = 0;
   while (scheduled < vn) {
-    const auto t = static_cast<std::uint32_t>(step_instrs.size());
-    auto& step = step_instrs.emplace_back();
+    const auto t = static_cast<std::uint32_t>(ls.step_instrs.size());
+    auto& step = ls.step_instrs.emplace_back();
     std::uint32_t bus_used = 0;
+
+    // The critical-chain lookahead: serve banks most-critical-first, so
+    // zero-slack copies claim the bounded bus before off-chain bulk
+    // transfers in later banks do. (Per-op bus reservation would be
+    // useless on top of this — by the time a positive-slack copy is at
+    // the head of the line, every critical copy issueable this step has
+    // already been served, and the bus resets next step.)
+    bank_order.clear();
     for (std::uint32_t b = 0; b < banks; ++b) {
+      if (!ready[b].empty()) {
+        bank_order.emplace_back(ready[b].top(), b);
+      }
+    }
+    if (lookahead) {
+      std::sort(bank_order.begin(), bank_order.end(),
+                [](const auto& x, const auto& y) {
+                  if (x.first.slack != y.first.slack ||
+                      x.first.height != y.first.height ||
+                      x.first.vidx != y.first.vidx) {
+                    return y.first < x.first;  // better candidate first
+                  }
+                  return x.second < y.second;
+                });
+    }
+
+    for (const auto& [top_unused, b] : bank_order) {
+      (void)top_unused;
       deferred.clear();
       std::uint32_t picked = npos;
       while (!ready[b].empty()) {
         const auto top = ready[b].top();
-        const auto vidx = ~top.second;
+        const auto vidx = top.vidx;
         if (bus_width > 0 && virt[vidx].uses_bus && bus_used >= bus_width) {
           deferred.push_back(top);
           ready[b].pop();
@@ -395,14 +484,14 @@ ScheduleResult schedule(const arch::Program& serial,
       }
       if (picked == npos) {
         if (!deferred.empty()) {
-          ++bus_stalls;  // the bank idles waiting for the bus
+          ++ls.bus_stalls;  // the bank idles waiting for the bus
         }
         continue;
       }
       if (virt[picked].uses_bus) {
         ++bus_used;
       }
-      step_of[picked] = t;
+      ls.step_of[picked] = t;
       step.push_back(picked);
     }
     if (step.empty()) {
@@ -410,20 +499,200 @@ ScheduleResult schedule(const arch::Program& serial,
     }
     scheduled += static_cast<std::uint32_t>(step.size());
     for (const auto vidx : step) {
-      for (const auto s : succs[vidx]) {
-        if (--remaining[s] == 0) {
-          ready[virt[s].bank].push({height[s], ~s});
+      for (auto k = succ_off[vidx]; k < succ_off[vidx + 1]; ++k) {
+        if (--remaining[succ[k]] == 0) {
+          push_ready(succ[k]);
         }
       }
     }
   }
-  const auto num_steps = static_cast<std::uint32_t>(step_instrs.size());
+
+  if (want_critical_edges) {
+    // Zero-slack transfer copies: the cross-bank reads stretching the
+    // makespan. Report (producer segment, consumer segment) pairs so
+    // refinement can pull the two ends into one bank.
+    constexpr std::size_t kMaxEdges = 64;
+    for (std::uint32_t i = 0; i < vn && ls.critical_cross_edges.size() <
+                                            kMaxEdges;
+         ++i) {
+      if (!virt[i].uses_bus || slack[i] > 0 || virt[i].src_seg == npos) {
+        continue;
+      }
+      // Prefer a zero-slack original consumer; fall back to any.
+      auto consumer = npos;
+      for (auto k = succ_off[i]; k < succ_off[i + 1]; ++k) {
+        const auto j = succ[k];
+        if (virt[j].z < ex.num_segments && !virt[j].is_transfer) {
+          consumer = virt[j].z;
+          if (slack[j] == 0) {
+            break;
+          }
+        }
+      }
+      if (consumer != npos) {
+        ls.critical_cross_edges.emplace_back(virt[i].src_seg, consumer);
+      }
+    }
+    std::sort(ls.critical_cross_edges.begin(), ls.critical_cross_edges.end());
+    ls.critical_cross_edges.erase(std::unique(ls.critical_cross_edges.begin(),
+                                              ls.critical_cross_edges.end()),
+                                  ls.critical_cross_edges.end());
+
+    // Zero-slack same-bank readers of a chain value: the reader occupies
+    // the chain's bank between two chain writes (the WAR ordering the
+    // lockstep machine keeps), serializing the critical chain. Spread
+    // candidates for refinement — reported generously (they batch into
+    // one trial move).
+    constexpr std::size_t kMaxLocalEdges = 512;
+    const auto reads_cell = [](const VirtualInstr& v, std::uint32_t cell) {
+      return (v.a.is_rram() && v.a.address() == cell) ||
+             (v.b.is_rram() && v.b.address() == cell);
+    };
+    for (std::uint32_t w = 0; w < vn && ls.critical_local_edges.size() <
+                                            kMaxLocalEdges;
+         ++w) {
+      if (slack[w] > 0 || virt[w].is_transfer || virt[w].z >= ex.num_segments) {
+        continue;
+      }
+      for (const auto p : virt[w].deps) {
+        if (slack[p] == 0 && !virt[p].is_transfer &&
+            virt[p].bank == virt[w].bank && virt[p].z != virt[w].z &&
+            virt[p].z < ex.num_segments && reads_cell(virt[p], virt[w].z)) {
+          ls.critical_local_edges.emplace_back(virt[w].z, virt[p].z);
+        }
+      }
+    }
+    std::sort(ls.critical_local_edges.begin(), ls.critical_local_edges.end());
+    ls.critical_local_edges.erase(std::unique(ls.critical_local_edges.begin(),
+                                              ls.critical_local_edges.end()),
+                                  ls.critical_local_edges.end());
+  }
+  return ls;
+}
+
+}  // namespace
+
+ScheduleResult schedule(const arch::Program& serial,
+                        const ScheduleOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (opts.banks == 0) {
+    throw std::invalid_argument("sched: banks must be >= 1");
+  }
+  const auto graph = DependenceGraph::build(serial);
+  if (graph.reads_initial_state()) {
+    throw std::invalid_argument(
+        "sched: program reads RRAM cells it never wrote; its behaviour "
+        "depends on pre-existing memory content and cannot be bank-remapped");
+  }
+  const auto banks = opts.banks;
+  const auto n = graph.num_instructions();
+  const auto num_segments = graph.num_segments();
+
+  // ---- bank assignment --------------------------------------------------
+  std::vector<std::uint32_t> seg_bank(num_segments, 0);
+  std::vector<std::uint32_t> cluster_of;
+  std::optional<RefineEval> start_eval;
+  const auto identity_clusters = [&] {
+    std::vector<std::uint32_t> id(num_segments);
+    for (std::uint32_t s = 0; s < num_segments; ++s) {
+      id[s] = s;
+    }
+    return id;
+  };
+  // Trial-schedule evaluator. The most recent expansion + packing are
+  // cached so the final emission can reuse them instead of re-running
+  // the two most expensive phases on an assignment that was already
+  // scheduled (the last kept refinement move, or the unrefined start).
+  struct EvalCache {
+    std::vector<std::uint32_t> sb;
+    Expansion ex;
+    ListSchedule ls;
+    bool valid = false;
+  } cache;
+  const auto evaluate = [&](const std::vector<std::uint32_t>& sb) {
+    cache.ex = expand(graph, serial, sb, opts.cost);
+    cache.ls = list_schedule(cache.ex, banks, opts.cost, opts.lookahead, true);
+    cache.sb = sb;
+    cache.valid = true;
+    return RefineEval{
+        static_cast<std::uint32_t>(cache.ls.step_instrs.size()),
+        cache.ex.transfers, cache.ls.critical_cross_edges,
+        cache.ls.critical_local_edges};
+  };
+  const auto lexicographically_better = [](const RefineEval& x,
+                                           const RefineEval& y) {
+    return x.steps < y.steps ||
+           (x.steps == y.steps && x.transfers < y.transfers);
+  };
+
+  if (banks > 1) {
+    if (!opts.placement_hints.empty()) {
+      if (opts.placement_hints.size() < serial.num_rrams()) {
+        throw std::invalid_argument(
+            "sched: placement hints do not cover every serial cell");
+      }
+      for (std::uint32_t s = 0; s < num_segments; ++s) {
+        seg_bank[s] = opts.placement_hints[graph.segment(s).cell] % banks;
+      }
+    } else {
+      cluster_of = opts.cluster ? cluster_segments(graph, banks)
+                                : identity_clusters();
+      seg_bank = assign_clusters(graph, cluster_of, opts, /*lpt_order=*/false);
+      if (opts.refine_passes > 0 && num_segments > 1) {
+        // Trial-schedule both greedy visit orders and refine from the
+        // better start — producer order protects transfer chains
+        // (adder), LPT protects the throughput bound (max).
+        auto root_eval = evaluate(seg_bank);
+        auto lpt = assign_clusters(graph, cluster_of, opts,
+                                   /*lpt_order=*/true);
+        if (lpt != seg_bank) {
+          auto lpt_eval = evaluate(lpt);
+          if (lexicographically_better(lpt_eval, root_eval)) {
+            seg_bank = std::move(lpt);
+            root_eval = std::move(lpt_eval);
+          }
+        }
+        start_eval = std::move(root_eval);
+      }
+    }
+  }
+
+  // ---- KL refinement ----------------------------------------------------
+  RefineStats rstats;
+  if (banks > 1 && opts.refine_passes > 0 && num_segments > 1) {
+    if (cluster_of.empty()) {
+      // Hint mode still refines at heavy-edge cluster granularity; the
+      // hints are the starting assignment.
+      cluster_of = opts.cluster ? cluster_segments(graph, banks)
+                                : identity_clusters();
+    }
+    rstats = refine(graph, seg_bank, cluster_of, banks, opts.cost,
+                    opts.refine_passes, evaluate,
+                    start_eval ? &*start_eval : nullptr);
+  }
+
+  // ---- expansion + list scheduling --------------------------------------
+  // The final assignment has usually just been trial-scheduled (the last
+  // kept refinement move, or the dual-start winner) — reuse that run.
+  Expansion ex;
+  ListSchedule ls;
+  if (cache.valid && cache.sb == seg_bank) {
+    ex = std::move(cache.ex);
+    ls = std::move(cache.ls);
+  } else {
+    ex = expand(graph, serial, seg_bank, opts.cost);
+    ls = list_schedule(ex, banks, opts.cost, opts.lookahead, false);
+  }
+  const auto& virt = ex.virt;
+  const auto vn = static_cast<std::uint32_t>(virt.size());
+  const auto num_steps = static_cast<std::uint32_t>(ls.step_instrs.size());
+  const auto num_vcells = ex.num_vcells;
 
   // ---- physical allocation: disjoint per-bank ranges, FIFO recycling ----
   std::vector<std::uint32_t> first_step(num_vcells, npos);
   std::vector<std::uint32_t> last_step(num_vcells, 0);
   for (std::uint32_t i = 0; i < vn; ++i) {
-    const auto t = step_of[i];
+    const auto t = ls.step_of[i];
     const auto touch = [&](std::uint32_t cell) {
       first_step[cell] = std::min(first_step[cell], t);
       last_step[cell] = std::max(last_step[cell], t);
@@ -439,7 +708,7 @@ ScheduleResult schedule(const arch::Program& serial,
   // Output cells live forever: pin the final segment of each output cell.
   std::vector<bool> pinned(num_vcells, false);
   std::vector<std::uint32_t> last_segment_of_cell(serial.num_rrams(), npos);
-  for (std::uint32_t s = 0; s < graph.num_segments(); ++s) {
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
     last_segment_of_cell[graph.segment(s).cell] = s;
   }
   for (std::uint32_t o = 0; o < serial.num_outputs(); ++o) {
@@ -467,7 +736,7 @@ ScheduleResult schedule(const arch::Program& serial,
     if (first_step[c] == npos) {
       continue;  // virtual cell never touched (cannot happen, but safe)
     }
-    const auto b = vcell_bank[c];
+    const auto b = ex.vcell_bank[c];
     std::uint32_t local;
     if (!free_cells[b].empty() && free_cells[b].top().first <= first_step[c]) {
       local = free_cells[b].top().second;
@@ -486,14 +755,14 @@ ScheduleResult schedule(const arch::Program& serial,
     bank_base[b] = bank_base[b - 1] + bank_size[b - 1];
   }
   const auto final_cell = [&](std::uint32_t vcell) {
-    return bank_base[vcell_bank[vcell]] + local_of[vcell];
+    return bank_base[ex.vcell_bank[vcell]] + local_of[vcell];
   };
 
   // ---- emit -------------------------------------------------------------
   ScheduleResult result;
   auto& pp = result.program;
   pp = ParallelProgram(banks);
-  pp.set_bus_width(bus_width);
+  pp.set_bus_width(opts.cost.bus_width);
   for (std::uint32_t b = 0; b < banks; ++b) {
     pp.set_bank_range(b, bank_base[b], bank_base[b] + bank_size[b]);
   }
@@ -504,7 +773,7 @@ ScheduleResult schedule(const arch::Program& serial,
     return op.is_rram() ? arch::Operand::rram(final_cell(op.address())) : op;
   };
   std::vector<std::uint32_t> bank_load(banks, 0);
-  for (const auto& step : step_instrs) {
+  for (const auto& step : ls.step_instrs) {
     auto slots = step;
     std::sort(slots.begin(), slots.end(),
               [&](std::uint32_t x, std::uint32_t y) {
@@ -528,16 +797,31 @@ ScheduleResult schedule(const arch::Program& serial,
   stats.banks = banks;
   stats.serial_instructions = n;
   stats.parallel_instructions = vn;
-  stats.transfers = transfers;
-  stats.duplicates = duplicates;
-  stats.duplicated_instructions = duplicated_instructions;
+  stats.transfers = ex.transfers;
+  stats.duplicates = ex.duplicates;
+  stats.duplicated_instructions = ex.duplicated_instructions;
   stats.steps = num_steps;
   stats.critical_path = graph.critical_path();
+  // Chain term: the renamed critical path, except that duplication can
+  // detach a remote reader from the chain it reads (the replica carries
+  // no WAR against the original segment), so the exact virtual chain
+  // bound caps it — the min is a true lower bound for this schedule.
+  stats.step_lower_bound =
+      std::max(std::min(graph.renamed_critical_path(),
+                        ls.virtual_critical_path),
+               (vn + banks - 1) / banks);
+  stats.virtual_critical_path = ls.virtual_critical_path;
   stats.serial_rrams = serial.num_rrams();
   stats.parallel_rrams = pp.num_rrams();
-  stats.bus_width = bus_width;
-  stats.bus_stalls = bus_stalls;
+  stats.bus_width = opts.cost.bus_width;
+  stats.bus_stalls = ls.bus_stalls;
   stats.placement_hints_used = !opts.placement_hints.empty();
+  stats.refine_passes = rstats.passes_run;
+  stats.refine_moves_kept = rstats.moves_kept;
+  stats.refine_steps_saved = rstats.steps_before - rstats.steps_after;
+  stats.refine_transfers_saved =
+      static_cast<std::int64_t>(rstats.transfers_before) -
+      static_cast<std::int64_t>(rstats.transfers_after);
   stats.bank_load = std::move(bank_load);
   stats.utilization =
       num_steps > 0 ? static_cast<double>(vn) /
@@ -545,6 +829,10 @@ ScheduleResult schedule(const arch::Program& serial,
                     : 1.0;
   stats.speedup =
       num_steps > 0 ? static_cast<double>(n) / num_steps : 1.0;
+  stats.schedule_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
   return result;
 }
 

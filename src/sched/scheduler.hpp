@@ -33,6 +33,22 @@ struct ScheduleOptions {
   /// subtrees land in one bank and only cluster boundaries cross the
   /// bus. Ignored when placement hints are given.
   bool cluster = true;
+
+  /// Kernighan–Lin-style refinement passes over the cluster→bank
+  /// assignment (see sched/refine.hpp): candidate moves and swaps are
+  /// re-scheduled exactly and kept only when neither steps nor transfers
+  /// regress, so refinement is monotone — it can only improve the
+  /// schedule. 0 disables; each pass is bounded by O(banks) trial
+  /// schedules, so this is the compile-time budget knob
+  /// (`plimc --refine-passes`). Applies on top of placement hints too.
+  std::uint32_t refine_passes = 2;
+
+  /// Critical-chain lookahead in the list scheduler: each step serves
+  /// banks most-critical-first (least slack, then height), so on a
+  /// bounded bus zero-slack copies claim bus slots before off-chain
+  /// bulk transfers in other banks do. false serves banks in index
+  /// order (the pre-slack behaviour).
+  bool lookahead = true;
 };
 
 struct ScheduleResult {
@@ -58,10 +74,15 @@ struct ScheduleResult {
 ///     *recomputation* (duplicate-vs-copy decision of the cost model);
 ///     both are cached per produced value so repeated remote reads pay
 ///     once per bank;
-///  4. list-schedules the result by critical-path height into steps of at
-///     most one instruction per bank, issuing at most
+///  4. list-schedules the result into steps of at most one instruction
+///     per bank by ASAP/ALAP *slack* — zero-slack (critical-chain)
+///     instructions preempt height ties, and banks whose best candidate
+///     is most critical claim bounded bus slots first — issuing at most
 ///     `cost.bus_width` cross-bank copies per step when the bus is
-///     bounded (deferred copies are counted as bus stalls);
+///     bounded (deferred copies are counted as bus stalls); when
+///     `opts.refine_passes` > 0, the cluster→bank assignment is then
+///     iteratively refined (KL-style moves/swaps re-scheduled under the
+///     cost model, keeping only changes that reduce steps or transfers);
 ///  5. maps the renamed cells onto a disjoint contiguous cell range per
 ///     bank, recycling dead cells FIFO (the paper's endurance-minded
 ///     policy) once their last scheduled use has passed.

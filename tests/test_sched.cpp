@@ -415,9 +415,13 @@ TEST(CostModel, BusRoundsAndDuplication) {
   EXPECT_EQ(cost.bus_rounds(100), 1u);
   EXPECT_TRUE(cost.should_duplicate(2));
   EXPECT_FALSE(cost.should_duplicate(3));
-  // Transfers price at transfer_instructions each; imbalance at the
-  // configured weight.
-  EXPECT_DOUBLE_EQ(cost.assignment_cost(3, 5), 11.0);
+  // Transfers price at transfer_instructions each, land as that many
+  // instructions in the consuming bank before the load comparison, and
+  // imbalance weighs in at the configured weight: 3 transfers onto a
+  // bank at load 5 (least loaded 0) → effective load 11, cost 6 + 11.
+  EXPECT_DOUBLE_EQ(cost.placement_cost(3, 5, 0), 17.0);
+  // A bank below the minimum load contributes no imbalance term.
+  EXPECT_DOUBLE_EQ(cost.placement_cost(0, 2, 4), 0.0);
 }
 
 // ---- bounded bus ------------------------------------------------------------
@@ -480,12 +484,16 @@ TEST(BoundedBus, ValidateRejectsOverSubscribedStep) {
 
 TEST(BoundedBus, EndToEndOnCircuits) {
   // Width-1 and width-2 buses over a real circuit: schedules stay valid,
-  // equivalent, and monotone in steps.
+  // equivalent, and monotone in steps. Monotonicity across widths is a
+  // property of the greedy scheduler on a fixed assignment — refinement
+  // searches per configuration and can close more of the gap at width 1
+  // than at width 2 — so it is pinned off here.
   const auto compiled = core::compile(circuits::make_cavlc());
   std::uint32_t prev_steps = 0;
   for (const auto width : {std::uint32_t{1}, std::uint32_t{2},
                            std::uint32_t{0}}) {
     auto opts = with_banks(8);
+    opts.refine_passes = 0;
     opts.cost.bus_width = width;
     const auto result = schedule(compiled.program, opts);
     EXPECT_EQ(result.program.validate(), "") << "width " << width;
@@ -521,7 +529,11 @@ TEST(Duplication, RecomputesShortInputOnlyChains) {
   p.add_output("h", 0);
 
   auto opts = with_banks(2);
-  opts.cluster = false;  // force the consumers apart deterministically
+  // Pin the producer and the first consumer into different banks via
+  // explicit hints (cost-model assignment and refinement would rightly
+  // merge this tiny program into one bank) so the remote read is forced.
+  opts.placement_hints = {0, 1, 0};
+  opts.refine_passes = 0;
   opts.cost.duplicate_max_instructions = 2;
   const auto dup = schedule(p, opts);
   EXPECT_EQ(dup.program.validate(), "");
@@ -582,8 +594,11 @@ TEST(PlacementHints, SegmentsFollowTheirCellHints) {
   const auto compiled = core::compile(circuits::make_int2float());
   const auto& serial = compiled.program;
   // Hint every serial cell to a bank by a fixed rule, then check every
-  // non-transfer instruction landed in the hinted bank.
+  // non-transfer instruction landed in the hinted bank. Refinement is
+  // allowed to move segments away from their hints (that is its job), so
+  // pin it off to observe the raw hint-following behaviour.
   auto opts = with_banks(3);
+  opts.refine_passes = 0;
   opts.cost.duplicate_max_instructions = 0;  // keep compute counts exact
   opts.placement_hints.resize(serial.num_rrams());
   for (std::uint32_t c = 0; c < serial.num_rrams(); ++c) {

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a fresh sched_speedup trajectory against the committed one.
+
+Fails (exit 1) when any benchmark configuration regresses by more than
+the tolerance in `steps` or `transfers`. Configurations are matched by
+(benchmark, mode, banks, bus_width); entries present on only one side
+are reported but do not fail the diff (benchmarks and sweep shapes may
+legitimately grow), and timing fields like schedule_ms are ignored.
+
+Usage: diff_bench.py committed.json fresh.json [--tolerance 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def entries(trajectory):
+    """Yield ((benchmark, mode, banks, bus_width), {steps, transfers})."""
+    for bench in trajectory.get("benchmarks", []):
+        name = bench.get("benchmark", "?")
+        for mode, payload in bench.items():
+            if mode == "benchmark":
+                continue
+            if isinstance(payload, dict) and isinstance(
+                    payload.get("banks"), list):
+                for entry in payload["banks"]:
+                    yield (name, mode, entry["banks"], entry.get("bus_width", 0)), entry
+                for entry in payload.get("bus_4banks", []):
+                    yield (name, mode, 4, entry.get("bus_width", 0)), entry
+            elif isinstance(payload, dict) and "steps" in payload:
+                # flat single-config blocks (e.g. unclustered_4banks)
+                yield (name, mode, payload.get("banks", 0),
+                       payload.get("bus_width", 0)), payload
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative regression (default 5%%)")
+    args = parser.parse_args()
+
+    with open(args.committed) as f:
+        committed = dict(entries(json.load(f)))
+    with open(args.fresh) as f:
+        fresh = dict(entries(json.load(f)))
+
+    regressions = []
+    compared = 0
+    for key, old in sorted(committed.items()):
+        new = fresh.get(key)
+        if new is None:
+            print(f"note: {key} only in committed trajectory")
+            continue
+        compared += 1
+        for metric in ("steps", "transfers"):
+            before, after = old[metric], new[metric]
+            if after > before * (1.0 + args.tolerance):
+                regressions.append((key, metric, before, after))
+    for key in sorted(set(fresh) - set(committed)):
+        print(f"note: {key} only in fresh trajectory")
+
+    if compared == 0:
+        print("diff_bench: no comparable configurations — wrong files?")
+        return 1
+    for key, metric, before, after in regressions:
+        name, mode, banks, bus = key
+        print(f"REGRESSION: {name} ({mode}, {banks} banks, bus {bus}) "
+              f"{metric} {before} -> {after} "
+              f"(+{100.0 * (after - before) / max(before, 1):.1f}%)")
+    if regressions:
+        print(f"diff_bench: {len(regressions)} regression(s) over "
+              f"{compared} configurations")
+        return 1
+    print(f"diff_bench: OK — {compared} configurations within "
+          f"{args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
