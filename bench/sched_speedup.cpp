@@ -10,9 +10,12 @@
 ///
 /// plus a bounded-bus sweep (widths 1, 2, unbounded) at 4 banks for both
 /// modes. Every schedule is cross-checked against its serial program on
-/// random 64-lane patterns, and the whole trajectory is emitted as JSON
+/// random 64-lane patterns — under the lockstep machine *and* under
+/// decoupled execution (per-bank streams + sync tokens,
+/// Machine::run_decoupled) — and the whole trajectory is emitted as JSON
 /// (BENCH_sched.json in CI) so scheduler performance is tracked across
-/// PRs.
+/// PRs. Every config records both execution models' cycle counts
+/// (lockstep_cycles, decoupled_cycles, decoupled_speedup).
 ///
 /// Exits non-zero when any schedule diverges from its serial program or
 /// when a regression bar breaks:
@@ -20,10 +23,15 @@
 ///   - voter at 8 banks must take fewer steps than at 4 banks (the
 ///     majority-subtree clustering guarantee),
 ///   - compiler-side placement must need fewer total 4-bank transfers
-///     than the un-clustered post-hoc assignment (PR 1's scheme), and
+///     than the un-clustered post-hoc assignment (PR 1's scheme),
 ///   - compiler-side placement must match or beat post-hoc clustering on
 ///     average 4-bank step speedup (placement + interleaving +
-///     refinement must not trail the post-hoc scheme it subsumes).
+///     refinement must not trail the post-hoc scheme it subsumes),
+///   - decoupled makespan must never exceed the lockstep steps × phases
+///     bound on any configuration (the step barrier only ever
+///     over-synchronizes), and
+///   - (full sweep) decoupling must cut cycles by at least 10% on at
+///     least one benchmark configuration.
 ///
 /// Usage: sched_speedup [--benchmark <name>] [--effort N] [--rounds N]
 ///                      [--json <file|->] [--no-verify] [--smoke]
@@ -65,6 +73,7 @@ std::string fixed2(double v) {
 
 struct ModeTotals {
   double speedup4_sum = 0.0;
+  double decoupled4_sum = 0.0;
   std::uint64_t transfers4 = 0;
 };
 
@@ -123,6 +132,7 @@ int main(int argc, char** argv) {
     header.push_back("speedup@" + b);
   }
   header.push_back("steps@4/bus1");
+  header.push_back("dec@4");  // cycle speedup of decoupled over lockstep
   plim::util::TablePrinter table(std::move(header));
 
   plim::util::JsonWriter json;
@@ -136,8 +146,35 @@ int main(int argc, char** argv) {
   std::uint64_t unclustered_transfers4 = 0;
   std::uint32_t voter_steps4 = 0;
   std::uint32_t voter_steps8 = 0;
+  double best_decoupling = 0.0;  // max cycle reduction of decoupling
+  std::string best_decoupling_config;
+  bool decoupled_bound_ok = true;
   unsigned circuits = 0;
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Model invariant, checked on every scheduled configuration: the step
+  // barrier only ever over-synchronizes, so decoupled execution must
+  // never be slower than the lockstep clock.
+  const auto check_decoupled = [&](const plim::sched::ScheduleStats& s,
+                                   const std::string& where) {
+    if (s.decoupled_cycles > s.lockstep_cycles) {
+      std::cerr << where << ": decoupled makespan " << s.decoupled_cycles
+                << " exceeds the lockstep bound " << s.lockstep_cycles
+                << " cycles\n";
+      decoupled_bound_ok = false;
+    }
+    // Headline reduction only over multi-bank configs — a single bank
+    // gains from pipelined fetch alone, which is not the point here.
+    if (s.banks > 1 && s.lockstep_cycles > 0) {
+      const auto reduction =
+          1.0 - static_cast<double>(s.decoupled_cycles) /
+                    static_cast<double>(s.lockstep_cycles);
+      if (reduction > best_decoupling) {
+        best_decoupling = reduction;
+        best_decoupling_config = where;
+      }
+    }
+  };
 
   for (const auto& spec : plim::circuits::epfl_suite()) {
     if (!only.empty() && spec.name != only) {
@@ -162,6 +199,7 @@ int main(int argc, char** argv) {
       opts.banks = 4;
       opts.cluster = false;
       opts.refine_passes = 0;
+      opts.execution = plim::sched::ExecutionModel::decoupled;
       const auto result = plim::sched::schedule(flat.program, opts);
       unclustered_transfers4 += result.stats.transfers;
       json.begin_object("unclustered_4banks");
@@ -197,6 +235,9 @@ int main(int argc, char** argv) {
         // Converged refinement budget: passes stop early once a pass
         // keeps no move, so small circuits pay almost nothing.
         opts.refine_passes = 8;
+        // Report cycle figures (makespan_cycles, bank idle) under the
+        // decoupled model; lockstep_cycles rides along in the same JSON.
+        opts.execution = plim::sched::ExecutionModel::decoupled;
         if (compiler_placement) {
           opts.placement_hints = compiled.placement->cell_bank;
         }
@@ -213,7 +254,18 @@ int main(int argc, char** argv) {
                     << " banks: SCHEDULE DIVERGES FROM SERIAL PROGRAM\n";
           return 1;
         }
+        if (verify && !plim::sched::equivalent_to_serial(
+                          serial, result.program, rounds,
+                          banks * 6007 + circuits,
+                          plim::sched::ExecutionModel::decoupled)) {
+          std::cerr << spec.name << " (" << mode << ") @ " << banks
+                    << " banks: DECOUPLED EXECUTION DIVERGES FROM SERIAL "
+                       "PROGRAM\n";
+          return 1;
+        }
         const auto& s = result.stats;
+        check_decoupled(s, spec.name + " (" + mode + ") @ " +
+                               std::to_string(banks) + " banks");
         row.push_back(std::to_string(s.steps));
         row.push_back(std::to_string(s.transfers));
         row.push_back(fixed2(s.speedup) + "x");
@@ -222,6 +274,7 @@ int main(int argc, char** argv) {
         json.end_object();
         if (banks == 4) {
           totals[mode].speedup4_sum += s.speedup;
+          totals[mode].decoupled4_sum += s.decoupled_speedup;
           totals[mode].transfers4 += s.transfers;
           row.insert(row.begin() + 2,
                      std::to_string(serial.num_instructions()));
@@ -268,6 +321,8 @@ int main(int argc, char** argv) {
                     << ": SCHEDULE DIVERGES FROM SERIAL PROGRAM\n";
           return 1;
         }
+        check_decoupled(bounded.stats, spec.name + " (" + mode + ") bus " +
+                                           std::to_string(width));
         json.begin_object();
         plim::sched::write_json_fields(bounded.stats, json);
         json.end_object();
@@ -278,6 +333,7 @@ int main(int argc, char** argv) {
       json.end_array();  // bus_4banks
       json.end_object();  // mode
       row.push_back(bus1_cell);
+      row.push_back(fixed2(stats4.decoupled_speedup) + "x");
       table.add_row(std::move(row));
     }
     json.end_object();  // benchmark
@@ -295,9 +351,16 @@ int main(int argc, char** argv) {
                            std::chrono::steady_clock::now() - t0)
                            .count();
 
+  const auto avg4_dec_post = totals["post"].decoupled4_sum / circuits;
+  const auto avg4_dec_compiler = totals["compiler"].decoupled4_sum / circuits;
+
   json.end_array();
   json.field("average_speedup_4_banks", avg4_post);
   json.field("average_speedup_4_banks_compiler", avg4_compiler);
+  json.field("average_decoupled_speedup_4_banks", avg4_dec_post);
+  json.field("average_decoupled_speedup_4_banks_compiler", avg4_dec_compiler);
+  json.field("max_decoupling_cycle_reduction", best_decoupling);
+  json.field("max_decoupling_config", best_decoupling_config);
   json.field("total_transfers_4_banks_post", totals["post"].transfers4);
   json.field("total_transfers_4_banks_compiler",
              totals["compiler"].transfers4);
@@ -317,6 +380,13 @@ int main(int argc, char** argv) {
   std::cout << "\naverage 4-bank speedup: post " << fixed2(avg4_post)
             << "x, compiler-placement " << fixed2(avg4_compiler) << "x over "
             << circuits << " circuits\n"
+            << "decoupled execution at 4 banks: post "
+            << fixed2(avg4_dec_post) << "x, compiler-placement "
+            << fixed2(avg4_dec_compiler)
+            << "x cycle speedup over lockstep (best single config "
+            << fixed2(100.0 * best_decoupling) << "% at "
+            << (best_decoupling_config.empty() ? "-" : best_decoupling_config)
+            << ")\n"
             << "total 4-bank transfers: unclustered (PR 1 scheme) "
             << unclustered_transfers4 << ", post "
             << totals["post"].transfers4 << ", compiler-placement "
@@ -354,6 +424,17 @@ int main(int argc, char** argv) {
               << fixed2(avg4_compiler)
               << "x at 4 banks, behind the post-hoc average of "
               << fixed2(avg4_post) << "x\n";
+    ok = false;
+  }
+  if (!decoupled_bound_ok) {
+    std::cerr << "sched_speedup: decoupled makespan exceeded the lockstep "
+                 "bound (see above)\n";
+    ok = false;
+  }
+  if (!smoke && only.empty() && best_decoupling < 0.10) {
+    std::cerr << "sched_speedup: best decoupling cycle reduction "
+              << fixed2(100.0 * best_decoupling)
+              << "% is below the 10% bar\n";
     ok = false;
   }
   return ok ? 0 : 1;

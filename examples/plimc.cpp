@@ -27,9 +27,18 @@
 ///                    compiler  = compile bank-aware: the compiler places
 ///                                node values into per-bank cell ranges
 ///                                and the scheduler follows its hints
+///   --execution M    lockstep  = one global step clock across banks;
+///                                cycles = steps × phases (default)
+///                    decoupled = per-bank instruction streams with
+///                                explicit sync tokens; cycles = the
+///                                event-driven makespan (also verified
+///                                under decoupled execution)
 ///   --json <file|->  machine-readable stats block (instructions, rrams,
-///                    steps, transfers, bus stalls, per-bank load,
-///                    utilization, speedup) to a file or stdout
+///                    steps, transfers, bus stalls, makespan cycles,
+///                    per-bank load and idle cycles, utilization,
+///                    speedup) to a file or stdout; "--json -" without
+///                    -o suppresses the program listing so the JSON
+///                    block owns stdout
 ///   --no-verify      skip the end-to-end machine verification
 ///   --stats          print statistics to stderr
 
@@ -61,7 +70,8 @@ int usage() {
                "[--banks N] [--schedule]\n"
                "             [--bus-width K] [--refine-passes N] "
                "[--placement post|compiler]\n"
-               "             [--json <file|->] [--no-verify] [--stats]\n";
+               "             [--execution lockstep|decoupled] "
+               "[--json <file|->] [--no-verify] [--stats]\n";
   return 2;
 }
 
@@ -76,6 +86,7 @@ int main(int argc, char** argv) {
   std::uint32_t banks = 0;
   std::uint32_t bus_width = 0;
   std::uint32_t refine_passes = 2;
+  auto execution = plim::sched::ExecutionModel::lockstep;
   bool compiler_placement = false;
   bool naive = false;
   bool verify = true;
@@ -173,6 +184,18 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (arg == "--execution") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      if (std::strcmp(v, "decoupled") == 0) {
+        execution = plim::sched::ExecutionModel::decoupled;
+      } else if (std::strcmp(v, "lockstep") == 0) {
+        execution = plim::sched::ExecutionModel::lockstep;
+      } else {
+        return usage();
+      }
     } else if (arg == "--json") {
       if (const char* v = next()) {
         json_path = v;
@@ -193,13 +216,16 @@ int main(int argc, char** argv) {
   if (blif_path.empty() == benchmark.empty()) {
     return usage();  // exactly one source required
   }
-  if (json_path == "-" && out_path.empty()) {
-    std::cerr << "plimc: --json - needs -o so the JSON block and the "
-                 "program listing do not interleave on stdout\n";
-    return 2;
-  }
+  // "--json -" without -o hands stdout to the JSON block and suppresses
+  // the program listing (stats-only mode for pipelines / CI).
+  const bool suppress_listing = json_path == "-" && out_path.empty();
   if (compiler_placement && banks == 0) {
     std::cerr << "plimc: --placement compiler needs --banks (or --schedule)\n";
+    return 2;
+  }
+  if (execution == plim::sched::ExecutionModel::decoupled && banks == 0) {
+    std::cerr << "plimc: --execution decoupled needs --banks (or "
+                 "--schedule)\n";
     return 2;
   }
 
@@ -255,6 +281,7 @@ int main(int argc, char** argv) {
     sopts.banks = banks;
     sopts.cost.bus_width = bus_width;
     sopts.refine_passes = refine_passes;
+    sopts.execution = execution;
     if (result.placement) {
       sopts.placement_hints = result.placement->cell_bank;
     }
@@ -271,6 +298,13 @@ int main(int argc, char** argv) {
     if (verify && !plim::sched::equivalent_to_serial(result.program,
                                                     schedule->program)) {
       std::cerr << "plimc: parallel schedule diverges from serial program\n";
+      return 1;
+    }
+    if (verify && execution == plim::sched::ExecutionModel::decoupled &&
+        !plim::sched::equivalent_to_serial(
+            result.program, schedule->program, 8, 1,
+            plim::sched::ExecutionModel::decoupled)) {
+      std::cerr << "plimc: decoupled execution diverges from serial program\n";
       return 1;
     }
   }
@@ -304,6 +338,18 @@ int main(int argc, char** argv) {
         std::cerr << "bus: width " << s.bus_width << ", " << s.bus_stalls
                   << " stalled bank-steps\n";
       }
+      std::cerr << "cycles: "
+                << (s.execution == plim::sched::ExecutionModel::decoupled
+                        ? "decoupled"
+                        : "lockstep")
+                << " makespan " << s.makespan_cycles << " (lockstep "
+                << s.lockstep_cycles << ", decoupled " << s.decoupled_cycles
+                << ", " << s.sync_tokens << " sync tokens, decoupling speedup "
+                << s.decoupled_speedup << "x)\nbank idle cycles:";
+      for (const auto idle : s.bank_idle_cycles) {
+        std::cerr << ' ' << idle;
+      }
+      std::cerr << '\n';
     }
   }
 
@@ -328,7 +374,9 @@ int main(int argc, char** argv) {
 
   const auto text = schedule ? plim::sched::to_text(schedule->program)
                              : plim::arch::to_text(result.program);
-  if (out_path.empty()) {
+  if (suppress_listing) {
+    // stdout belongs to the JSON block (emitted above).
+  } else if (out_path.empty()) {
     std::cout << text;
   } else {
     std::ofstream out(out_path);

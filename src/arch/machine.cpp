@@ -1,9 +1,11 @@
 #include "arch/machine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
 
+#include "sched/decoupled.hpp"
 #include "sched/parallel_program.hpp"
 
 namespace plim::arch {
@@ -103,6 +105,8 @@ std::vector<std::uint64_t> Machine::run_parallel_words(
   std::uint32_t step_stamp = 0;
 
   const auto declared_bus = program.bus_width();
+  std::vector<std::uint64_t> bank_instrs(program.num_banks(), 0);
+  std::uint64_t run_cycles = 0;
 
   for (std::uint32_t s = 0; s < program.num_steps(); ++s) {
     const auto& step = program.step(s);
@@ -132,6 +136,9 @@ std::vector<std::uint64_t> Machine::run_parallel_words(
       const std::uint64_t b = read(slot.instr.b);
       writes.emplace_back(slot.instr.z,
                           rm3_words(a, b, cells[slot.instr.z]));
+      if (slot.bank < program.num_banks()) {
+        ++bank_instrs[slot.bank];
+      }
     }
     // A slot must not read a cell another slot of this step writes; its
     // own destination is fine (RM3 reads the pre-step value of Z).
@@ -151,7 +158,7 @@ std::vector<std::uint64_t> Machine::run_parallel_words(
       ++write_counts_[cell];
       ++instructions_;
     }
-    cycles_ += phases_per_instruction;  // one lockstep phase set per step
+    run_cycles += phases_per_instruction;  // one lockstep phase set per step
     // Hardware-honest bus accounting: a machine-side width serializes
     // the step's excess cross-bank copies into extra bus rounds (the
     // values are unaffected — all reads saw the pre-step state — but
@@ -159,10 +166,20 @@ std::vector<std::uint64_t> Machine::run_parallel_words(
     if (bus_width_ > 0 && bus_ops > bus_width_) {
       const std::uint64_t extra_rounds =
           (bus_ops + bus_width_ - 1) / bus_width_ - 1;
-      cycles_ += extra_rounds * phases_per_instruction;
+      run_cycles += extra_rounds * phases_per_instruction;
       bus_stall_cycles_ += extra_rounds * phases_per_instruction;
     }
   }
+  cycles_ += run_cycles;
+  for (auto& count : bank_instrs) {
+    count *= phases_per_instruction;  // instructions → busy cycles
+  }
+  std::vector<std::uint64_t> bank_idle(bank_instrs.size(), 0);
+  for (std::size_t b = 0; b < bank_instrs.size(); ++b) {
+    // The lockstep clock ticks every bank until the program ends.
+    bank_idle[b] = run_cycles - std::min(bank_instrs[b], run_cycles);
+  }
+  account_bank_cycles(bank_instrs, bank_idle);
 
   std::vector<std::uint64_t> out(program.num_outputs());
   for (std::uint32_t i = 0; i < program.num_outputs(); ++i) {
@@ -190,11 +207,124 @@ std::vector<bool> Machine::run_parallel(const sched::ParallelProgram& program,
   return out;
 }
 
+std::vector<std::uint64_t> Machine::run_decoupled_words(
+    const sched::ParallelProgram& program,
+    const std::vector<std::uint64_t>& inputs,
+    const std::vector<std::uint64_t>& initial,
+    const sched::DecoupledTiming* precomputed) {
+  if (inputs.size() != program.num_inputs()) {
+    throw std::invalid_argument(
+        "Machine::run_decoupled_words: wrong input count");
+  }
+  // Static timing first: every controller's op start time under the sync
+  // tokens and the in-order bus arbiter. Throws on missing/insufficient
+  // sync tokens and on deadlock. The arbiter width is the machine's when
+  // set, else the program's declared bus.
+  const auto width = bus_width_ > 0 ? bus_width_ : program.bus_width();
+  sched::DecoupledTiming computed;
+  if (precomputed == nullptr) {
+    computed = sched::decoupled_timing(program, width, phases_per_instruction);
+  }
+  const auto& timing = precomputed != nullptr ? *precomputed : computed;
+
+  std::vector<std::uint64_t> cells(program.num_rrams(), 0);
+  for (std::size_t i = 0; i < initial.size() && i < cells.size(); ++i) {
+    cells[i] = initial[i];
+  }
+  if (write_counts_.size() < cells.size()) {
+    write_counts_.resize(cells.size(), 0);
+  }
+
+  const auto read = [&](Operand op) -> std::uint64_t {
+    switch (op.kind()) {
+      case OperandKind::constant:
+        return op.constant_value() ? ~std::uint64_t{0} : 0;
+      case OperandKind::input:
+        return inputs[op.address()];
+      case OperandKind::rram:
+        return cells[op.address()];
+    }
+    return 0;  // unreachable
+  };
+
+  // Functional execution in start-time order: there is no step barrier —
+  // every read sees the latest committed value, which the sync tokens
+  // guarantee is exactly the value the lockstep schedule intended.
+  // (A flat per-bank instruction table, not sched::bank_streams — the
+  // StreamOp token annotations would cost two vector allocations per
+  // instruction on a path verification runs many times.)
+  std::vector<std::vector<Instruction>> streams(program.num_banks());
+  {
+    const auto lens = program.bank_stream_lengths();
+    for (std::uint32_t b = 0; b < program.num_banks(); ++b) {
+      streams[b].reserve(lens[b]);
+    }
+    for (std::uint32_t s = 0; s < program.num_steps(); ++s) {
+      for (const auto& slot : program.step(s)) {
+        if (slot.bank < program.num_banks()) {
+          streams[slot.bank].push_back(slot.instr);
+        }
+      }
+    }
+  }
+  for (const auto& [bank, pos] : timing.order) {
+    const auto& ins = streams[bank][pos];
+    const std::uint64_t a = read(ins.a);
+    const std::uint64_t b = read(ins.b);
+    cells[ins.z] = rm3_words(a, b, cells[ins.z]);
+    ++write_counts_[ins.z];
+    ++instructions_;
+  }
+
+  cycles_ += timing.makespan_cycles;
+  bus_stall_cycles_ += timing.bus_stall_cycles;
+  account_bank_cycles(timing.bank_busy_cycles, timing.bank_idle_cycles);
+
+  std::vector<std::uint64_t> out(program.num_outputs());
+  for (std::uint32_t i = 0; i < program.num_outputs(); ++i) {
+    out[i] = cells[program.output_cell(i)];
+  }
+  return out;
+}
+
+std::vector<bool> Machine::run_decoupled(const sched::ParallelProgram& program,
+                                         const std::vector<bool>& inputs,
+                                         const std::vector<bool>& initial) {
+  std::vector<std::uint64_t> in_words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    in_words[i] = inputs[i] ? ~std::uint64_t{0} : 0;
+  }
+  std::vector<std::uint64_t> init_words(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    init_words[i] = initial[i] ? ~std::uint64_t{0} : 0;
+  }
+  const auto out_words = run_decoupled_words(program, in_words, init_words);
+  std::vector<bool> out(out_words.size());
+  for (std::size_t i = 0; i < out_words.size(); ++i) {
+    out[i] = (out_words[i] & 1) != 0;
+  }
+  return out;
+}
+
+void Machine::account_bank_cycles(const std::vector<std::uint64_t>& busy,
+                                  const std::vector<std::uint64_t>& idle) {
+  if (bank_busy_cycles_.size() < busy.size()) {
+    bank_busy_cycles_.resize(busy.size(), 0);
+    bank_idle_cycles_.resize(busy.size(), 0);
+  }
+  for (std::size_t b = 0; b < busy.size(); ++b) {
+    bank_busy_cycles_[b] += busy[b];
+    bank_idle_cycles_[b] += idle[b];
+  }
+}
+
 void Machine::reset_counters() {
   write_counts_.clear();
   cycles_ = 0;
   instructions_ = 0;
   bus_stall_cycles_ = 0;
+  bank_busy_cycles_.clear();
+  bank_idle_cycles_.clear();
 }
 
 }  // namespace plim::arch

@@ -8,6 +8,7 @@
 
 namespace plim::sched {
 class ParallelProgram;
+struct DecoupledTiming;
 }  // namespace plim::sched
 
 namespace plim::arch {
@@ -66,6 +67,33 @@ class Machine {
       const std::vector<std::uint64_t>& inputs,
       const std::vector<std::uint64_t>& initial = {});
 
+  /// Executes a multi-bank schedule *decoupled*: every bank's controller
+  /// advances through its own serial instruction stream and blocks only
+  /// on the program's explicit sync tokens and on the shared inter-bank
+  /// bus (arbitrated in program order, `set_bus_width()` wide — falling
+  /// back to the program's declared width, 0 = unbounded). Cycles are
+  /// event-driven: makespan = max over banks of its own finish time, and
+  /// bank_busy_cycles()/bank_idle_cycles() report per-bank utilization.
+  /// Throws std::logic_error when the program has cross-bank reads but
+  /// no sync tokens (run sched::derive_sync first) or when the token
+  /// graph deadlocks — both are also reported by
+  /// ParallelProgram::validate().
+  [[nodiscard]] std::vector<bool> run_decoupled(
+      const sched::ParallelProgram& program, const std::vector<bool>& inputs,
+      const std::vector<bool>& initial = {});
+
+  /// 64-lane bit-parallel form of `run_decoupled`. The static timing is
+  /// input-independent; callers running the same program many times
+  /// (equivalence verification) can compute sched::decoupled_timing
+  /// once and pass it as `timing` to skip the per-run analysis — the
+  /// caller is then responsible for having used the matching bus width
+  /// and a checked (validated) program.
+  [[nodiscard]] std::vector<std::uint64_t> run_decoupled_words(
+      const sched::ParallelProgram& program,
+      const std::vector<std::uint64_t>& inputs,
+      const std::vector<std::uint64_t>& initial = {},
+      const sched::DecoupledTiming* timing = nullptr);
+
   /// Per-cell write counts accumulated over all runs (endurance proxy).
   [[nodiscard]] const std::vector<std::uint64_t>& write_counts()
       const noexcept {
@@ -77,7 +105,8 @@ class Machine {
   }
 
   /// Total controller cycles spent (instructions × phases for serial
-  /// runs; steps × phases plus bus stalls for parallel runs).
+  /// runs; steps × phases plus bus stalls for lockstep parallel runs;
+  /// the event-driven makespan for decoupled runs).
   [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
   [[nodiscard]] std::uint64_t instructions_executed() const noexcept {
     return instructions_;
@@ -95,15 +124,34 @@ class Machine {
     return bus_stall_cycles_;
   }
 
+  /// Per-bank cycles spent executing instructions / idling, accumulated
+  /// over all run_parallel/run_decoupled calls. Lockstep charges every
+  /// bank to the end of the program (the global clock ticks idle banks
+  /// too); a decoupled bank only burns its own waits and halts after its
+  /// last op — the per-bank utilization win of independent controllers.
+  [[nodiscard]] const std::vector<std::uint64_t>& bank_busy_cycles()
+      const noexcept {
+    return bank_busy_cycles_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& bank_idle_cycles()
+      const noexcept {
+    return bank_idle_cycles_;
+  }
+
   /// Clears write counters and cycle statistics.
   void reset_counters();
 
  private:
+  void account_bank_cycles(const std::vector<std::uint64_t>& busy,
+                           const std::vector<std::uint64_t>& idle);
+
   std::vector<std::uint64_t> write_counts_;
   std::uint64_t cycles_ = 0;
   std::uint64_t instructions_ = 0;
   std::uint64_t bus_stall_cycles_ = 0;
   std::uint32_t bus_width_ = 0;
+  std::vector<std::uint64_t> bank_busy_cycles_;
+  std::vector<std::uint64_t> bank_idle_cycles_;
 };
 
 }  // namespace plim::arch

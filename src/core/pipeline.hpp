@@ -36,6 +36,10 @@ struct PipelineResult {
 /// When the compiler ran with bank-aware placement
 /// (base_compile_opts.placement_banks == schedule_banks), the compiled
 /// placement is forwarded to the scheduler as bank-assignment hints.
+/// `schedule_opts.execution` selects the execution model the schedule's
+/// cycle figures are reported for (lockstep step clock vs decoupled
+/// per-bank streams with sync tokens, `plimc --execution`); the emitted
+/// program always carries both views.
 [[nodiscard]] PipelineResult run_pipeline(
     const mig::Mig& mig, PipelineConfig config,
     const mig::RewriteOptions& rewrite_opts = {},

@@ -1,0 +1,543 @@
+#include "sched/decoupled.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace plim::sched {
+
+namespace {
+
+/// Flattened per-bank streams: global op id = off[bank] + pos, ids of
+/// one bank are contiguous and in step order.
+struct FlatStreams {
+  std::uint32_t banks = 0;
+  std::uint32_t total = 0;
+  std::vector<std::uint32_t> off;       ///< banks + 1 offsets
+  std::vector<Slot> slot;               ///< by global id
+  std::vector<std::uint32_t> step_of;   ///< by global id
+  std::vector<std::uint32_t> bank_of;   ///< by global id
+
+  [[nodiscard]] std::uint32_t id(std::uint32_t bank, std::uint32_t pos) const {
+    return off[bank] + pos;
+  }
+  [[nodiscard]] std::uint32_t len(std::uint32_t bank) const {
+    return off[bank + 1] - off[bank];
+  }
+};
+
+FlatStreams flatten(const ParallelProgram& p) {
+  FlatStreams fs;
+  fs.banks = p.num_banks();
+  fs.off.assign(fs.banks + 1, 0);
+  for (std::uint32_t s = 0; s < p.num_steps(); ++s) {
+    for (const auto& slot : p.step(s)) {
+      if (slot.bank < fs.banks) {
+        ++fs.off[slot.bank + 1];
+      }
+    }
+  }
+  for (std::uint32_t b = 0; b < fs.banks; ++b) {
+    fs.off[b + 1] += fs.off[b];
+  }
+  fs.total = fs.off[fs.banks];
+  fs.slot.resize(fs.total);
+  fs.step_of.resize(fs.total);
+  fs.bank_of.resize(fs.total);
+  auto cursor = fs.off;
+  for (std::uint32_t s = 0; s < p.num_steps(); ++s) {
+    for (const auto& slot : p.step(s)) {
+      if (slot.bank >= fs.banks) {
+        continue;  // malformed slot; validate() reports it separately
+      }
+      const auto gid = cursor[slot.bank]++;
+      fs.slot[gid] = slot;
+      fs.step_of[gid] = s;
+      fs.bank_of[gid] = slot.bank;
+    }
+  }
+  return fs;
+}
+
+/// Whether the op reads at least one RRAM cell outside its own bank — the
+/// ops that occupy the shared bus and need cross-bank ordering.
+bool reads_remote(const ParallelProgram& p, const Slot& slot) {
+  if (slot.bank >= p.num_banks()) {
+    return false;
+  }
+  const auto [begin, end] = p.bank_range(slot.bank);
+  for (const auto op : {slot.instr.a, slot.instr.b}) {
+    if (op.is_rram() && (op.address() < begin || op.address() >= end)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Every cross-bank ordering the step schedule implies: for each remote
+/// read at step s of cell c, the last write of c before s must complete
+/// first (RAW) and the first write of c after s must wait for the read
+/// (WAR). Reads and writes of one cell in the *same* step cannot happen
+/// (validate() forbids it), so the two binary searches cover everything;
+/// earlier/later writes of the owning chain are ordered transitively
+/// through the owner bank's own stream.
+std::vector<SyncEdge> required_edges(const ParallelProgram& p,
+                                     const FlatStreams& fs) {
+  const auto cells = p.num_rrams();
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> writes(
+      cells);  // per cell: (step, global id), step-sorted
+  for (std::uint32_t gid = 0; gid < fs.total; ++gid) {
+    const auto z = fs.slot[gid].instr.z;
+    if (z < cells) {
+      writes[z].emplace_back(fs.step_of[gid], gid);
+    }
+  }
+  for (auto& w : writes) {
+    std::sort(w.begin(), w.end());
+  }
+
+  std::vector<SyncEdge> req;
+  for (std::uint32_t b = 0; b < fs.banks; ++b) {
+    const auto [begin, end] = p.bank_range(b);
+    for (std::uint32_t pos = 0; pos < fs.len(b); ++pos) {
+      const auto gid = fs.id(b, pos);
+      const auto s = fs.step_of[gid];
+      for (const auto op : {fs.slot[gid].instr.a, fs.slot[gid].instr.b}) {
+        if (!op.is_rram()) {
+          continue;
+        }
+        const auto c = op.address();
+        if ((c >= begin && c < end) || c >= cells) {
+          continue;  // local read / out of range (validate() reports)
+        }
+        const auto& w = writes[c];
+        // RAW: wait on the last write strictly before the read's step.
+        auto it = std::lower_bound(w.begin(), w.end(),
+                                   std::make_pair(s, std::uint32_t{0}));
+        if (it != w.begin()) {
+          const auto wg = std::prev(it)->second;
+          const auto wb = fs.bank_of[wg];
+          if (wb != b) {
+            req.push_back({wb, wg - fs.off[wb], b, pos});
+          }
+        }
+        // WAR: the cell's next overwrite waits on this read.
+        it = std::lower_bound(w.begin(), w.end(),
+                              std::make_pair(s + 1, std::uint32_t{0}));
+        if (it != w.end()) {
+          const auto wg = it->second;
+          const auto wb = fs.bank_of[wg];
+          if (wb != b) {
+            req.push_back({b, pos, wb, wg - fs.off[wb]});
+          }
+        }
+      }
+    }
+  }
+  std::sort(req.begin(), req.end());
+  req.erase(std::unique(req.begin(), req.end()), req.end());
+  return req;
+}
+
+}  // namespace
+
+std::vector<std::vector<StreamOp>> bank_streams(const ParallelProgram& p) {
+  const auto fs = flatten(p);
+  std::vector<std::vector<StreamOp>> streams(fs.banks);
+  for (std::uint32_t b = 0; b < fs.banks; ++b) {
+    streams[b].resize(fs.len(b));
+    for (std::uint32_t pos = 0; pos < fs.len(b); ++pos) {
+      const auto gid = fs.id(b, pos);
+      streams[b][pos].slot = fs.slot[gid];
+      streams[b][pos].step = fs.step_of[gid];
+    }
+  }
+  const auto& sync = p.sync_edges();
+  for (std::uint32_t i = 0; i < sync.size(); ++i) {
+    const auto& e = sync[i];
+    if (e.from_bank < fs.banks && e.from_pos < fs.len(e.from_bank)) {
+      streams[e.from_bank][e.from_pos].signals.push_back(i);
+    }
+    if (e.to_bank < fs.banks && e.to_pos < fs.len(e.to_bank)) {
+      streams[e.to_bank][e.to_pos].waits.push_back(i);
+    }
+  }
+  return streams;
+}
+
+void derive_sync(ParallelProgram& program) {
+  const auto fs = flatten(program);
+  auto req = required_edges(program, fs);
+
+  // Pareto frontier per ordered bank pair: a requirement is implied by
+  // one that signals at a later-or-equal position and waits at an
+  // earlier-or-equal one. Sorting by (pair, from_pos desc, to_pos asc)
+  // and keeping edges with a strictly new minimum to_pos leaves exactly
+  // the undominated antichain — the coalesced signal/wait pairs.
+  std::sort(req.begin(), req.end(), [](const SyncEdge& x, const SyncEdge& y) {
+    if (x.from_bank != y.from_bank) {
+      return x.from_bank < y.from_bank;
+    }
+    if (x.to_bank != y.to_bank) {
+      return x.to_bank < y.to_bank;
+    }
+    if (x.from_pos != y.from_pos) {
+      return x.from_pos > y.from_pos;
+    }
+    return x.to_pos < y.to_pos;
+  });
+  std::vector<SyncEdge> kept;
+  kept.reserve(req.size());
+  bool have_pair = false;
+  std::uint32_t cur_from = 0;
+  std::uint32_t cur_to = 0;
+  std::uint32_t min_to = 0;
+  for (const auto& e : req) {
+    if (!have_pair || e.from_bank != cur_from || e.to_bank != cur_to) {
+      have_pair = true;
+      cur_from = e.from_bank;
+      cur_to = e.to_bank;
+      min_to = e.to_pos + 1;  // first edge of the pair always survives
+    }
+    if (e.to_pos < min_to) {
+      min_to = e.to_pos;
+      kept.push_back(e);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+
+  program.clear_sync();
+  for (const auto& e : kept) {
+    program.add_sync(e);
+  }
+}
+
+std::string check_sync(const ParallelProgram& program) {
+  const auto fs = flatten(program);
+  const auto& sync = program.sync_edges();
+  const auto token = [](std::size_t i) {
+    return "sync token t" + std::to_string(i + 1);
+  };
+  for (std::size_t i = 0; i < sync.size(); ++i) {
+    const auto& e = sync[i];
+    if (e.from_bank >= fs.banks || e.to_bank >= fs.banks) {
+      return token(i) + ": no such bank";
+    }
+    if (e.from_bank == e.to_bank) {
+      return token(i) + ": connects bank " + std::to_string(e.from_bank) +
+             " to itself";
+    }
+    if (e.from_pos >= fs.len(e.from_bank)) {
+      return token(i) + ": signal position " + std::to_string(e.from_pos + 1) +
+             " beyond bank " + std::to_string(e.from_bank) + "'s stream";
+    }
+    if (e.to_pos >= fs.len(e.to_bank)) {
+      return token(i) + ": wait position " + std::to_string(e.to_pos + 1) +
+             " beyond bank " + std::to_string(e.to_bank) + "'s stream";
+    }
+  }
+
+  // Deadlock-freedom: per-bank stream order plus the tokens must be
+  // acyclic, or the waiting controllers hang forever. (This ordering
+  // graph must stay edge-for-edge consistent with the constraint graph
+  // decoupled_timing() builds — the timing run is what a cycle would
+  // actually hang.)
+  {
+    std::vector<std::uint32_t> indeg(fs.total, 0);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;  // from → to
+    edges.reserve(fs.total + sync.size());
+    for (std::uint32_t b = 0; b < fs.banks; ++b) {
+      for (std::uint32_t pos = 1; pos < fs.len(b); ++pos) {
+        edges.emplace_back(fs.id(b, pos - 1), fs.id(b, pos));
+      }
+    }
+    for (const auto& e : sync) {
+      edges.emplace_back(fs.id(e.from_bank, e.from_pos),
+                         fs.id(e.to_bank, e.to_pos));
+    }
+    std::vector<std::uint32_t> succ_off(fs.total + 1, 0);
+    for (const auto& [from, to] : edges) {
+      ++succ_off[from + 1];
+      ++indeg[to];
+    }
+    for (std::uint32_t i = 0; i < fs.total; ++i) {
+      succ_off[i + 1] += succ_off[i];
+    }
+    std::vector<std::uint32_t> succ(edges.size());
+    {
+      auto cursor = succ_off;
+      for (const auto& [from, to] : edges) {
+        succ[cursor[from]++] = to;
+      }
+    }
+    std::vector<std::uint32_t> queue;
+    queue.reserve(fs.total);
+    for (std::uint32_t i = 0; i < fs.total; ++i) {
+      if (indeg[i] == 0) {
+        queue.push_back(i);
+      }
+    }
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const auto i = queue[head++];
+      for (auto k = succ_off[i]; k < succ_off[i + 1]; ++k) {
+        if (--indeg[succ[k]] == 0) {
+          queue.push_back(succ[k]);
+        }
+      }
+    }
+    if (queue.size() != fs.total) {
+      return "synchronization deadlock: bank streams and sync tokens form a "
+             "cycle";
+    }
+  }
+
+  // Coverage: every cross-bank hazard must be implied by a token between
+  // the same bank pair that signals no earlier and waits no later.
+  const auto req = required_edges(program, fs);
+  if (req.empty()) {
+    return {};
+  }
+  // Per ordered pair: stored (from_pos, to_pos) sorted by from_pos with a
+  // suffix minimum over to_pos, so each query is one binary search.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> stored(
+      std::size_t{fs.banks} * fs.banks);
+  for (const auto& e : sync) {
+    stored[std::size_t{e.from_bank} * fs.banks + e.to_bank].emplace_back(
+        e.from_pos, e.to_pos);
+  }
+  std::vector<std::vector<std::uint32_t>> suffix_min(stored.size());
+  for (std::size_t k = 0; k < stored.size(); ++k) {
+    auto& list = stored[k];
+    std::sort(list.begin(), list.end());
+    auto& mins = suffix_min[k];
+    mins.resize(list.size());
+    std::uint32_t running = 0xffffffffu;
+    for (std::size_t j = list.size(); j-- > 0;) {
+      running = std::min(running, list[j].second);
+      mins[j] = running;
+    }
+  }
+  for (const auto& r : req) {
+    const auto k = std::size_t{r.from_bank} * fs.banks + r.to_bank;
+    const auto& list = stored[k];
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), std::make_pair(r.from_pos, std::uint32_t{0}));
+    const auto j = static_cast<std::size_t>(it - list.begin());
+    if (j >= list.size() || suffix_min[k][j] > r.to_pos) {
+      return "missing synchronization: bank " + std::to_string(r.to_bank) +
+             "'s instruction " + std::to_string(r.to_pos + 1) +
+             " reads across banks but no sync token orders it after bank " +
+             std::to_string(r.from_bank) + "'s instruction " +
+             std::to_string(r.from_pos + 1);
+    }
+  }
+  return {};
+}
+
+DecoupledTiming decoupled_timing(const ParallelProgram& program,
+                                 std::uint32_t bus_width,
+                                 std::uint64_t phases_per_instruction) {
+  const auto fs = flatten(program);
+  const auto phases = phases_per_instruction;
+  DecoupledTiming t;
+  t.bank_busy_cycles.assign(fs.banks, 0);
+  t.bank_idle_cycles.assign(fs.banks, 0);
+  t.bank_finish_cycles.assign(fs.banks, 0);
+  if (fs.total == 0) {
+    return t;
+  }
+
+  std::vector<bool> uses_bus(fs.total, false);
+  bool any_remote = false;
+  for (std::uint32_t gid = 0; gid < fs.total; ++gid) {
+    uses_bus[gid] = reads_remote(program, fs.slot[gid]);
+    any_remote = any_remote || uses_bus[gid];
+  }
+  if (any_remote) {
+    if (!program.has_sync()) {
+      throw std::logic_error(
+          "decoupled execution: program has cross-bank reads but no sync "
+          "tokens; run sched::derive_sync first");
+    }
+    // Runtime parity with the lockstep machine's inline conflict checks:
+    // a token set that misses a hazard would make the execution racy
+    // (the functional simulator follows these start times), so the full
+    // structural + deadlock + coverage check gates every timing run.
+    if (const auto err = check_sync(program); !err.empty()) {
+      throw std::logic_error("decoupled execution: " + err);
+    }
+  }
+
+  // Constraint edges, each with the cycle latency from the
+  // predecessor's *start* to the earliest successor start:
+  //  - stream order: a bank controller prefetches the next instruction
+  //    of its own stream during the current write phase, so back-to-back
+  //    ops issue every phases − 1 cycles (the next read-A phase lands
+  //    exactly when the previous write commits — array-port-limited,
+  //    RM3-hazard-free). The lockstep machine cannot pipeline this:
+  //    fetch there follows the global step commit.
+  //  - sync tokens: the full phases latency — the consumer's controller
+  //    only resumes once the producing instruction has completely
+  //    retired and the token has crossed the fabric.
+  //  - bus order (latency 0): the in-order arbiter grants bus slots in
+  //    program (step) order, so a later copy never starts before an
+  //    earlier one — the FIFO bus queue that keeps decoupled makespan
+  //    within the lockstep bound.
+  const auto stream_latency = phases > 1 ? phases - 1 : phases;
+  struct Edge {
+    std::uint32_t from;
+    std::uint32_t to;
+    std::uint64_t latency;
+    bool bus_order;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(fs.total + program.sync_edges().size());
+  for (std::uint32_t b = 0; b < fs.banks; ++b) {
+    for (std::uint32_t pos = 1; pos < fs.len(b); ++pos) {
+      edges.push_back({fs.id(b, pos - 1), fs.id(b, pos), stream_latency,
+                       false});
+    }
+  }
+  for (const auto& e : program.sync_edges()) {
+    if (e.from_bank < fs.banks && e.to_bank < fs.banks &&
+        e.from_pos < fs.len(e.from_bank) && e.to_pos < fs.len(e.to_bank)) {
+      edges.push_back({fs.id(e.from_bank, e.from_pos),
+                       fs.id(e.to_bank, e.to_pos), phases, false});
+    }
+  }
+  if (bus_width > 0) {
+    // Bus ops in (step, bank) program order — the arbiter's grant order.
+    std::vector<std::uint32_t> bus_order;
+    std::vector<std::uint32_t> cursor(fs.banks, 0);
+    for (std::uint32_t s = 0; s < program.num_steps(); ++s) {
+      for (const auto& slot : program.step(s)) {
+        if (slot.bank >= fs.banks) {
+          continue;
+        }
+        const auto gid = fs.id(slot.bank, cursor[slot.bank]++);
+        if (uses_bus[gid]) {
+          bus_order.push_back(gid);
+        }
+      }
+    }
+    for (std::size_t i = 1; i < bus_order.size(); ++i) {
+      edges.push_back({bus_order[i - 1], bus_order[i], 0, true});
+    }
+  }
+
+  std::vector<std::uint32_t> indeg(fs.total, 0);
+  std::vector<std::uint32_t> succ_off(fs.total + 1, 0);
+  for (const auto& e : edges) {
+    ++succ_off[e.from + 1];
+    ++indeg[e.to];
+  }
+  for (std::uint32_t i = 0; i < fs.total; ++i) {
+    succ_off[i + 1] += succ_off[i];
+  }
+  struct Succ {
+    std::uint32_t to;
+    std::uint64_t latency;
+    bool bus_order;
+  };
+  std::vector<Succ> succ(edges.size());
+  {
+    auto cursor = succ_off;
+    for (const auto& e : edges) {
+      succ[cursor[e.from]++] = {e.to, e.latency, e.bus_order};
+    }
+  }
+
+  // Kahn over the constraint graph, accumulating dependency-ready times
+  // and bus-floor times (arbiter order) separately so arbiter delay is
+  // attributed as bus stall, not dependence. Bus-order chain edges make
+  // every bus op finalize after its predecessor in grant order, so the
+  // server heap is consumed in program order.
+  std::vector<std::uint64_t> dep_ready(fs.total, 0);
+  std::vector<std::uint64_t> bus_floor(fs.total, 0);
+  std::vector<std::uint64_t> start(fs.total, 0);
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      servers;
+  for (std::uint32_t k = 0; k < bus_width; ++k) {
+    servers.push(0);
+  }
+  std::vector<std::uint32_t> queue;
+  queue.reserve(fs.total);
+  for (std::uint32_t i = 0; i < fs.total; ++i) {
+    if (indeg[i] == 0) {
+      queue.push_back(i);
+    }
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const auto i = queue[head++];
+    const auto ready = dep_ready[i];
+    auto s = std::max(ready, bus_floor[i]);
+    if (bus_width > 0 && uses_bus[i]) {
+      const auto server = servers.top();
+      servers.pop();
+      s = std::max(s, server);
+      servers.push(s + phases);
+      t.bus_stall_cycles += s - ready;  // arbiter order + server wait
+    }
+    start[i] = s;
+    const auto finish = s + phases;
+    const auto b = fs.bank_of[i];
+    t.bank_finish_cycles[b] = std::max(t.bank_finish_cycles[b], finish);
+    for (auto k = succ_off[i]; k < succ_off[i + 1]; ++k) {
+      const auto [j, latency, bus_chain] = succ[k];
+      if (bus_chain) {
+        bus_floor[j] = std::max(bus_floor[j], s);
+      } else {
+        dep_ready[j] = std::max(dep_ready[j], s + latency);
+      }
+      if (--indeg[j] == 0) {
+        queue.push_back(j);
+      }
+    }
+  }
+  if (queue.size() != fs.total) {
+    throw std::logic_error(
+        "decoupled execution deadlocked: bank streams and sync tokens form "
+        "a cycle");
+  }
+
+  for (std::uint32_t b = 0; b < fs.banks; ++b) {
+    // Busy = the dense pipelined span of the bank's own stream (its
+    // controller halts after the last op, it does not tick until the
+    // global makespan); idle = the wait cycles actually burned between
+    // issue opportunities.
+    t.bank_busy_cycles[b] =
+        fs.len(b) > 0
+            ? std::uint64_t{fs.len(b) - 1} * stream_latency + phases
+            : 0;
+    t.bank_idle_cycles[b] = t.bank_finish_cycles[b] - t.bank_busy_cycles[b];
+    t.makespan_cycles = std::max(t.makespan_cycles, t.bank_finish_cycles[b]);
+  }
+
+  std::vector<std::uint32_t> order(fs.total);
+  for (std::uint32_t i = 0; i < fs.total; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    if (start[x] != start[y]) {
+      return start[x] < start[y];
+    }
+    if (fs.step_of[x] != fs.step_of[y]) {
+      return fs.step_of[x] < fs.step_of[y];
+    }
+    return fs.bank_of[x] < fs.bank_of[y];
+  });
+  t.order.reserve(fs.total);
+  for (const auto gid : order) {
+    const auto b = fs.bank_of[gid];
+    t.order.emplace_back(b, gid - fs.off[b]);
+  }
+  return t;
+}
+
+}  // namespace plim::sched

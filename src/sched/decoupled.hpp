@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/parallel_program.hpp"
+
+namespace plim::sched {
+
+/// The decoupled projection of a multi-bank program: every bank runs its
+/// own serial instruction stream behind its own controller, and the only
+/// cross-bank ordering comes from explicit sync tokens (SyncEdge) and
+/// the shared inter-bank bus. The lockstep step view stays the canonical
+/// storage (ParallelProgram); everything here is derived from it.
+
+/// One op of a bank's stream: the instruction plus the sync tokens the
+/// bank's controller handles around it. `waits`/`signals` hold indices
+/// into ParallelProgram::sync_edges(); waits are acquired before the
+/// instruction issues, signals fire once it completes.
+struct StreamOp {
+  Slot slot;
+  std::uint32_t step = 0;  ///< lockstep step the op was packed into
+  std::vector<std::uint32_t> waits;
+  std::vector<std::uint32_t> signals;
+};
+
+/// Per-bank serial streams with the program's sync tokens attached.
+[[nodiscard]] std::vector<std::vector<StreamOp>> bank_streams(
+    const ParallelProgram& program);
+
+/// Derives and stores the minimal sync-token set for `program`,
+/// replacing any existing tokens. One ordering requirement exists per
+/// cross-bank hazard: a remote read (transfer copy) must happen after
+/// the last earlier write of the cell it reads (RAW) and before the
+/// cell's next overwrite (WAR). Requirements between the same ordered
+/// bank pair are reduced to their Pareto frontier — a requirement is
+/// dropped when another one signals later *and* waits earlier, so
+/// consecutive transfers between one bank pair coalesce into a single
+/// signal/wait — and each surviving requirement becomes one token with
+/// the signal placed as early and the wait as late as the hazard allows
+/// (slack-aware placement). Every derived token points from a lockstep
+/// step to a strictly later one, so the token graph is acyclic by
+/// construction and decoupled execution can never deadlock.
+void derive_sync(ParallelProgram& program);
+
+/// Checks the stored sync tokens: both endpoints name existing, distinct
+/// banks at in-range stream positions; stream order plus tokens form no
+/// cycle (a cycle means decoupled execution deadlocks); and every
+/// cross-bank hazard is covered by a token between the same bank pair
+/// that signals at least as late and waits at least as early as the
+/// hazard requires. Returns an empty string when the tokens are sound,
+/// otherwise a description of the first violation. Called by
+/// ParallelProgram::validate() whenever tokens are present.
+[[nodiscard]] std::string check_sync(const ParallelProgram& program);
+
+/// Cycle accounting of one decoupled execution (see decoupled_timing).
+struct DecoupledTiming {
+  std::uint64_t makespan_cycles = 0;  ///< max over banks of finish time
+  std::uint64_t bus_stall_cycles = 0;  ///< cycles ops waited for the bus
+  /// Dense pipelined span of each bank's own stream:
+  /// (ops − 1) × (phases − 1) + phases.
+  std::vector<std::uint64_t> bank_busy_cycles;
+  /// Wait cycles each bank's controller actually burned (finish − busy);
+  /// a decoupled controller halts after its last op instead of ticking
+  /// the global clock to the end of the program.
+  std::vector<std::uint64_t> bank_idle_cycles;
+  std::vector<std::uint64_t> bank_finish_cycles;  ///< bank's last op done
+  /// Global (bank, stream position) execution order consistent with the
+  /// op start times — the order a functional simulator must apply
+  /// instructions in so every read sees exactly the values the sync
+  /// tokens guarantee.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+};
+
+/// Event-driven timing of the decoupled execution. Every bank advances
+/// through its own serial stream; because its controller owns the
+/// stream, it prefetches the next instruction during the current write
+/// phase, so back-to-back ops issue every `phases − 1` cycles (the next
+/// read phase lands exactly when the previous write commits —
+/// array-port-limited and RM3-hazard-free). The lockstep machine cannot
+/// pipeline this: its fetch follows the global step commit, which is
+/// what makes a lockstep step cost the full `phases` for every bank,
+/// busy or not. A wait blocks until its token is signaled by the
+/// producing instruction's full retirement (tokens themselves are free —
+/// they ride the controller handshake); cross-bank copies contend for a
+/// `bus_width`-wide bus (0 = unbounded) whose arbiter grants slots in
+/// program (lockstep step) order — a FIFO bus queue, which keeps the
+/// decoupled makespan at or below the lockstep `steps × phases` bound
+/// for any schedule that honours its declared bus width.
+///
+/// Throws std::logic_error when the program has cross-bank reads but no
+/// sync tokens (call derive_sync first) or when the token graph
+/// deadlocks.
+[[nodiscard]] DecoupledTiming decoupled_timing(
+    const ParallelProgram& program, std::uint32_t bus_width,
+    std::uint64_t phases_per_instruction);
+
+}  // namespace plim::sched

@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "sched/decoupled.hpp"
 #include "util/stats.hpp"
 
 namespace plim::sched {
@@ -22,9 +23,23 @@ void write_json_fields(const ScheduleStats& stats, util::JsonWriter& json) {
   json.field("bus_width", stats.bus_width);
   json.field("bus_stalls", stats.bus_stalls);
   json.field("placement", stats.placement_hints_used ? "compiler" : "post");
+  json.field("execution", stats.execution == ExecutionModel::decoupled
+                              ? "decoupled"
+                              : "lockstep");
+  json.field("sync_tokens", stats.sync_tokens);
+  json.field("makespan_cycles", stats.makespan_cycles);
+  json.field("lockstep_cycles", stats.lockstep_cycles);
+  json.field("decoupled_cycles", stats.decoupled_cycles);
+  json.field("decoupled_bus_stall_cycles", stats.decoupled_bus_stall_cycles);
+  json.field("decoupled_speedup", stats.decoupled_speedup);
   json.begin_array("bank_load");
   for (const auto load : stats.bank_load) {
     json.value(load);
+  }
+  json.end_array();
+  json.begin_array("bank_idle_cycles");
+  for (const auto idle : stats.bank_idle_cycles) {
+    json.value(idle);
   }
   json.end_array();
   json.field("utilization", stats.utilization);
@@ -95,6 +110,18 @@ std::uint32_t ParallelProgram::step_bus_ops(std::uint32_t s) const {
     }
   }
   return n;
+}
+
+std::vector<std::uint32_t> ParallelProgram::bank_stream_lengths() const {
+  std::vector<std::uint32_t> len(num_banks_, 0);
+  for (const auto& step : steps_) {
+    for (const auto& slot : step) {
+      if (slot.bank < num_banks_) {
+        ++len[slot.bank];
+      }
+    }
+  }
+  return len;
 }
 
 std::uint32_t ParallelProgram::num_instructions() const noexcept {
@@ -201,6 +228,15 @@ std::string ParallelProgram::validate() const {
   for (const auto& [name, cell] : outputs_) {
     if (cell >= cells) {
       return "output " + name + " refers to cell out of range";
+    }
+  }
+
+  // Sync tokens (when present): structural sanity, deadlock-freedom and
+  // hazard coverage — a token set that misses a cross-bank ordering would
+  // make decoupled execution racy, a cyclic one would hang it.
+  if (has_sync()) {
+    if (const auto err = check_sync(*this); !err.empty()) {
+      return err;
     }
   }
   return {};

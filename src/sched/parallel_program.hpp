@@ -25,6 +25,34 @@ struct Slot {
   friend bool operator==(const Slot&, const Slot&) noexcept = default;
 };
 
+/// One explicit cross-bank synchronization token (a signal/wait pair):
+/// the token is *signaled* by `from_bank` once its `from_pos`-th stream
+/// instruction completes, and *waited on* by `to_bank` before its
+/// `to_pos`-th stream instruction starts. Positions index a bank's
+/// serial instruction stream — its slots in step order, 0-based (the
+/// per-bank projection of the lockstep step view, see
+/// sched/decoupled.hpp). Decoupled execution relies on these tokens for
+/// every cross-bank ordering; the lockstep model needs none, because the
+/// global step barrier over-synchronizes instead.
+struct SyncEdge {
+  std::uint32_t from_bank = 0;
+  std::uint32_t from_pos = 0;
+  std::uint32_t to_bank = 0;
+  std::uint32_t to_pos = 0;
+
+  friend bool operator==(const SyncEdge&, const SyncEdge&) noexcept = default;
+  friend auto operator<=>(const SyncEdge&, const SyncEdge&) noexcept = default;
+};
+
+/// How a multi-bank program executes and is priced:
+///  - lockstep: one global controller steps every bank together; a step
+///    costs phases_per_instruction cycles whether or not a bank is busy,
+///    so cycles = steps × phases (+ machine-side bus stalls).
+///  - decoupled: every bank's controller runs its own serial stream and
+///    blocks only on explicit sync tokens and the shared inter-bank bus;
+///    makespan = max over banks of its own cycle count.
+enum class ExecutionModel { lockstep, decoupled };
+
 /// A multi-bank PLiM program: a sequence of *steps*, each holding at most
 /// one RM3 instruction per bank, executed in lockstep (all reads see the
 /// pre-step state, all writes commit together). Every bank owns a
@@ -57,6 +85,12 @@ class ParallelProgram {
   /// Appends a slot to the last opened step.
   void add_slot(Slot slot);
 
+  /// Appends an explicit sync token (see SyncEdge). Schedulers call
+  /// sched::derive_sync to materialize a minimal set from the step
+  /// structure instead of adding edges by hand.
+  void add_sync(SyncEdge edge) { sync_.push_back(edge); }
+  void clear_sync() noexcept { sync_.clear(); }
+
   // ---- queries -----------------------------------------------------------
 
   [[nodiscard]] std::uint32_t num_banks() const noexcept { return num_banks_; }
@@ -83,6 +117,17 @@ class ParallelProgram {
   /// cell outside their own bank's range (the bus traffic of the step).
   [[nodiscard]] std::uint32_t step_bus_ops(std::uint32_t s) const;
 
+  /// Explicit cross-bank sync tokens (empty on a purely lockstep
+  /// program; see SyncEdge and sched/decoupled.hpp).
+  [[nodiscard]] const std::vector<SyncEdge>& sync_edges() const noexcept {
+    return sync_;
+  }
+  [[nodiscard]] bool has_sync() const noexcept { return !sync_.empty(); }
+
+  /// Instructions each bank executes — the stream lengths of the
+  /// per-bank decoupled projection.
+  [[nodiscard]] std::vector<std::uint32_t> bank_stream_lengths() const;
+
   [[nodiscard]] std::uint32_t num_instructions() const noexcept;
   [[nodiscard]] std::uint32_t num_transfer_instructions() const noexcept;
 
@@ -108,8 +153,13 @@ class ParallelProgram {
   /// read only local cells, inputs and constants; no slot reads a cell
   /// another slot of the same step writes; no step issues more cross-bank
   /// copies than the declared bus width; outputs and operands are in
-  /// bounds. Returns an empty string when valid, otherwise a description
-  /// of the first violation.
+  /// bounds. When sync tokens are present, they must additionally connect
+  /// two distinct existing banks at in-range stream positions, be
+  /// deadlock-free (stream order + tokens form no cycle), and *cover*
+  /// every cross-bank hazard — each remote read must be ordered after the
+  /// producing write and before the cell's next overwrite (see
+  /// sched::check_sync). Returns an empty string when valid, otherwise a
+  /// description of the first violation.
   [[nodiscard]] std::string validate() const;
 
  private:
@@ -117,6 +167,7 @@ class ParallelProgram {
   std::uint32_t bus_width_ = 0;  ///< 0 = unbounded inter-bank bus
   std::vector<std::pair<std::uint32_t, std::uint32_t>> bank_ranges_;
   std::vector<std::vector<Slot>> steps_;
+  std::vector<SyncEdge> sync_;
   std::vector<std::string> input_names_;
   std::vector<std::pair<std::string, std::uint32_t>> outputs_;
 };
@@ -150,6 +201,25 @@ struct ScheduleStats {
   std::uint32_t bus_width = 0;   ///< bounded bus the schedule honours (0 = ∞)
   std::uint32_t bus_stalls = 0;  ///< bank-steps idled waiting for the bus
   bool placement_hints_used = false;  ///< banks came from the compiler
+  /// Execution model the headline cycle figures below were chosen for.
+  ExecutionModel execution = ExecutionModel::lockstep;
+  std::uint32_t sync_tokens = 0;  ///< signal/wait pairs materialized
+  /// Cycles under `execution` — the honest figure of merit. Equals
+  /// lockstep_cycles or decoupled_cycles depending on the model.
+  std::uint64_t makespan_cycles = 0;
+  std::uint64_t lockstep_cycles = 0;  ///< steps × phases_per_instruction
+  /// Event-driven makespan with independent bank controllers: per-bank
+  /// streams pipeline back-to-back ops at phases − 1 cycles (the
+  /// lockstep barrier forbids that prefetch), block on explicit sync
+  /// tokens, and share the bus through an in-order arbiter. Never
+  /// exceeds lockstep_cycles for schedules that honour their declared
+  /// bus width (the step barrier only ever over-synchronizes).
+  std::uint64_t decoupled_cycles = 0;
+  std::uint64_t decoupled_bus_stall_cycles = 0;  ///< arbiter wait cycles
+  double decoupled_speedup = 0.0;  ///< lockstep_cycles / decoupled_cycles
+  /// Per-bank idle cycles under `execution`: lockstep charges every bank
+  /// each step, decoupled charges waits + tail idle until the makespan.
+  std::vector<std::uint64_t> bank_idle_cycles;
   std::uint32_t refine_passes = 0;      ///< KL refinement passes run
   std::uint32_t refine_moves_kept = 0;  ///< moves/swaps that survived
   std::uint32_t refine_steps_saved = 0;  ///< steps removed by refinement

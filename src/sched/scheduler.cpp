@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <queue>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "arch/machine.hpp"
 #include "sched/clustering.hpp"
+#include "sched/decoupled.hpp"
 #include "sched/refine.hpp"
 
 namespace plim::sched {
@@ -17,6 +21,14 @@ namespace plim::sched {
 namespace {
 
 constexpr std::uint32_t npos = DependenceGraph::npos;
+
+/// Greedy seed of the cluster→bank assignment (see assign_clusters):
+/// producer order prices transfers best, LPT balances the throughput
+/// bound, and the two chain-aware seeds pre-seat the longest renamed
+/// chains' clusters — mega-segments (longest RM3 write chain) or chain
+/// carriers (tallest RAW height) — one per bank before the bulk flows
+/// in, so a serial chain never lands on whatever loaded bank is left.
+enum class SeedOrder { producer, lpt, chain_segment, chain_height };
 
 /// Instruction over *virtual* cells: segments, transfer copies and
 /// duplicated chains are renamed to unique ids (SSA-like), so cell-reuse
@@ -48,13 +60,15 @@ struct Expansion {
 
 /// Post-hoc cluster→bank assignment: greedy over clusters, each taking
 /// the bank minimizing the cost model's transfer + post-transfer load
-/// cost. Two visit orders exist — ascending root id (producers mostly
-/// first, best transfer estimates) and LPT (biggest clusters first,
-/// best load balance); when refinement is on, schedule() trial-runs both
-/// and keeps the better start.
+/// cost. Four seeds exist — producer order (ascending root id: best
+/// transfer estimates), LPT (biggest clusters first: best load
+/// balance), and two chain-aware seeds that pre-seat the longest
+/// renamed chains' clusters one per bank (the chain bound, not the size
+/// bound, is what a misplaced chain stretches); when refinement is on,
+/// schedule() trial-runs all four and refines from the two best starts.
 std::vector<std::uint32_t> assign_clusters(
     const DependenceGraph& graph, const std::vector<std::uint32_t>& cluster_of,
-    const ScheduleOptions& opts, bool lpt_order) {
+    const ScheduleOptions& opts, SeedOrder seed_order) {
   const auto banks = opts.banks;
   const auto n = graph.num_instructions();
   const auto num_segments = graph.num_segments();
@@ -105,7 +119,7 @@ std::vector<std::uint32_t> assign_clusters(
       order.push_back(c);
     }
   }
-  if (lpt_order) {
+  if (seed_order == SeedOrder::lpt) {
     std::sort(order.begin(), order.end(),
               [&](std::uint32_t x, std::uint32_t y) {
                 if (cluster_size[x] != cluster_size[y]) {
@@ -117,7 +131,49 @@ std::vector<std::uint32_t> assign_clusters(
 
   std::vector<std::uint32_t> cluster_bank(num_segments, npos);
   std::vector<std::uint64_t> load(banks, 0);
+  if (seed_order == SeedOrder::chain_segment ||
+      seed_order == SeedOrder::chain_height) {
+    // Pre-seat the longest renamed chains' clusters, one per bank: a
+    // chain is serial wherever it sits, so two of them sharing a bank
+    // stack their lengths no matter how balanced the bulk ends up, and
+    // a chain placed late lands on whatever loaded bank is left. Two
+    // notions of "chain" matter on different circuits: the longest
+    // member *segment* (one RM3 read-modify-write chain — sin's
+    // mega-segments) and the tallest RAW *height* (cross-segment renamed
+    // chains — square's carriers). The remaining clusters then flow in
+    // producer order around the anchors.
+    std::vector<std::uint32_t> crit(num_segments, 0);
+    if (seed_order == SeedOrder::chain_segment) {
+      for (std::uint32_t s = 0; s < num_segments; ++s) {
+        crit[cluster_of[s]] = std::max(crit[cluster_of[s]], seg_size[s]);
+      }
+    } else {
+      const auto& heights = graph.heights();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto c = cluster_of[graph.segment_of(i)];
+        crit[c] = std::max(crit[c], heights[i]);
+      }
+    }
+    auto anchors = order;
+    std::sort(anchors.begin(), anchors.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                if (crit[x] != crit[y]) {
+                  return crit[x] > crit[y];
+                }
+                if (cluster_size[x] != cluster_size[y]) {
+                  return cluster_size[x] > cluster_size[y];
+                }
+                return x < y;
+              });
+    for (std::uint32_t k = 0; k < banks && k < anchors.size(); ++k) {
+      cluster_bank[anchors[k]] = k;
+      load[k] += cluster_size[anchors[k]];
+    }
+  }
   for (const auto c : order) {
+    if (cluster_bank[c] != npos) {
+      continue;  // chain anchor, already seated
+    }
     const auto min_load = *std::min_element(load.begin(), load.end());
     std::uint32_t best = 0;
     double best_cost = 0.0;
@@ -592,6 +648,11 @@ ScheduleResult schedule(const arch::Program& serial,
   std::vector<std::uint32_t> seg_bank(num_segments, 0);
   std::vector<std::uint32_t> cluster_of;
   std::optional<RefineEval> start_eval;
+  // Runner-up start for the second refinement leg (see below): the
+  // greedy trial evaluation is a weak predictor of *refined* quality,
+  // so the best two distinct starts both get refined.
+  std::optional<std::vector<std::uint32_t>> second_start;
+  std::optional<RefineEval> second_eval;
   const auto identity_clusters = [&] {
     std::vector<std::uint32_t> id(num_segments);
     for (std::uint32_t s = 0; s < num_segments; ++s) {
@@ -637,27 +698,60 @@ ScheduleResult schedule(const arch::Program& serial,
     } else {
       cluster_of = opts.cluster ? cluster_segments(graph, banks)
                                 : identity_clusters();
-      seg_bank = assign_clusters(graph, cluster_of, opts, /*lpt_order=*/false);
+      seg_bank =
+          assign_clusters(graph, cluster_of, opts, SeedOrder::producer);
       if (opts.refine_passes > 0 && num_segments > 1) {
-        // Trial-schedule both greedy visit orders and refine from the
-        // better start — producer order protects transfer chains
-        // (adder), LPT protects the throughput bound (max).
-        auto root_eval = evaluate(seg_bank);
-        auto lpt = assign_clusters(graph, cluster_of, opts,
-                                   /*lpt_order=*/true);
-        if (lpt != seg_bank) {
-          auto lpt_eval = evaluate(lpt);
-          if (lexicographically_better(lpt_eval, root_eval)) {
-            seg_bank = std::move(lpt);
-            root_eval = std::move(lpt_eval);
+        // Trial-schedule all four greedy seeds and keep the two best
+        // distinct starts — producer order protects transfer chains
+        // (adder), LPT protects the throughput bound (max), and the two
+        // chain-aware seeds protect the longest renamed chains (sin's
+        // mega-segments, square's tall RAW carriers).
+        struct Start {
+          std::vector<std::uint32_t> sb;
+          RefineEval eval;
+        };
+        std::vector<Start> starts;
+        const bool seed_debug = std::getenv("PLIM_SEED_DEBUG") != nullptr;
+        for (const auto order :
+             {SeedOrder::producer, SeedOrder::lpt, SeedOrder::chain_segment,
+              SeedOrder::chain_height}) {
+          auto cand = order == SeedOrder::producer
+                          ? seg_bank
+                          : assign_clusters(graph, cluster_of, opts, order);
+          bool duplicate = false;
+          for (const auto& s : starts) {
+            duplicate = duplicate || s.sb == cand;
           }
+          if (duplicate) {
+            continue;
+          }
+          auto eval = evaluate(cand);
+          if (seed_debug) {
+            std::fprintf(stderr, "seed %d: steps %u xfer %u\n",
+                         static_cast<int>(order), eval.steps, eval.transfers);
+          }
+          starts.push_back({std::move(cand), std::move(eval)});
         }
-        start_eval = std::move(root_eval);
+        std::sort(starts.begin(), starts.end(),
+                  [&](const Start& x, const Start& y) {
+                    return lexicographically_better(x.eval, y.eval);
+                  });
+        seg_bank = starts[0].sb;
+        start_eval = std::move(starts[0].eval);
+        if (starts.size() > 1) {
+          second_start = std::move(starts[1].sb);
+          second_eval = std::move(starts[1].eval);
+        }
       }
     }
   }
 
   // ---- KL refinement ----------------------------------------------------
+  // Two legs: the best and the runner-up seed both get the full KL
+  // treatment, and the lexicographically better *refined* result wins —
+  // a start whose greedy evaluation trails by a few percent regularly
+  // refines past the favourite (square@8: the chain-height start opens
+  // 2.5% behind producer order and finishes 2% ahead).
   RefineStats rstats;
   if (banks > 1 && opts.refine_passes > 0 && num_segments > 1) {
     if (cluster_of.empty()) {
@@ -669,6 +763,24 @@ ScheduleResult schedule(const arch::Program& serial,
     rstats = refine(graph, seg_bank, cluster_of, banks, opts.cost,
                     opts.refine_passes, evaluate,
                     start_eval ? &*start_eval : nullptr);
+    if (second_start) {
+      auto second_bank = std::move(*second_start);
+      const auto rstats2 = refine(graph, second_bank, cluster_of, banks,
+                                  opts.cost, opts.refine_passes, evaluate,
+                                  &*second_eval);
+      const RefineEval first_final{rstats.steps_after,
+                                   rstats.transfers_after, {}, {}};
+      const RefineEval second_final{rstats2.steps_after,
+                                    rstats2.transfers_after, {}, {}};
+      const auto total_passes = rstats.passes_run + rstats2.passes_run;
+      const auto total_tried = rstats.moves_tried + rstats2.moves_tried;
+      if (lexicographically_better(second_final, first_final)) {
+        seg_bank = std::move(second_bank);
+        rstats = rstats2;
+      }
+      rstats.passes_run = total_passes;
+      rstats.moves_tried = total_tried;
+    }
   }
 
   // ---- expansion + list scheduling --------------------------------------
@@ -691,6 +803,14 @@ ScheduleResult schedule(const arch::Program& serial,
   // ---- physical allocation: disjoint per-bank ranges, FIFO recycling ----
   std::vector<std::uint32_t> first_step(num_vcells, npos);
   std::vector<std::uint32_t> last_step(num_vcells, 0);
+  // Virtual cells read from another bank (transfer sources). Recycling
+  // their physical cell creates a *cross-bank* WAR — the new write must
+  // sync against the remote reader — so they retire with a slack window:
+  // a tight one-step WAR chain through every recycled cell would drag
+  // the decoupled makespan right back up to the lockstep step count.
+  // Locally-read cells recycle immediately; the bank's own stream order
+  // covers their WAR for free.
+  std::vector<bool> remotely_read(num_vcells, false);
   for (std::uint32_t i = 0; i < vn; ++i) {
     const auto t = ls.step_of[i];
     const auto touch = [&](std::uint32_t cell) {
@@ -701,9 +821,13 @@ ScheduleResult schedule(const arch::Program& serial,
     for (const auto op : {virt[i].a, virt[i].b}) {
       if (op.is_rram()) {
         touch(op.address());
+        if (ex.vcell_bank[op.address()] != virt[i].bank) {
+          remotely_read[op.address()] = true;
+        }
       }
     }
   }
+  constexpr std::uint32_t kRecycleSlack = 32;  ///< steps before cross-bank reuse
 
   // Output cells live forever: pin the final segment of each output cell.
   std::vector<bool> pinned(num_vcells, false);
@@ -746,7 +870,8 @@ ScheduleResult schedule(const arch::Program& serial,
     }
     local_of[c] = local;
     if (!pinned[c]) {
-      free_cells[b].push({last_step[c] + 1, local});
+      const auto slack = remotely_read[c] ? kRecycleSlack : 0;
+      free_cells[b].push({last_step[c] + 1 + slack, local});
     }
   }
 
@@ -793,6 +918,10 @@ ScheduleResult schedule(const arch::Program& serial,
                   final_cell(last_segment_of_cell[serial.output_cell(o)]));
   }
 
+  // Sync tokens for decoupled execution: one coalesced signal/wait pair
+  // per surviving cross-bank transfer edge (see sched/decoupled.hpp).
+  derive_sync(pp);
+
   auto& stats = result.stats;
   stats.banks = banks;
   stats.serial_instructions = n;
@@ -829,6 +958,35 @@ ScheduleResult schedule(const arch::Program& serial,
                     : 1.0;
   stats.speedup =
       num_steps > 0 ? static_cast<double>(n) / num_steps : 1.0;
+
+  // Cycle-level figures for both execution models. The lockstep figure
+  // is the step clock (the schedule honours its own declared bus, so no
+  // machine-side stalls); the decoupled figure is the event-driven
+  // makespan under the same bus width — never above the lockstep bound,
+  // because every sync token and arbiter grant follows the step order.
+  constexpr auto phases = arch::Machine::phases_per_instruction;
+  stats.execution = opts.execution;
+  stats.sync_tokens = static_cast<std::uint32_t>(pp.sync_edges().size());
+  stats.lockstep_cycles = std::uint64_t{num_steps} * phases;
+  const auto timing = decoupled_timing(pp, opts.cost.bus_width, phases);
+  stats.decoupled_cycles = timing.makespan_cycles;
+  stats.decoupled_bus_stall_cycles = timing.bus_stall_cycles;
+  stats.decoupled_speedup =
+      timing.makespan_cycles > 0
+          ? static_cast<double>(stats.lockstep_cycles) /
+                static_cast<double>(timing.makespan_cycles)
+          : 1.0;
+  if (opts.execution == ExecutionModel::decoupled) {
+    stats.makespan_cycles = stats.decoupled_cycles;
+    stats.bank_idle_cycles = timing.bank_idle_cycles;
+  } else {
+    stats.makespan_cycles = stats.lockstep_cycles;
+    stats.bank_idle_cycles.assign(banks, 0);
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      stats.bank_idle_cycles[b] =
+          (std::uint64_t{num_steps} - stats.bank_load[b]) * phases;
+    }
+  }
   stats.schedule_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)

@@ -49,6 +49,14 @@ struct ScheduleOptions {
   /// bulk transfers in other banks do. false serves banks in index
   /// order (the pre-slack behaviour).
   bool lookahead = true;
+
+  /// Execution model the schedule's headline cycle figures (see
+  /// ScheduleStats::makespan_cycles / bank_idle_cycles) are reported
+  /// for. The emitted program carries both views either way: the
+  /// lockstep step structure plus the sync tokens decoupled execution
+  /// needs, so `plimc --execution` and Machine::run_decoupled work on
+  /// any schedule.
+  ExecutionModel execution = ExecutionModel::lockstep;
 };
 
 struct ScheduleResult {
@@ -85,7 +93,11 @@ struct ScheduleResult {
 ///     cost model, keeping only changes that reduce steps or transfers);
 ///  5. maps the renamed cells onto a disjoint contiguous cell range per
 ///     bank, recycling dead cells FIFO (the paper's endurance-minded
-///     policy) once their last scheduled use has passed.
+///     policy) once their last scheduled use has passed; the emitted
+///     program finally gets its minimal sync-token set (sched::
+///     derive_sync — coalesced signal/wait pairs at every cross-bank
+///     transfer edge) so it can also run decoupled, and the stats report
+///     cycle figures for both execution models.
 ///
 /// Throws std::invalid_argument when the program reads memory it never
 /// wrote (its behaviour would depend on pre-existing RRAM content, which

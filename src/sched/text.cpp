@@ -54,6 +54,12 @@ void write_text(const ParallelProgram& program, std::ostream& os) {
     }
     os << '\n';
   }
+  for (std::uint32_t i = 0; i < program.sync_edges().size(); ++i) {
+    const auto& e = program.sync_edges()[i];
+    os << "# sync t" << (i + 1) << ": b" << e.from_bank << '@'
+       << (e.from_pos + 1) << " -> b" << e.to_bank << '@' << (e.to_pos + 1)
+       << '\n';
+  }
   for (std::uint32_t i = 0; i < program.num_outputs(); ++i) {
     os << "# output " << program.output_name(i) << " @X"
        << (program.output_cell(i) + 1) << '\n';
@@ -149,6 +155,48 @@ ParallelProgram parse_parallel_impl(const std::string& text) {
       p.set_bank_range(bank, static_cast<std::uint32_t>(begin - 1),
                        static_cast<std::uint32_t>(end));
       highest_end = std::max(highest_end, static_cast<std::uint32_t>(end));
+      continue;
+    }
+    if (line.rfind("# sync ", 0) == 0) {
+      if (!saw_banks) {
+        throw std::runtime_error("sync token before '# parallel banks'");
+      }
+      // "t<id>: b<f>@<p> -> b<t>@<q>" (1-based stream positions).
+      const auto rest = trim(line.substr(7));
+      const auto colon = rest.find(':');
+      if (rest.empty() || rest[0] != 't' || colon == std::string::npos) {
+        throw std::runtime_error("malformed sync token: " + line);
+      }
+      const auto id = std::stoul(rest.substr(1, colon - 1));
+      if (id != p.sync_edges().size() + 1) {
+        throw std::runtime_error(
+            "unmatched sync token: expected t" +
+            std::to_string(p.sync_edges().size() + 1) + " in line: " + line);
+      }
+      const auto body = trim(rest.substr(colon + 1));
+      const auto arrow = body.find("->");
+      if (arrow == std::string::npos) {
+        throw std::runtime_error(
+            "unmatched sync token (missing signal -> wait pair): " + line);
+      }
+      const auto endpoint = [&](std::string s) {
+        s = trim(s);
+        const auto at = s.find('@');
+        if (s.size() < 4 || s[0] != 'b' || at == std::string::npos ||
+            at < 2 || at + 1 >= s.size()) {
+          throw std::runtime_error("malformed sync endpoint in line: " + line);
+        }
+        const auto bank = std::stoul(s.substr(1, at - 1));
+        const auto pos = std::stoul(s.substr(at + 1));
+        if (pos == 0) {
+          throw std::runtime_error("sync positions are 1-based: " + line);
+        }
+        return std::make_pair(static_cast<std::uint32_t>(bank),
+                              static_cast<std::uint32_t>(pos - 1));
+      };
+      const auto [fb, fp] = endpoint(body.substr(0, arrow));
+      const auto [tb, tp] = endpoint(body.substr(arrow + 2));
+      p.add_sync({fb, fp, tb, tp});
       continue;
     }
     if (line.rfind("# output ", 0) == 0) {

@@ -1,16 +1,25 @@
 #include "sched/verify.hpp"
 
+#include <optional>
 #include <vector>
 
 #include "arch/machine.hpp"
+#include "sched/decoupled.hpp"
 #include "util/rng.hpp"
 
 namespace plim::sched {
 
 bool equivalent_to_serial(const arch::Program& serial,
                           const ParallelProgram& parallel, unsigned rounds,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, ExecutionModel model) {
   util::Rng rng(seed);
+  // The decoupled static timing is input-independent; analyse (and
+  // thereby sync-check) the program once instead of every round.
+  std::optional<DecoupledTiming> timing;
+  if (model == ExecutionModel::decoupled) {
+    timing = decoupled_timing(parallel, parallel.bus_width(),
+                              arch::Machine::phases_per_instruction);
+  }
   for (unsigned round = 0; round < rounds; ++round) {
     std::vector<std::uint64_t> in(serial.num_inputs());
     for (auto& w : in) {
@@ -26,8 +35,12 @@ bool equivalent_to_serial(const arch::Program& serial,
     }
     arch::Machine serial_machine;
     arch::Machine parallel_machine;
-    if (serial_machine.run_words(serial, in, init_serial) !=
-        parallel_machine.run_parallel_words(parallel, in, init_parallel)) {
+    const auto parallel_out =
+        model == ExecutionModel::decoupled
+            ? parallel_machine.run_decoupled_words(parallel, in, init_parallel,
+                                                   &*timing)
+            : parallel_machine.run_parallel_words(parallel, in, init_parallel);
+    if (serial_machine.run_words(serial, in, init_serial) != parallel_out) {
       return false;
     }
   }

@@ -11,10 +11,13 @@ namespace plim::sched {
 /// derived from: `rounds` × 64 random input vectors, each run with
 /// independently randomized initial RRAM content on both machines (a
 /// correct schedule, like a correct serial program, initializes every
-/// cell before reading it). Returns true when all outputs agree.
-[[nodiscard]] bool equivalent_to_serial(const arch::Program& serial,
-                                        const ParallelProgram& parallel,
-                                        unsigned rounds = 8,
-                                        std::uint64_t seed = 1);
+/// cell before reading it). The parallel side executes under `model` —
+/// lockstep via Machine::run_parallel, or decoupled via
+/// Machine::run_decoupled (requires the program's sync tokens, see
+/// sched/decoupled.hpp). Returns true when all outputs agree.
+[[nodiscard]] bool equivalent_to_serial(
+    const arch::Program& serial, const ParallelProgram& parallel,
+    unsigned rounds = 8, std::uint64_t seed = 1,
+    ExecutionModel model = ExecutionModel::lockstep);
 
 }  // namespace plim::sched

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "circuits/epfl.hpp"
 #include "core/verify.hpp"
 #include "mig/cleanup.hpp"
@@ -68,6 +74,120 @@ TEST(Pipeline, AllConfigsVerifyOnBenchmarks) {
           << name;
     }
   }
+}
+
+TEST(Pipeline, ForwardsExecutionModelToScheduler) {
+  const auto m = circuits::build_benchmark("int2float");
+  sched::ScheduleOptions sopts;
+  sopts.execution = sched::ExecutionModel::decoupled;
+  const auto r = run_pipeline(m, PipelineConfig::rewriting_and_compilation,
+                              {}, {}, 4, sopts);
+  ASSERT_TRUE(r.schedule.has_value());
+  const auto& s = r.schedule->stats;
+  EXPECT_EQ(s.execution, sched::ExecutionModel::decoupled);
+  EXPECT_EQ(s.makespan_cycles, s.decoupled_cycles);
+  EXPECT_LE(s.decoupled_cycles, s.lockstep_cycles);
+  EXPECT_GT(s.sync_tokens, 0u);
+  ASSERT_EQ(s.bank_idle_cycles.size(), 4u);
+}
+
+// ---- plimc CLI flag combinations --------------------------------------------
+
+/// Runs the plimc binary (built next to the test, cwd = build dir) and
+/// captures stdout. Returns the exit status via `status`.
+std::string run_plimc(const std::string& flags, int& status) {
+  const std::string cmd = "./plimc " + flags + " 2>/dev/null";
+  std::array<char, 4096> buf{};
+  std::string out;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    status = -1;
+    return out;
+  }
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    out += buf.data();
+  }
+  status = pclose(pipe);
+  return out;
+}
+
+bool plimc_available() {
+  std::ifstream bin("./plimc");
+  return bin.good();
+}
+
+TEST(PlimcCli, JsonToStdoutSuppressesListing) {
+  if (!plimc_available()) {
+    GTEST_SKIP() << "plimc binary not in the working directory";
+  }
+  int status = 0;
+  // "--json -" without -o: stats own stdout, the listing is suppressed.
+  const auto out = run_plimc("--benchmark ctrl --banks 2 --json -", status);
+  EXPECT_EQ(status, 0);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.find("# parallel banks"), std::string::npos);
+  EXPECT_NE(out.find("\"makespan_cycles\""), std::string::npos);
+  EXPECT_NE(out.find("\"bank_idle_cycles\""), std::string::npos);
+}
+
+TEST(PlimcCli, JsonToStdoutWithOutputFileKeepsBoth) {
+  if (!plimc_available()) {
+    GTEST_SKIP() << "plimc binary not in the working directory";
+  }
+  int status = 0;
+  const auto out = run_plimc(
+      "--benchmark ctrl --banks 2 --json - -o plimc_cli_test.plim", status);
+  EXPECT_EQ(status, 0);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '{');
+  std::ifstream listing("plimc_cli_test.plim");
+  ASSERT_TRUE(listing.good());
+  std::stringstream ss;
+  ss << listing.rdbuf();
+  EXPECT_NE(ss.str().find("# parallel banks 2"), std::string::npos);
+  std::remove("plimc_cli_test.plim");
+}
+
+TEST(PlimcCli, JsonFileKeepsListingOnStdout) {
+  if (!plimc_available()) {
+    GTEST_SKIP() << "plimc binary not in the working directory";
+  }
+  int status = 0;
+  const auto out =
+      run_plimc("--benchmark ctrl --banks 2 --json plimc_cli_test.json",
+                status);
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("# parallel banks 2"), std::string::npos);
+  std::ifstream json("plimc_cli_test.json");
+  ASSERT_TRUE(json.good());
+  std::stringstream ss;
+  ss << json.rdbuf();
+  EXPECT_EQ(ss.str().find("# parallel"), std::string::npos);
+  EXPECT_NE(ss.str().find("\"schedule\""), std::string::npos);
+  std::remove("plimc_cli_test.json");
+}
+
+TEST(PlimcCli, DecoupledExecutionFlag) {
+  if (!plimc_available()) {
+    GTEST_SKIP() << "plimc binary not in the working directory";
+  }
+  int status = 0;
+  const auto out = run_plimc(
+      "--benchmark ctrl --banks 2 --execution decoupled --json -", status);
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("\"execution\":\"decoupled\""), std::string::npos);
+  // The sync tokens ride the listing when it is requested.
+  const auto listing = run_plimc(
+      "--benchmark int2float --banks 4 --execution decoupled", status);
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(listing.find("# sync t1:"), std::string::npos);
+  // Unknown model names are usage errors.
+  (void)run_plimc("--benchmark ctrl --banks 2 --execution warp", status);
+  EXPECT_NE(status, 0);
+  // Decoupled execution without a schedule would be silently meaningless.
+  (void)run_plimc("--benchmark ctrl --execution decoupled", status);
+  EXPECT_NE(status, 0);
 }
 
 TEST(Pipeline, CustomRewriteEffortIsHonored) {

@@ -385,6 +385,55 @@ TEST(ParallelText, RoundTripsBusWidth) {
   expect_equivalent(compiled.program, parsed, 2026);
 }
 
+TEST(ParallelText, RejectsOverlappingBankRanges) {
+  EXPECT_THROW((void)parse_parallel_program(
+                   "# parallel banks 2\n"
+                   "# bank 0 @X1..@X4\n"
+                   "# bank 1 @X3..@X6\n"
+                   "01: b0: 0, 1, @X1\n"),
+               std::runtime_error);
+  try {
+    (void)parse_parallel_program(
+        "# parallel banks 2\n"
+        "# bank 0 @X1..@X4\n"
+        "# bank 1 @X3..@X6\n"
+        "01: b0: 0, 1, @X1\n");
+    FAIL() << "overlapping bank ranges must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("overlaps"), std::string::npos);
+  }
+}
+
+TEST(ParallelText, RejectsSlotOfUndeclaredBank) {
+  // Two banks declared, slot claims bank 7: a validation error, not UB.
+  try {
+    (void)parse_parallel_program(
+        "# parallel banks 2\n"
+        "# bank 0 @X1..@X1\n"
+        "# bank 1 @X2..@X2\n"
+        "01: b7: 0, 1, @X1\n");
+    FAIL() << "undeclared bank must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no such bank"), std::string::npos);
+  }
+}
+
+TEST(ParallelText, RejectsBusWidthViolation) {
+  // Two cross-bank copies in one step over a declared width-1 bus.
+  try {
+    (void)parse_parallel_program(
+        "# parallel banks 2\n"
+        "# bus 1\n"
+        "# bank 0 @X1..@X2\n"
+        "# bank 1 @X3..@X4\n"
+        "01: b0: 0, 1, @X1 | b1: 0, 1, @X3\n"
+        "02: b0*: @X3, 0, @X2 | b1*: @X1, 0, @X4\n");
+    FAIL() << "bus-width violation must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bus width"), std::string::npos);
+  }
+}
+
 TEST(ParallelText, ParseRejectsMalformed) {
   EXPECT_THROW((void)parse_parallel_program("01: b0: 0, 1, @X1"),
                std::runtime_error);  // no banks header

@@ -2,10 +2,13 @@
 """Compare a fresh sched_speedup trajectory against the committed one.
 
 Fails (exit 1) when any benchmark configuration regresses by more than
-the tolerance in `steps` or `transfers`. Configurations are matched by
-(benchmark, mode, banks, bus_width); entries present on only one side
-are reported but do not fail the diff (benchmarks and sweep shapes may
-legitimately grow), and timing fields like schedule_ms are ignored.
+the tolerance in `steps`, `transfers`, or `makespan_cycles` (the
+cycle-level figure of merit of the decoupled execution model).
+Configurations are matched by (benchmark, mode, banks, bus_width);
+entries present on only one side are reported but do not fail the diff
+(benchmarks and sweep shapes may legitimately grow), a metric missing
+on either side is noted and skipped (the JSON schema may grow), and
+timing fields like schedule_ms are ignored.
 
 Usage: diff_bench.py committed.json fresh.json [--tolerance 0.05]
 """
@@ -49,16 +52,22 @@ def main():
 
     regressions = []
     compared = 0
+    missing_metrics = set()
     for key, old in sorted(committed.items()):
         new = fresh.get(key)
         if new is None:
             print(f"note: {key} only in committed trajectory")
             continue
         compared += 1
-        for metric in ("steps", "transfers"):
+        for metric in ("steps", "transfers", "makespan_cycles"):
+            if metric not in old or metric not in new:
+                missing_metrics.add(metric)
+                continue
             before, after = old[metric], new[metric]
             if after > before * (1.0 + args.tolerance):
                 regressions.append((key, metric, before, after))
+    for metric in sorted(missing_metrics):
+        print(f"note: metric {metric} missing on one side, skipped")
     for key in sorted(set(fresh) - set(committed)):
         print(f"note: {key} only in fresh trajectory")
 
