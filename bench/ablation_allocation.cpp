@@ -4,16 +4,17 @@
 /// write counts after executing the program on 64×8 random vectors on the
 /// machine model). FIFO should match LIFO in #R but spread wear across
 /// cells (lower max writes / lower stddev), which is the endurance
-/// argument of the paper.
+/// argument of the paper. Each policy run goes through the plim::Driver
+/// facade, whose built-in verification replaces the hand-rolled check.
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "arch/machine.hpp"
 #include "circuits/epfl.hpp"
-#include "core/compiler.hpp"
-#include "core/verify.hpp"
+#include "driver/driver.hpp"
 #include "mig/rewriting.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -27,27 +28,33 @@ int main() {
                                   "writes stddev"});
 
   for (const auto& name : names) {
-    const auto mig =
-        plim::mig::rewrite_for_plim(plim::circuits::build_benchmark(name));
+    // Rewriting runs once per benchmark; the three policy runs compile
+    // the same optimized network.
+    const auto request = plim::CompileRequest::from_mig(
+        plim::mig::rewrite_for_plim(plim::circuits::build_benchmark(name)),
+        name);
     for (const auto policy :
-         {plim::core::AllocationPolicy::fifo, plim::core::AllocationPolicy::lifo,
+         {plim::core::AllocationPolicy::fifo,
+          plim::core::AllocationPolicy::lifo,
           plim::core::AllocationPolicy::fresh}) {
-      plim::core::CompileOptions opts;
-      opts.allocation = policy;
-      const auto r = plim::core::compile(mig, opts);
-      const auto v = plim::core::verify_program(mig, r.program, 2, 5);
-      if (!v.ok) {
-        std::cerr << name << ": " << v.message << '\n';
+      plim::Options options;
+      options.rewrite.effort = 0;
+      options.compile.allocation = policy;
+      options.verify.rounds = 2;
+      options.verify.seed = 5;
+      const auto outcome = plim::Driver(options).run(request);
+      if (!outcome.ok()) {
+        std::cerr << name << ": " << outcome.error_summary() << '\n';
         return 1;
       }
       plim::arch::Machine machine;
       plim::util::Rng rng(11);
-      std::vector<std::uint64_t> in(mig.num_pis());
+      std::vector<std::uint64_t> in(outcome.program.num_inputs());
       for (int round = 0; round < 8; ++round) {
         for (auto& w : in) {
           w = rng.next();
         }
-        (void)machine.run_words(r.program, in);
+        (void)machine.run_words(outcome.program, in);
       }
       const auto e = machine.endurance();
       const char* policy_name =
@@ -59,9 +66,9 @@ int main() {
       std::snprintf(mean, sizeof mean, "%.1f", e.mean);
       std::snprintf(stddev, sizeof stddev, "%.1f", e.stddev);
       table.add_row({name, policy_name,
-                     std::to_string(r.stats.num_instructions),
-                     std::to_string(r.stats.num_rrams),
-                     std::to_string(r.stats.peak_live_rrams),
+                     std::to_string(outcome.stats.compile.num_instructions),
+                     std::to_string(outcome.stats.compile.num_rrams),
+                     std::to_string(outcome.stats.compile.peak_live_rrams),
                      std::to_string(e.max), mean, stddev});
     }
     table.add_separator();

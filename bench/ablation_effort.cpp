@@ -1,15 +1,14 @@
 /// Ablation B: rewriting effort sweep. Algorithm 1 is iterated `effort`
 /// times (the paper fixes effort = 4); this harness shows how #N, the
 /// multi-complement gate count, #I and #R evolve with effort 0..8 and
-/// where the fixpoint is reached.
+/// where the fixpoint is reached. Each effort level is one plim::Driver
+/// run; the multi-complement column reads the driver's rewrite stats.
 
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "circuits/epfl.hpp"
-#include "core/compiler.hpp"
-#include "mig/rewriting.hpp"
+#include "driver/driver.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -19,17 +18,23 @@ int main() {
       {"benchmark", "effort", "#N", "multi-compl", "#I", "#R"});
 
   for (const auto& name : names) {
-    const auto mig = plim::circuits::build_benchmark(name);
+    const auto request = plim::CompileRequest::from_benchmark(name);
     for (const unsigned effort : {0u, 1u, 2u, 4u, 8u}) {
-      plim::mig::RewriteOptions ropts;
-      ropts.effort = effort;
-      const auto rewritten = plim::mig::rewrite_for_plim(mig, ropts);
-      const auto r = plim::core::compile(rewritten);
+      plim::Options options;
+      options.rewrite.effort = effort;
+      options.compile.smart_candidates = true;
+      options.verify.enabled = false;  // a pure counting sweep
+      const auto outcome = plim::Driver(options).run(request);
+      if (!outcome.ok()) {
+        std::cerr << name << ": " << outcome.error_summary() << '\n';
+        return 1;
+      }
       table.add_row({name, std::to_string(effort),
-                     std::to_string(rewritten.num_gates()),
-                     std::to_string(plim::mig::count_multi_complement(rewritten)),
-                     std::to_string(r.stats.num_instructions),
-                     std::to_string(r.stats.num_rrams)});
+                     std::to_string(outcome.stats.gates),
+                     std::to_string(
+                         outcome.stats.rewrite.multi_complement_after),
+                     std::to_string(outcome.stats.compile.num_instructions),
+                     std::to_string(outcome.stats.compile.num_rrams)});
     }
     table.add_separator();
   }

@@ -4,14 +4,12 @@
 /// carry is a single ⟨abc⟩ node). This harness quantifies how much of the
 /// rewriting gain is recovered "for free" by majority-native
 /// construction, on the arithmetic benchmarks where the difference is
-/// largest.
+/// largest. Each build is compiled (and verified) through plim::Driver.
 
 #include <iostream>
 
 #include "circuits/components.hpp"
-#include "core/compiler.hpp"
-#include "core/verify.hpp"
-#include "mig/rewriting.hpp"
+#include "driver/driver.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -68,21 +66,24 @@ int main() {
       {"voter101", build_voter, 101},
   };
 
+  plim::Options options;
+  options.verify.rounds = 2;
+  const plim::Driver driver(options);
+
   for (const auto& e : entries) {
     for (const bool native : {false, true}) {
       const auto m = e.build(e.arg, native);
-      const auto rewritten = plim::mig::rewrite_for_plim(m);
-      const auto r = plim::core::compile(rewritten);
-      const auto v = plim::core::verify_program(rewritten, r.program, 2, 1);
-      if (!v.ok) {
-        std::cerr << e.name << ": " << v.message << '\n';
+      const auto outcome = driver.run(plim::CompileRequest::from_mig(
+          m, std::string(e.name) + (native ? "-native" : "-aig")));
+      if (!outcome.ok()) {
+        std::cerr << e.name << ": " << outcome.error_summary() << '\n';
         return 1;
       }
       table.add_row({e.name, native ? "majority-native" : "AIG transposed",
-                     std::to_string(m.num_gates()),
-                     std::to_string(rewritten.num_gates()),
-                     std::to_string(r.stats.num_instructions),
-                     std::to_string(r.stats.num_rrams)});
+                     std::to_string(outcome.stats.initial_gates),
+                     std::to_string(outcome.stats.gates),
+                     std::to_string(outcome.stats.compile.num_instructions),
+                     std::to_string(outcome.stats.compile.num_rrams)});
     }
     table.add_separator();
   }

@@ -1,19 +1,19 @@
 /// Fig. 1-style demonstration: AOIG→MIG transposition vs optimized MIG.
 /// The paper's Fig. 1 shows that a function's AOIG-derived MIG (every
 /// node carrying a constant fanin) shrinks in size and depth once the
-/// majority algebra is exploited. This harness runs the rewriting engine
-/// over a set of small expressions and reports size / depth /
-/// multi-complement counts before and after, plus the PLiM program costs.
+/// majority algebra is exploited. This harness runs a set of small
+/// expressions through the plim::Driver facade with rewriting off and on
+/// and reports size / depth / multi-complement counts before and after,
+/// plus the PLiM program costs. Driver verification checks every program
+/// against the *original* expression network, so a function-changing
+/// rewrite fails the harness.
 
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "core/compiler.hpp"
-#include "core/verify.hpp"
+#include "driver/driver.hpp"
 #include "expr/parser.hpp"
-#include "mig/rewriting.hpp"
-#include "mig/simulation.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -32,37 +32,35 @@ int main() {
                                   "#I before", "#I after", "#R before",
                                   "#R after"});
 
-  for (const auto& [name, text] : examples) {
-    const auto mig = plim::expr::build_from_expression(text);
-    plim::mig::RewriteStats stats;
-    const auto rewritten = plim::mig::rewrite_for_plim(mig, {}, &stats);
+  plim::Options raw;
+  raw.rewrite.effort = 0;
+  raw.verify.rounds = 2;
+  plim::Options rewritten;
+  rewritten.verify.rounds = 2;
+  const plim::Driver raw_driver(raw);
+  const plim::Driver rewriting_driver(rewritten);
 
-    plim::util::Rng rng(3);
-    if (!plim::mig::random_equivalence_check(mig, rewritten, 16, rng)) {
-      std::cerr << name << ": rewriting changed the function!\n";
+  for (const auto& [name, text] : examples) {
+    const auto request = plim::CompileRequest::from_mig(
+        plim::expr::build_from_expression(text), name);
+    const auto before = raw_driver.run(request);
+    const auto after = rewriting_driver.run(request);
+    if (!before.ok() || !after.ok()) {
+      std::cerr << name << ": " << before.error_summary()
+                << after.error_summary() << '\n';
       return 1;
     }
-    const auto before = plim::core::compile(mig);
-    const auto after = plim::core::compile(rewritten);
-    for (const auto* r : {&before, &after}) {
-      const auto v = plim::core::verify_program(
-          r == &before ? mig : rewritten, r->program);
-      if (!v.ok) {
-        std::cerr << name << ": " << v.message << '\n';
-        return 1;
-      }
-    }
-
+    const auto& stats = after.stats.rewrite;
     table.add_row({name, std::to_string(stats.gates_before),
                    std::to_string(stats.gates_after),
                    std::to_string(stats.depth_before),
                    std::to_string(stats.depth_after),
                    std::to_string(stats.multi_complement_before),
                    std::to_string(stats.multi_complement_after),
-                   std::to_string(before.stats.num_instructions),
-                   std::to_string(after.stats.num_instructions),
-                   std::to_string(before.stats.num_rrams),
-                   std::to_string(after.stats.num_rrams)});
+                   std::to_string(before.stats.compile.num_instructions),
+                   std::to_string(after.stats.compile.num_instructions),
+                   std::to_string(before.stats.compile.num_rrams),
+                   std::to_string(after.stats.compile.num_rrams)});
   }
 
   std::cout << "Fig. 1-style demonstration: AOIG-derived MIGs before/after "

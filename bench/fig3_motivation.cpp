@@ -2,51 +2,63 @@
 /// PLiM programs (in the paper's listing syntax) before and after MIG
 /// rewriting (Fig. 3a) and under textbook-naïve vs smart translation
 /// (Fig. 3b), together with the instruction/RRAM counts the paper quotes
-/// (6→4 / 2→1 and 19→15 / 7→4).
+/// (6→4 / 2→1 and 19→15 / 7→4). Every variant is one plim::Driver run;
+/// the driver's built-in verification replaces the hand-rolled check.
 
 #include <iostream>
+#include <string>
 
 #include "arch/text.hpp"
 #include "circuits/motivation.hpp"
-#include "core/compiler.hpp"
-#include "core/verify.hpp"
-#include "mig/rewriting.hpp"
+#include "driver/driver.hpp"
 
 namespace {
 
-void show(const std::string& title, const plim::mig::Mig& mig,
-          const plim::core::CompileResult& result) {
-  const auto v = plim::core::verify_program(mig, result.program);
+void show(const std::string& title, const plim::CompileOutcome& outcome) {
   std::cout << "--- " << title << " ---\n"
-            << plim::arch::to_text(result.program) << "instructions: "
-            << result.stats.num_instructions
-            << ", RRAMs: " << result.stats.num_rrams
-            << ", machine-verified: " << (v.ok ? "yes" : ("NO: " + v.message))
+            << plim::arch::to_text(outcome.program) << "instructions: "
+            << outcome.stats.compile.num_instructions
+            << ", RRAMs: " << outcome.stats.compile.num_rrams
+            << ", machine-verified: "
+            << (outcome.ok() ? "yes" : ("NO: " + outcome.error_summary()))
             << "\n\n";
 }
 
 }  // namespace
 
 int main() {
+  // Raw translation (no rewriting, smart slots), rewriting + smart
+  // slots, and the §3 textbook baseline — three option presets.
+  plim::Options raw;
+  raw.rewrite.effort = 0;
+  plim::Options rewriting;  // defaults: effort 4, smart candidates
+
   std::cout << "==== Fig. 3(a): effect of MIG rewriting ====\n\n";
   const auto a = plim::circuits::make_fig3a();
-  show("before rewriting (N1 = <i1 !i2 !i3>, N2 = <i2 !i4 !N1>)", a,
-       plim::core::compile(a));
-  plim::mig::RewriteStats rstats;
-  const auto a_rw = plim::mig::rewrite_for_plim(a, {}, &rstats);
-  std::cout << "rewriting: multi-complement gates " << rstats.multi_complement_before
-            << " -> " << rstats.multi_complement_after << "\n\n";
+  const auto a_request = plim::CompileRequest::from_mig(a, "fig3a");
+  const auto a_raw = plim::Driver(raw).run(a_request);
+  show("before rewriting (N1 = <i1 !i2 !i3>, N2 = <i2 !i4 !N1>)", a_raw);
+  const auto a_rw = plim::Driver(rewriting).run(a_request);
+  std::cout << "rewriting: multi-complement gates "
+            << a_rw.stats.rewrite.multi_complement_before << " -> "
+            << a_rw.stats.rewrite.multi_complement_after << "\n\n";
   show("after rewriting (N1' = <!i1 i2 i3>, complement pushed to fanout)",
-       a_rw, plim::core::compile(a_rw));
+       a_rw);
   std::cout << "paper reports: 6 -> 4 instructions, 2 -> 1 RRAMs\n\n";
+  if (!a_raw.ok() || !a_rw.ok()) {
+    return 1;
+  }
 
   std::cout << "==== Fig. 3(b): effect of node order and operand selection "
                "====\n\n";
   const auto b = plim::circuits::make_fig3b();
-  show("textbook-naive translation (index order, slots left to right)", b,
-       plim::core::translate_naive_textbook(b));
-  show("smart compilation (priority candidates, case analysis)", b,
-       plim::core::compile(b));
+  const auto b_request = plim::CompileRequest::from_mig(b, "fig3b");
+  const auto b_textbook =
+      plim::Driver(plim::Options::textbook_naive()).run(b_request);
+  show("textbook-naive translation (index order, slots left to right)",
+       b_textbook);
+  const auto b_smart = plim::Driver(raw).run(b_request);
+  show("smart compilation (priority candidates, case analysis)", b_smart);
   std::cout << "paper reports: 19 -> 15 instructions, 7 -> 4 RRAMs\n";
-  return 0;
+  return b_textbook.ok() && b_smart.ok() ? 0 : 1;
 }

@@ -1,17 +1,27 @@
 /// Google-benchmark microbenchmarks of the core operations: network
-/// construction with structural hashing, rewriting passes, compilation,
-/// bit-parallel simulation, and machine execution throughput.
+/// construction with structural hashing, rewriting passes, compilation
+/// (through the plim::Driver facade), bit-parallel simulation, and
+/// machine execution throughput.
 
 #include <benchmark/benchmark.h>
 
 #include "arch/machine.hpp"
 #include "circuits/epfl.hpp"
-#include "core/compiler.hpp"
+#include "driver/driver.hpp"
 #include "mig/rewriting.hpp"
 #include "mig/simulation.hpp"
 #include "util/rng.hpp"
 
 namespace {
+
+/// Compile-only driver: rewriting off (inputs are pre-rewritten so the
+/// benchmark isolates Algorithm 2), verification off.
+plim::Driver compile_driver() {
+  plim::Options options;
+  options.rewrite.effort = 0;
+  options.verify.enabled = false;
+  return plim::Driver(options);
+}
 
 void BM_CreateMajStrash(benchmark::State& state) {
   for (auto _ : state) {
@@ -54,9 +64,11 @@ BENCHMARK(BM_RewriteAdder);
 
 void BM_CompileAdder(benchmark::State& state) {
   const auto m = plim::mig::rewrite_for_plim(plim::circuits::make_adder(64));
+  const auto driver = compile_driver();
+  const auto request = plim::CompileRequest::from_mig(m, "adder64");
   for (auto _ : state) {
-    const auto r = plim::core::compile(m);
-    benchmark::DoNotOptimize(r.stats.num_instructions);
+    const auto r = driver.run(request);
+    benchmark::DoNotOptimize(r.stats.compile.num_instructions);
   }
   state.SetItemsProcessed(state.iterations() * m.num_gates());
 }
@@ -79,7 +91,8 @@ BENCHMARK(BM_SimulateWords);
 
 void BM_MachineRun(benchmark::State& state) {
   const auto m = plim::mig::rewrite_for_plim(plim::circuits::make_adder(64));
-  const auto r = plim::core::compile(m);
+  const auto r =
+      compile_driver().run(plim::CompileRequest::from_mig(m, "adder64"));
   plim::arch::Machine machine;
   std::vector<std::uint64_t> in(m.num_pis());
   plim::util::Rng rng(3);

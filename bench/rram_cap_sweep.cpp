@@ -2,34 +2,57 @@
 /// capacity. For each benchmark this finds, by binary search, the
 /// smallest capacity under which compilation succeeds, for index-order vs
 /// smart candidate selection. Smart selection releases cells earlier and
-/// therefore fits into smaller arrays.
+/// therefore fits into smaller arrays. Feasibility probes run through the
+/// plim::Driver facade and branch on its structured "rram-cap-exceeded"
+/// diagnostic instead of catching exceptions.
 
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "circuits/epfl.hpp"
-#include "core/compiler.hpp"
+#include "driver/driver.hpp"
 #include "mig/rewriting.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-std::uint32_t min_feasible_cap(const plim::mig::Mig& mig, bool smart) {
-  plim::core::CompileOptions probe;
-  probe.smart_candidates = smart;
-  const auto unconstrained = plim::core::compile(mig, probe);
-  std::uint32_t hi = unconstrained.stats.num_rrams;
+/// Rewriting runs once per benchmark (outside the binary search); the
+/// probes themselves only re-compile, exactly like the pre-facade sweep.
+plim::Options probe_options(bool smart) {
+  plim::Options options;
+  options.rewrite.effort = 0;
+  options.compile.smart_candidates = smart;
+  options.verify.enabled = false;  // feasibility probes, not correctness
+  return options;
+}
+
+bool cap_exceeded(const plim::CompileOutcome& outcome) {
+  for (const auto& d : outcome.diagnostics) {
+    if (d.code == "rram-cap-exceeded") {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t min_feasible_cap(const plim::CompileRequest& request,
+                               bool smart) {
+  const auto unconstrained = plim::Driver(probe_options(smart)).run(request);
+  std::uint32_t hi = unconstrained.stats.compile.num_rrams;
   std::uint32_t lo = 1;
   while (lo < hi) {
     const std::uint32_t mid = lo + (hi - lo) / 2;
-    plim::core::CompileOptions opts = probe;
-    opts.rram_cap = mid;
-    try {
-      (void)plim::core::compile(mig, opts);
+    auto options = probe_options(smart);
+    options.compile.rram_cap = mid;
+    const auto probe = plim::Driver(options).run(request);
+    if (probe.ok()) {
       hi = mid;
-    } catch (const plim::core::RramCapExceeded&) {
+    } else if (cap_exceeded(probe)) {
       lo = mid + 1;
+    } else {
+      std::cerr << request.label() << ": " << probe.error_summary() << '\n';
+      std::exit(1);
     }
   }
   return lo;
@@ -45,16 +68,20 @@ int main() {
                                   "#R smart", "min cap smart"});
 
   for (const auto& name : names) {
-    const auto mig =
-        plim::mig::rewrite_for_plim(plim::circuits::build_benchmark(name));
-    plim::core::CompileOptions naive;
-    naive.smart_candidates = false;
-    const auto r_naive = plim::core::compile(mig, naive);
-    const auto r_smart = plim::core::compile(mig);
-    table.add_row({name, std::to_string(r_naive.stats.num_rrams),
-                   std::to_string(min_feasible_cap(mig, false)),
-                   std::to_string(r_smart.stats.num_rrams),
-                   std::to_string(min_feasible_cap(mig, true))});
+    const auto request = plim::CompileRequest::from_mig(
+        plim::mig::rewrite_for_plim(plim::circuits::build_benchmark(name)),
+        name);
+    const auto r_naive = plim::Driver(probe_options(false)).run(request);
+    const auto r_smart = plim::Driver(probe_options(true)).run(request);
+    if (!r_naive.ok() || !r_smart.ok()) {
+      std::cerr << name << ": " << r_naive.error_summary()
+                << r_smart.error_summary() << '\n';
+      return 1;
+    }
+    table.add_row({name, std::to_string(r_naive.stats.compile.num_rrams),
+                   std::to_string(min_feasible_cap(request, false)),
+                   std::to_string(r_smart.stats.compile.num_rrams),
+                   std::to_string(min_feasible_cap(request, true))});
   }
 
   std::cout << "Extension: minimum feasible RRAM capacity (binary search; "

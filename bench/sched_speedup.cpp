@@ -1,6 +1,7 @@
-/// Multi-bank scheduling sweep over the EPFL benchmarks: compiles every
-/// circuit with the full DAC'16 pipeline and schedules it onto 1/2/4/8
-/// PLiM banks under both placement modes —
+/// Multi-bank scheduling sweep over the EPFL benchmarks, driven entirely
+/// through the plim::Driver facade: compiles every circuit with the full
+/// DAC'16 pipeline and schedules it onto 1/2/4/8 PLiM banks under both
+/// placement modes —
 ///
 ///   post      the serial program is re-partitioned after the fact
 ///             (heavy-edge clustering + cost-model bank assignment), and
@@ -11,11 +12,11 @@
 /// plus a bounded-bus sweep (widths 1, 2, unbounded) at 4 banks for both
 /// modes. Every schedule is cross-checked against its serial program on
 /// random 64-lane patterns — under the lockstep machine *and* under
-/// decoupled execution (per-bank streams + sync tokens,
-/// Machine::run_decoupled) — and the whole trajectory is emitted as JSON
-/// (BENCH_sched.json in CI) so scheduler performance is tracked across
-/// PRs. Every config records both execution models' cycle counts
-/// (lockstep_cycles, decoupled_cycles, decoupled_speedup).
+/// decoupled execution — by the driver's built-in verification, and the
+/// whole trajectory is emitted as JSON (BENCH_sched.json in CI) so
+/// scheduler performance is tracked across PRs. Every JSON block is one
+/// plim::StatsReport — the same schema `plimc --json` emits and
+/// `tools/diff_bench.py` consumes.
 ///
 /// Exits non-zero when any schedule diverges from its serial program or
 /// when a regression bar breaks:
@@ -43,18 +44,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "circuits/epfl.hpp"
-#include "core/compiler.hpp"
+#include "driver/driver.hpp"
 #include "mig/cleanup.hpp"
 #include "mig/rewriting.hpp"
-#include "sched/scheduler.hpp"
-#include "sched/verify.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -120,6 +118,30 @@ int main(int argc, char** argv) {
 
   plim::mig::RewriteOptions ropts;
   ropts.effort = effort;
+
+  // Every configuration of the sweep is one driver run over the
+  // pre-rewritten network (rewriting runs once per benchmark, outside
+  // the bank/bus sweeps, so the trajectory isolates scheduling effects).
+  const auto config_options = [&](std::uint32_t banks, bool compiler_placement,
+                                  std::uint64_t seed) {
+    plim::Options options;
+    options.rewrite.effort = 0;
+    options.banks = banks;
+    options.placement = compiler_placement ? plim::PlacementMode::compiler
+                                           : plim::PlacementMode::post;
+    // Converged refinement budget: passes stop early once a pass keeps
+    // no move, so small circuits pay almost nothing.
+    options.schedule.refine_passes = 8;
+    // Report cycle figures (makespan_cycles, bank idle) under the
+    // decoupled model; lockstep_cycles rides along in the same JSON.
+    // This also makes the driver verify the schedule under *both*
+    // execution models.
+    options.schedule.execution = plim::sched::ExecutionModel::decoupled;
+    options.verify.enabled = verify;
+    options.verify.rounds = rounds;
+    options.verify.seed = seed;
+    return options;
+  };
 
   // #I@4: instruction count of the serial program the 4-bank schedule
   // runs on (compiler placement recompiles per bank count, so the serial
@@ -187,23 +209,27 @@ int main(int argc, char** argv) {
     const auto optimized =
         effort > 0 ? plim::mig::rewrite_for_plim(network, ropts)
                    : plim::mig::cleanup_dangling(network);
+    const auto request =
+        plim::CompileRequest::from_mig(optimized, spec.name);
 
     json.begin_object();
     json.field("benchmark", spec.name);
 
     // PR 1's scheme as the in-tree baseline: flat compile, per-segment
     // cost assignment without clustering or refinement, 4 banks.
-    const auto flat = plim::core::compile(optimized);
     {
-      plim::sched::ScheduleOptions opts;
-      opts.banks = 4;
-      opts.cluster = false;
-      opts.refine_passes = 0;
-      opts.execution = plim::sched::ExecutionModel::decoupled;
-      const auto result = plim::sched::schedule(flat.program, opts);
-      unclustered_transfers4 += result.stats.transfers;
+      auto options = config_options(4, false, 4001 + circuits);
+      options.schedule.cluster = false;
+      options.schedule.refine_passes = 0;
+      const auto outcome = plim::Driver(options).run(request);
+      if (!outcome.ok()) {
+        std::cerr << spec.name << " (unclustered @ 4 banks): "
+                  << outcome.error_summary() << '\n';
+        return 1;
+      }
+      unclustered_transfers4 += outcome.stats.schedule->transfers;
       json.begin_object("unclustered_4banks");
-      plim::sched::write_json_fields(result.stats, json);
+      outcome.stats.write_json_fields(json);
       json.end_object();
     }
 
@@ -213,74 +239,35 @@ int main(int argc, char** argv) {
       std::vector<std::string> row = {spec.name, mode};
       std::string bus1_cell = "-";
 
-      // The 4-bank configuration is reused by the bus sweep below.
-      plim::core::CompileResult compiled4;
-      plim::sched::ScheduleOptions opts4;
-      plim::sched::ScheduleStats stats4;
+      // The 4-bank report is reused by the bus sweep below.
+      plim::StatsReport report4;
 
       json.begin_array("banks");
       for (const auto banks : kBankCounts) {
-        plim::core::CompileOptions copts;
-        if (compiler_placement) {
-          copts.placement_banks = banks;
-        }
-        auto compiled = compiler_placement
-                            ? plim::core::compile(optimized, copts)
-                            : plim::core::CompileResult{};
-        const auto& serial =
-            compiler_placement ? compiled.program : flat.program;
-
-        plim::sched::ScheduleOptions opts;
-        opts.banks = banks;
-        // Converged refinement budget: passes stop early once a pass
-        // keeps no move, so small circuits pay almost nothing.
-        opts.refine_passes = 8;
-        // Report cycle figures (makespan_cycles, bank idle) under the
-        // decoupled model; lockstep_cycles rides along in the same JSON.
-        opts.execution = plim::sched::ExecutionModel::decoupled;
-        if (compiler_placement) {
-          opts.placement_hints = compiled.placement->cell_bank;
-        }
-        const auto result = plim::sched::schedule(serial, opts);
-        if (const auto err = result.program.validate(); !err.empty()) {
+        const auto options = config_options(
+            banks, compiler_placement, banks * 7919 + circuits);
+        const auto outcome = plim::Driver(options).run(request);
+        if (!outcome.ok()) {
           std::cerr << spec.name << " (" << mode << ") @ " << banks
-                    << " banks: INVALID SCHEDULE: " << err << '\n';
+                    << " banks: " << outcome.error_summary() << '\n';
           return 1;
         }
-        if (verify &&
-            !plim::sched::equivalent_to_serial(serial, result.program, rounds,
-                                               banks * 7919 + circuits)) {
-          std::cerr << spec.name << " (" << mode << ") @ " << banks
-                    << " banks: SCHEDULE DIVERGES FROM SERIAL PROGRAM\n";
-          return 1;
-        }
-        if (verify && !plim::sched::equivalent_to_serial(
-                          serial, result.program, rounds,
-                          banks * 6007 + circuits,
-                          plim::sched::ExecutionModel::decoupled)) {
-          std::cerr << spec.name << " (" << mode << ") @ " << banks
-                    << " banks: DECOUPLED EXECUTION DIVERGES FROM SERIAL "
-                       "PROGRAM\n";
-          return 1;
-        }
-        const auto& s = result.stats;
+        const auto& s = *outcome.stats.schedule;
         check_decoupled(s, spec.name + " (" + mode + ") @ " +
                                std::to_string(banks) + " banks");
         row.push_back(std::to_string(s.steps));
         row.push_back(std::to_string(s.transfers));
         row.push_back(fixed2(s.speedup) + "x");
         json.begin_object();
-        plim::sched::write_json_fields(s, json);
+        outcome.stats.write_json_fields(json);
         json.end_object();
         if (banks == 4) {
           totals[mode].speedup4_sum += s.speedup;
           totals[mode].decoupled4_sum += s.decoupled_speedup;
           totals[mode].transfers4 += s.transfers;
           row.insert(row.begin() + 2,
-                     std::to_string(serial.num_instructions()));
-          compiled4 = std::move(compiled);
-          opts4 = opts;
-          stats4 = s;
+                     std::to_string(outcome.program.num_instructions()));
+          report4 = outcome.stats;
         }
         if (!compiler_placement && spec.name == "voter") {
           if (banks == 4) {
@@ -293,47 +280,40 @@ int main(int argc, char** argv) {
       json.end_array();  // banks
 
       // Bounded-bus sweep at 4 banks: how much does a narrow bus cost?
-      const auto& serial4 =
-          compiler_placement ? compiled4.program : flat.program;
       json.begin_array("bus_4banks");
       for (const auto width : kBusWidths) {
         if (width == 0) {
           // Identical to the banks==4 run above (deterministic
-          // scheduler) — reuse its stats instead of re-scheduling and
+          // scheduler) — reuse its report instead of re-scheduling and
           // re-verifying the largest circuits twice.
           json.begin_object();
-          plim::sched::write_json_fields(stats4, json);
+          report4.write_json_fields(json);
           json.end_object();
           continue;
         }
-        plim::sched::ScheduleOptions bopts = opts4;
-        bopts.cost.bus_width = width;
-        const auto bounded = plim::sched::schedule(serial4, bopts);
-        if (const auto err = bounded.program.validate(); !err.empty()) {
+        auto options =
+            config_options(4, compiler_placement, width * 131 + circuits);
+        options.schedule.cost.bus_width = width;
+        const auto bounded = plim::Driver(options).run(request);
+        if (!bounded.ok()) {
           std::cerr << spec.name << " (" << mode << ") bus " << width
-                    << ": INVALID SCHEDULE: " << err << '\n';
+                    << ": " << bounded.error_summary() << '\n';
           return 1;
         }
-        if (verify && !plim::sched::equivalent_to_serial(
-                          serial4, bounded.program, rounds,
-                          width * 131 + circuits)) {
-          std::cerr << spec.name << " (" << mode << ") bus " << width
-                    << ": SCHEDULE DIVERGES FROM SERIAL PROGRAM\n";
-          return 1;
-        }
-        check_decoupled(bounded.stats, spec.name + " (" + mode + ") bus " +
-                                           std::to_string(width));
+        check_decoupled(*bounded.stats.schedule,
+                        spec.name + " (" + mode + ") bus " +
+                            std::to_string(width));
         json.begin_object();
-        plim::sched::write_json_fields(bounded.stats, json);
+        bounded.stats.write_json_fields(json);
         json.end_object();
         if (width == 1) {
-          bus1_cell = std::to_string(bounded.stats.steps);
+          bus1_cell = std::to_string(bounded.stats.schedule->steps);
         }
       }
       json.end_array();  // bus_4banks
       json.end_object();  // mode
       row.push_back(bus1_cell);
-      row.push_back(fixed2(stats4.decoupled_speedup) + "x");
+      row.push_back(fixed2(report4.schedule->decoupled_speedup) + "x");
       table.add_row(std::move(row));
     }
     json.end_object();  // benchmark

@@ -1,16 +1,15 @@
-/// Compiles a 16-bit ripple-carry adder to a PLiM program, checks it
-/// against machine arithmetic, and reports the compilation statistics and
-/// the endurance profile of the RRAM array — the workload class
-/// ("large-scale computer programs on in-memory computing") that the
-/// paper's conclusion highlights.
+/// Compiles a 16-bit ripple-carry adder through the plim::Driver facade,
+/// checks it against machine arithmetic, and reports the compilation
+/// statistics and the endurance profile of the RRAM array — the workload
+/// class ("large-scale computer programs on in-memory computing") that
+/// the paper's conclusion highlights.
 
 #include <cstdint>
 #include <iostream>
 
 #include "arch/machine.hpp"
 #include "circuits/epfl.hpp"
-#include "core/compiler.hpp"
-#include "mig/rewriting.hpp"
+#include "driver/driver.hpp"
 #include "util/rng.hpp"
 
 int main() {
@@ -19,16 +18,21 @@ int main() {
   std::cout << "initial MIG: " << mig.num_gates() << " gates, depth "
             << mig.depth() << '\n';
 
-  plim::mig::RewriteStats rstats;
-  const auto optimized = plim::mig::rewrite_for_plim(mig, {}, &rstats);
-  std::cout << "after rewriting: " << optimized.num_gates()
-            << " gates (multi-complement " << rstats.multi_complement_before
-            << " -> " << rstats.multi_complement_after << ")\n";
-
-  const auto result = plim::core::compile(optimized);
-  std::cout << "PLiM program: " << result.stats.num_instructions
-            << " instructions, " << result.stats.num_rrams
-            << " RRAMs (peak live " << result.stats.peak_live_rrams << ")\n\n";
+  const plim::Driver driver;  // default options: rewrite, compile, verify
+  const auto outcome =
+      driver.run(plim::CompileRequest::from_mig(mig, "adder16"));
+  if (!outcome.ok()) {
+    std::cerr << outcome.error_summary() << '\n';
+    return 1;
+  }
+  const auto& stats = outcome.stats;
+  std::cout << "after rewriting: " << stats.gates << " gates "
+            << "(multi-complement " << stats.rewrite.multi_complement_before
+            << " -> " << stats.rewrite.multi_complement_after << ")\n";
+  std::cout << "PLiM program: " << stats.compile.num_instructions
+            << " instructions, " << stats.compile.num_rrams
+            << " RRAMs (peak live " << stats.compile.peak_live_rrams
+            << ")\n\n";
 
   // Drive the machine with random operands and check the sums.
   plim::arch::Machine machine;
@@ -42,7 +46,7 @@ int main() {
       in[i] = (a >> i) & 1;
       in[bits + i] = (b >> i) & 1;
     }
-    const auto out = machine.run(result.program, in);
+    const auto out = machine.run(outcome.program, in);
     std::uint64_t sum = 0;
     for (unsigned i = 0; i <= bits; ++i) {
       sum |= static_cast<std::uint64_t>(out[i]) << i;

@@ -1,12 +1,16 @@
-/// plimc — the PLiM compiler as a command-line tool.
+/// plimc — the PLiM compiler as a command-line tool, a thin shell over
+/// the plim::Driver facade.
 ///
 /// Reads a combinational BLIF netlist (or a named EPFL-equivalent
 /// benchmark), runs the DAC'16 pipeline (MIG rewriting + smart
 /// compilation) and writes the RM3 program in the paper's listing syntax.
+/// With --batch it compiles a whole manifest of requests — optionally
+/// across a thread pool — and emits one JSON stats report per request.
 ///
 /// Usage:
 ///   plimc --blif <file.blif> [options]
 ///   plimc --benchmark <name> [options]
+///   plimc --batch <manifest> [--threads N] [options]
 /// Options:
 ///   -o <file>        write the program there (default: stdout)
 ///   --effort N       rewriting iterations (default 4, 0 disables)
@@ -19,60 +23,97 @@
 ///   --bus-width K    bound the inter-bank bus to K cross-bank copies
 ///                    per step (default unbounded)
 ///   --refine-passes N  KL refinement passes over the cluster→bank
-///                    assignment (default 2, 0 disables) — each pass
-///                    re-schedules a bounded set of candidate moves and
-///                    keeps those that reduce steps or transfers
-///   --placement M    post      = schedule the serial program post hoc
-///                                (clustering + cost model; default)
-///                    compiler  = compile bank-aware: the compiler places
-///                                node values into per-bank cell ranges
-///                                and the scheduler follows its hints
-///   --execution M    lockstep  = one global step clock across banks;
-///                                cycles = steps × phases (default)
-///                    decoupled = per-bank instruction streams with
-///                                explicit sync tokens; cycles = the
-///                                event-driven makespan (also verified
-///                                under decoupled execution)
-///   --json <file|->  machine-readable stats block (instructions, rrams,
-///                    steps, transfers, bus stalls, makespan cycles,
-///                    per-bank load and idle cycles, utilization,
-///                    speedup) to a file or stdout; "--json -" without
-///                    -o suppresses the program listing so the JSON
-///                    block owns stdout
+///                    assignment (default 2, 0 disables)
+///   --placement M    post | compiler (see plim::PlacementMode)
+///   --execution M    lockstep | decoupled (see sched::ExecutionModel)
+///   --batch <file>   compile every request of the manifest (one per
+///                    line: "blif <path>", "benchmark <name>", or a bare
+///                    benchmark name; '#' comments). Implies stats-only
+///                    output: a JSON array of StatsReports with timing
+///                    normalized, so runs are byte-identical across
+///                    --threads values.
+///   --threads N      worker threads for --batch (default 1)
+///   --json <file|->  machine-readable stats report (StatsReport schema)
+///                    to a file or stdout; "--json -" without -o
+///                    suppresses the program listing so the JSON block
+///                    owns stdout
 ///   --no-verify      skip the end-to-end machine verification
 ///   --stats          print statistics to stderr
+///
+/// Exit codes: 0 success, 1 request failed (I/O, compilation,
+/// verification), 2 usage or contradictory options (each rejected with a
+/// diagnostic from plim::Options::validate()).
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "arch/text.hpp"
-#include "circuits/epfl.hpp"
-#include "core/compiler.hpp"
-#include "core/verify.hpp"
-#include "io/blif.hpp"
-#include "mig/cleanup.hpp"
-#include "mig/rewriting.hpp"
-#include "sched/scheduler.hpp"
+#include "driver/driver.hpp"
 #include "sched/text.hpp"
-#include "sched/verify.hpp"
 #include "util/stats.hpp"
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: plimc (--blif <file> | --benchmark <name>) "
-               "[-o <file>] [--effort N] [--naive]\n"
-               "             [--alloc fifo|lifo|fresh] [--cap N] "
-               "[--banks N] [--schedule]\n"
-               "             [--bus-width K] [--refine-passes N] "
-               "[--placement post|compiler]\n"
-               "             [--execution lockstep|decoupled] "
-               "[--json <file|->] [--no-verify] [--stats]\n";
+  std::cerr << "usage: plimc (--blif <file> | --benchmark <name> | "
+               "--batch <manifest>)\n"
+               "             [-o <file>] [--effort N] [--naive] "
+               "[--alloc fifo|lifo|fresh] [--cap N]\n"
+               "             [--banks N] [--schedule] [--bus-width K] "
+               "[--refine-passes N]\n"
+               "             [--placement post|compiler] "
+               "[--execution lockstep|decoupled]\n"
+               "             [--threads N] [--json <file|->] [--no-verify] "
+               "[--stats]\n";
   return 2;
+}
+
+void print_stats(const plim::CompileOutcome& outcome) {
+  const auto& stats = outcome.stats;
+  std::cerr << "gates: " << stats.initial_gates << " -> " << stats.gates
+            << " (multi-complement " << stats.rewrite.multi_complement_before
+            << " -> " << stats.rewrite.multi_complement_after << ")\n"
+            << "instructions: " << stats.compile.num_instructions
+            << ", rrams: " << stats.compile.num_rrams << " (peak live "
+            << stats.compile.peak_live_rrams << ")\n";
+  if (!stats.schedule) {
+    return;
+  }
+  const auto& s = *stats.schedule;
+  std::cerr << "schedule: " << s.banks << " banks ("
+            << (s.placement_hints_used ? "compiler" : "post")
+            << " placement), " << s.steps << " steps, "
+            << s.parallel_instructions << " instructions (" << s.transfers
+            << " transfers, " << s.duplicates
+            << " duplicated values), utilization " << s.utilization
+            << ", speedup " << s.speedup << "x (critical path "
+            << s.critical_path << ", lower bound " << s.step_lower_bound
+            << ")\n";
+  if (s.refine_passes > 0) {
+    std::cerr << "refinement: " << s.refine_passes << " passes, "
+              << s.refine_moves_kept << " moves kept, "
+              << s.refine_steps_saved << " steps saved (" << s.schedule_ms
+              << " ms scheduling)\n";
+  }
+  if (s.bus_width > 0) {
+    std::cerr << "bus: width " << s.bus_width << ", " << s.bus_stalls
+              << " stalled bank-steps\n";
+  }
+  std::cerr << "cycles: "
+            << (s.execution == plim::sched::ExecutionModel::decoupled
+                    ? "decoupled"
+                    : "lockstep")
+            << " makespan " << s.makespan_cycles << " (lockstep "
+            << s.lockstep_cycles << ", decoupled " << s.decoupled_cycles
+            << ", " << s.sync_tokens << " sync tokens, decoupling speedup "
+            << s.decoupled_speedup << "x)\nbank idle cycles:";
+  for (const auto idle : s.bank_idle_cycles) {
+    std::cerr << ' ' << idle;
+  }
+  std::cerr << '\n';
 }
 
 }  // namespace
@@ -80,18 +121,13 @@ int usage() {
 int main(int argc, char** argv) {
   std::string blif_path;
   std::string benchmark;
+  std::string batch_path;
   std::string out_path;
   std::string json_path;
-  unsigned effort = 4;
-  std::uint32_t banks = 0;
-  std::uint32_t bus_width = 0;
-  std::uint32_t refine_passes = 2;
-  auto execution = plim::sched::ExecutionModel::lockstep;
-  bool compiler_placement = false;
-  bool naive = false;
+  unsigned threads = 1;
   bool verify = true;
   bool stats = false;
-  plim::core::CompileOptions copts;
+  plim::Options options;
 
   try {
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +147,18 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (arg == "--batch") {
+      if (const char* v = next()) {
+        batch_path = v;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--threads") {
+      if (const char* v = next()) {
+        threads = static_cast<unsigned>(std::stoul(v));
+      } else {
+        return usage();
+      }
     } else if (arg == "-o") {
       if (const char* v = next()) {
         out_path = v;
@@ -119,56 +167,53 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--effort") {
       if (const char* v = next()) {
-        effort = static_cast<unsigned>(std::stoul(v));
+        options.rewrite.effort = static_cast<unsigned>(std::stoul(v));
       } else {
         return usage();
       }
     } else if (arg == "--naive") {
-      naive = true;
+      options.compile.smart_candidates = false;
     } else if (arg == "--alloc") {
       const char* v = next();
       if (v == nullptr) {
         return usage();
       }
       if (std::strcmp(v, "fifo") == 0) {
-        copts.allocation = plim::core::AllocationPolicy::fifo;
+        options.compile.allocation = plim::core::AllocationPolicy::fifo;
       } else if (std::strcmp(v, "lifo") == 0) {
-        copts.allocation = plim::core::AllocationPolicy::lifo;
+        options.compile.allocation = plim::core::AllocationPolicy::lifo;
       } else if (std::strcmp(v, "fresh") == 0) {
-        copts.allocation = plim::core::AllocationPolicy::fresh;
+        options.compile.allocation = plim::core::AllocationPolicy::fresh;
       } else {
         return usage();
       }
     } else if (arg == "--cap") {
       if (const char* v = next()) {
-        copts.rram_cap = static_cast<std::uint32_t>(std::stoul(v));
+        options.compile.rram_cap = static_cast<std::uint32_t>(std::stoul(v));
       } else {
         return usage();
       }
     } else if (arg == "--banks") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (const char* v = next()) {
+        options.banks = static_cast<std::uint32_t>(std::stoul(v));
+      } else {
         return usage();
       }
-      const auto parsed = std::stoul(v);
-      if (parsed > 1024) {
-        std::cerr << "plimc: --banks must be between 0 and 1024\n";
-        return 2;
-      }
-      banks = static_cast<std::uint32_t>(parsed);
     } else if (arg == "--schedule") {
-      if (banks == 0) {
-        banks = 4;
+      if (options.banks == 0) {
+        options.banks = 4;
       }
     } else if (arg == "--bus-width") {
       if (const char* v = next()) {
-        bus_width = static_cast<std::uint32_t>(std::stoul(v));
+        options.schedule.cost.bus_width =
+            static_cast<std::uint32_t>(std::stoul(v));
       } else {
         return usage();
       }
     } else if (arg == "--refine-passes") {
       if (const char* v = next()) {
-        refine_passes = static_cast<std::uint32_t>(std::stoul(v));
+        options.schedule.refine_passes =
+            static_cast<std::uint32_t>(std::stoul(v));
       } else {
         return usage();
       }
@@ -178,9 +223,9 @@ int main(int argc, char** argv) {
         return usage();
       }
       if (std::strcmp(v, "compiler") == 0) {
-        compiler_placement = true;
+        options.placement = plim::PlacementMode::compiler;
       } else if (std::strcmp(v, "post") == 0) {
-        compiler_placement = false;
+        options.placement = plim::PlacementMode::post;
       } else {
         return usage();
       }
@@ -190,9 +235,9 @@ int main(int argc, char** argv) {
         return usage();
       }
       if (std::strcmp(v, "decoupled") == 0) {
-        execution = plim::sched::ExecutionModel::decoupled;
+        options.schedule.execution = plim::sched::ExecutionModel::decoupled;
       } else if (std::strcmp(v, "lockstep") == 0) {
-        execution = plim::sched::ExecutionModel::lockstep;
+        options.schedule.execution = plim::sched::ExecutionModel::lockstep;
       } else {
         return usage();
       }
@@ -213,167 +258,116 @@ int main(int argc, char** argv) {
   } catch (const std::exception&) {
     return usage();  // malformed numeric argument
   }
-  if (blif_path.empty() == benchmark.empty()) {
-    return usage();  // exactly one source required
+  options.verify.enabled = verify;
+
+  const bool batch = !batch_path.empty();
+  const int sources =
+      (blif_path.empty() ? 0 : 1) + (benchmark.empty() ? 0 : 1);
+  if (batch ? sources != 0 : sources != 1) {
+    return usage();  // exactly one request source required
   }
-  // "--json -" without -o hands stdout to the JSON block and suppresses
-  // the program listing (stats-only mode for pipelines / CI).
-  const bool suppress_listing = json_path == "-" && out_path.empty();
-  if (compiler_placement && banks == 0) {
-    std::cerr << "plimc: --placement compiler needs --banks (or --schedule)\n";
+  if (threads != 1 && !batch) {
+    std::cerr << "plimc: --threads only applies to --batch runs\n";
     return 2;
   }
-  if (execution == plim::sched::ExecutionModel::decoupled && banks == 0) {
-    std::cerr << "plimc: --execution decoupled needs --banks (or "
-                 "--schedule)\n";
+  if (batch && (!out_path.empty() || stats)) {
+    std::cerr << "plimc: -o and --stats are not supported with --batch "
+                 "(batch output is the JSON report stream)\n";
     return 2;
   }
 
-  plim::mig::Mig mig;
-  try {
-    if (!blif_path.empty()) {
-      std::ifstream in(blif_path);
-      if (!in) {
-        std::cerr << "plimc: cannot open " << blif_path << '\n';
-        return 1;
-      }
-      mig = plim::io::read_blif(in);
-    } else {
-      mig = plim::circuits::build_benchmark(benchmark);
-    }
-  } catch (const std::exception& e) {
-    std::cerr << "plimc: " << e.what() << '\n';
-    return 1;
+  // Contradictory option sets are rejected up front with the validator's
+  // actionable diagnostics — no more silently inert flag combinations.
+  const auto diags = options.validate();
+  for (const auto& d : diags) {
+    std::cerr << "plimc: " << plim::format(d) << '\n';
+  }
+  if (plim::has_errors(diags)) {
+    return 2;
   }
 
-  plim::mig::RewriteOptions ropts;
-  ropts.effort = effort;
-  plim::mig::RewriteStats rstats;
-  const auto optimized =
-      effort > 0 ? plim::mig::rewrite_for_plim(mig, ropts, &rstats)
-                 : plim::mig::cleanup_dangling(mig);
+  const plim::Driver driver(options);
 
-  copts.smart_candidates = !naive;
-  copts.cost.bus_width = bus_width;
-  if (compiler_placement) {
-    copts.placement_banks = banks;
-  }
-  plim::core::CompileResult result;
-  try {
-    result = plim::core::compile(optimized, copts);
-  } catch (const plim::core::RramCapExceeded& e) {
-    std::cerr << "plimc: " << e.what() << '\n';
-    return 1;
-  }
-
-  if (verify) {
-    const auto v = plim::core::verify_program(optimized, result.program);
-    if (!v.ok) {
-      std::cerr << "plimc: internal verification failed: " << v.message
-                << '\n';
-      return 1;
-    }
-  }
-
-  std::optional<plim::sched::ScheduleResult> schedule;
-  if (banks > 0) {
-    plim::sched::ScheduleOptions sopts;
-    sopts.banks = banks;
-    sopts.cost.bus_width = bus_width;
-    sopts.refine_passes = refine_passes;
-    sopts.execution = execution;
-    if (result.placement) {
-      sopts.placement_hints = result.placement->cell_bank;
-    }
+  // ---- batch mode -----------------------------------------------------------
+  if (batch) {
+    std::vector<plim::CompileRequest> requests;
     try {
-      schedule = plim::sched::schedule(result.program, sopts);
+      requests = plim::read_manifest_file(batch_path);
     } catch (const std::exception& e) {
-      std::cerr << "plimc: scheduling failed: " << e.what() << '\n';
+      std::cerr << "plimc: " << e.what() << '\n';
+      return 2;
+    }
+    if (requests.empty()) {
+      std::cerr << "plimc: manifest " << batch_path << " holds no requests\n";
+      return 2;
+    }
+    auto outcomes = driver.run_batch(requests, threads);
+
+    bool all_ok = true;
+    plim::util::JsonWriter json;
+    json.begin_object();
+    json.field("bench", "plimc_batch");
+    json.begin_array("results");
+    for (auto& outcome : outcomes) {
+      for (const auto& d : outcome.diagnostics) {
+        // Warnings were already printed once by the up-front validation.
+        if (d.severity != plim::Diagnostic::Severity::error) {
+          continue;
+        }
+        std::cerr << "plimc: " << outcome.stats.benchmark << ": "
+                  << plim::format(d) << '\n';
+      }
+      all_ok = all_ok && outcome.ok();
+      // Wall-clock fields are zeroed so a threaded batch is
+      // byte-identical to a serial one (CI diffs the two).
+      outcome.stats.normalize_timing();
+      json.begin_object();
+      outcome.stats.write_json_fields(json);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    if (!plim::util::emit_json(json, json_path.empty() ? "-" : json_path,
+                               "plimc")) {
       return 1;
     }
-    if (const auto err = schedule->program.validate(); !err.empty()) {
-      std::cerr << "plimc: invalid schedule: " << err << '\n';
-      return 1;
+    return all_ok ? 0 : 1;
+  }
+
+  // ---- single-request mode --------------------------------------------------
+  const auto request = !blif_path.empty()
+                           ? plim::CompileRequest::from_blif(blif_path)
+                           : plim::CompileRequest::from_benchmark(benchmark);
+  const auto outcome = driver.run(request);
+  for (const auto& d : outcome.diagnostics) {
+    // Warnings were already printed once by the up-front validation.
+    if (d.severity == plim::Diagnostic::Severity::error) {
+      std::cerr << "plimc: " << plim::format(d) << '\n';
     }
-    if (verify && !plim::sched::equivalent_to_serial(result.program,
-                                                    schedule->program)) {
-      std::cerr << "plimc: parallel schedule diverges from serial program\n";
-      return 1;
-    }
-    if (verify && execution == plim::sched::ExecutionModel::decoupled &&
-        !plim::sched::equivalent_to_serial(
-            result.program, schedule->program, 8, 1,
-            plim::sched::ExecutionModel::decoupled)) {
-      std::cerr << "plimc: decoupled execution diverges from serial program\n";
-      return 1;
-    }
+  }
+  if (!outcome.ok()) {
+    return 1;
   }
 
   if (stats) {
-    std::cerr << "gates: " << mig.num_gates() << " -> "
-              << optimized.num_gates()
-              << " (multi-complement " << rstats.multi_complement_before
-              << " -> " << rstats.multi_complement_after << ")\n"
-              << "instructions: " << result.stats.num_instructions
-              << ", rrams: " << result.stats.num_rrams << " (peak live "
-              << result.stats.peak_live_rrams << ")\n";
-    if (schedule) {
-      const auto& s = schedule->stats;
-      std::cerr << "schedule: " << s.banks << " banks ("
-                << (s.placement_hints_used ? "compiler" : "post")
-                << " placement), " << s.steps << " steps, "
-                << s.parallel_instructions << " instructions ("
-                << s.transfers << " transfers, " << s.duplicates
-                << " duplicated values), utilization " << s.utilization
-                << ", speedup " << s.speedup << "x (critical path "
-                << s.critical_path << ", lower bound " << s.step_lower_bound
-                << ")\n";
-      if (s.refine_passes > 0) {
-        std::cerr << "refinement: " << s.refine_passes << " passes, "
-                  << s.refine_moves_kept << " moves kept, "
-                  << s.refine_steps_saved << " steps saved ("
-                  << s.schedule_ms << " ms scheduling)\n";
-      }
-      if (s.bus_width > 0) {
-        std::cerr << "bus: width " << s.bus_width << ", " << s.bus_stalls
-                  << " stalled bank-steps\n";
-      }
-      std::cerr << "cycles: "
-                << (s.execution == plim::sched::ExecutionModel::decoupled
-                        ? "decoupled"
-                        : "lockstep")
-                << " makespan " << s.makespan_cycles << " (lockstep "
-                << s.lockstep_cycles << ", decoupled " << s.decoupled_cycles
-                << ", " << s.sync_tokens << " sync tokens, decoupling speedup "
-                << s.decoupled_speedup << "x)\nbank idle cycles:";
-      for (const auto idle : s.bank_idle_cycles) {
-        std::cerr << ' ' << idle;
-      }
-      std::cerr << '\n';
-    }
+    print_stats(outcome);
   }
 
   if (!json_path.empty()) {
     plim::util::JsonWriter json;
     json.begin_object();
-    json.field("benchmark", benchmark.empty() ? blif_path : benchmark);
-    json.field("gates", optimized.num_gates());
-    json.field("instructions", result.stats.num_instructions);
-    json.field("rrams", result.stats.num_rrams);
-    json.field("peak_live_rrams", result.stats.peak_live_rrams);
-    if (schedule) {
-      json.begin_object("schedule");
-      plim::sched::write_json_fields(schedule->stats, json);
-      json.end_object();
-    }
+    outcome.stats.write_json_fields(json);
     json.end_object();
     if (!plim::util::emit_json(json, json_path, "plimc")) {
       return 1;
     }
   }
 
-  const auto text = schedule ? plim::sched::to_text(schedule->program)
-                             : plim::arch::to_text(result.program);
+  // "--json -" without -o hands stdout to the JSON block and suppresses
+  // the program listing (stats-only mode for pipelines / CI).
+  const bool suppress_listing = json_path == "-" && out_path.empty();
+  const auto text = outcome.parallel ? plim::sched::to_text(*outcome.parallel)
+                                     : plim::arch::to_text(outcome.program);
   if (suppress_listing) {
     // stdout belongs to the JSON block (emitted above).
   } else if (out_path.empty()) {

@@ -1,6 +1,7 @@
-/// Inspect the compilation of any Table-1 benchmark: statistics of the
-/// three pipeline configurations, the head of the compiled program in the
-/// paper's listing syntax, and the write-count histogram after execution.
+/// Inspect the compilation of any Table-1 benchmark through the
+/// plim::Driver facade: statistics of the three pipeline configurations,
+/// the head of the compiled program in the paper's listing syntax, and
+/// the write-count histogram after execution.
 ///
 /// Usage: program_inspect [benchmark-name]   (default: cavlc)
 
@@ -11,45 +12,52 @@
 #include "arch/machine.hpp"
 #include "arch/text.hpp"
 #include "circuits/epfl.hpp"
-#include "core/pipeline.hpp"
+#include "driver/driver.hpp"
 #include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "cavlc";
-  plim::mig::Mig mig;
-  try {
-    mig = plim::circuits::build_benchmark(name);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\navailable:";
-    for (const auto& spec : plim::circuits::epfl_suite()) {
-      std::cerr << ' ' << spec.name;
+  const auto request = plim::CompileRequest::from_benchmark(name);
+
+  // The three Table-1 configurations as plim::Options presets.
+  struct Config {
+    const char* label;
+    unsigned effort;
+    bool smart;
+  };
+  const Config configs[] = {
+      {"naive", 0, false},
+      {"rewriting", 4, false},
+      {"rewriting+compilation", 4, true},
+  };
+
+  plim::CompileOutcome last;
+  for (const auto& cfg : configs) {
+    plim::Options options;
+    options.rewrite.effort = cfg.effort;
+    options.compile.smart_candidates = cfg.smart;
+    auto outcome = plim::Driver(options).run(request);
+    if (!outcome.ok()) {
+      std::cerr << outcome.error_summary() << "\navailable:";
+      for (const auto& spec : plim::circuits::epfl_suite()) {
+        std::cerr << ' ' << spec.name;
+      }
+      std::cerr << '\n';
+      return 2;
     }
-    std::cerr << '\n';
-    return 2;
+    if (&cfg == &configs[0]) {
+      std::cout << name << ": " << outcome.stats.initial_gates
+                << " gates before cleanup/rewriting\n\n";
+    }
+    std::cout << cfg.label << ": #N=" << outcome.stats.gates
+              << " #I=" << outcome.stats.compile.num_instructions
+              << " #R=" << outcome.stats.compile.num_rrams
+              << " peak-live=" << outcome.stats.compile.peak_live_rrams
+              << '\n';
+    last = std::move(outcome);
   }
 
-  std::cout << name << ": " << mig.num_pis() << " PIs, " << mig.num_pos()
-            << " POs, " << mig.num_gates() << " gates, depth " << mig.depth()
-            << "\n\n";
-
-  using plim::core::PipelineConfig;
-  const char* labels[] = {"naive", "rewriting", "rewriting+compilation"};
-  const PipelineConfig configs[] = {PipelineConfig::naive,
-                                    PipelineConfig::rewriting,
-                                    PipelineConfig::rewriting_and_compilation};
-  plim::core::PipelineResult last;
-  for (int i = 0; i < 3; ++i) {
-    const auto r = plim::core::run_pipeline(mig, configs[i]);
-    std::cout << labels[i] << ": #N=" << r.mig_gates
-              << " #I=" << r.compiled.stats.num_instructions
-              << " #R=" << r.compiled.stats.num_rrams
-              << " peak-live=" << r.compiled.stats.peak_live_rrams << '\n';
-    if (i == 2) {
-      last = r;
-    }
-  }
-
-  const auto text = plim::arch::to_text(last.compiled.program);
+  const auto text = plim::arch::to_text(last.program);
   std::cout << "\nprogram head (rewriting+compilation):\n";
   std::size_t pos = 0;
   for (int line = 0; line < 24 && pos != std::string::npos; ++line) {
@@ -62,11 +70,11 @@ int main(int argc, char** argv) {
   // Execute on random data and show wear distribution.
   plim::arch::Machine machine;
   plim::util::Rng rng(1);
-  std::vector<std::uint64_t> in(mig.num_pis());
+  std::vector<std::uint64_t> in(last.program.num_inputs());
   for (auto& w : in) {
     w = rng.next();
   }
-  (void)machine.run_words(last.compiled.program, in);
+  (void)machine.run_words(last.program, in);
   auto writes = machine.write_counts();
   std::sort(writes.begin(), writes.end());
   const auto e = machine.endurance();

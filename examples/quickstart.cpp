@@ -1,15 +1,15 @@
-/// Quickstart: build a Boolean function as an MIG, optimize it for the
-/// PLiM architecture, compile it to RM3 instructions, and execute the
-/// program on the PLiM machine model.
+/// Quickstart: build a Boolean function as an MIG and compile it through
+/// the plim::Driver facade — the library's one front door (rewriting,
+/// compilation, verification and optional multi-bank scheduling behind a
+/// single call). This file is the code shown in README.md's "Library
+/// API" section; keep the two in sync.
 
 #include <iostream>
 
 #include "arch/machine.hpp"
 #include "arch/text.hpp"
-#include "core/compiler.hpp"
-#include "core/verify.hpp"
+#include "driver/driver.hpp"
 #include "mig/mig.hpp"
-#include "mig/rewriting.hpp"
 
 int main() {
   // 1. Describe the function: a full adder over three inputs.
@@ -21,28 +21,26 @@ int main() {
   mig.create_po(fa.sum, "sum");
   mig.create_po(fa.carry, "cout");
 
-  // 2. Optimize the MIG for PLiM (Algorithm 1 of the DAC'16 paper).
-  const auto optimized = plim::mig::rewrite_for_plim(mig);
+  // 2. One front door: rewrite (Algorithm 1), compile (Algorithm 2) and
+  //    verify end-to-end in a single, thread-safe call.
+  const plim::Driver driver;  // default plim::Options
+  const auto outcome = driver.run(plim::CompileRequest::from_mig(mig, "fa"));
+  if (!outcome.ok()) {
+    std::cerr << outcome.error_summary() << '\n';
+    return 1;
+  }
+  std::cout << "PLiM program (" << outcome.stats.compile.num_instructions
+            << " instructions, " << outcome.stats.compile.num_rrams
+            << " RRAMs, verified):\n\n"
+            << plim::arch::to_text(outcome.program) << '\n';
 
-  // 3. Compile to a PLiM program (Algorithm 2: candidate selection,
-  //    RM3 operand case analysis, FIFO RRAM allocation).
-  const auto result = plim::core::compile(optimized);
-  std::cout << "PLiM program (" << result.stats.num_instructions
-            << " instructions, " << result.stats.num_rrams << " RRAMs):\n\n"
-            << plim::arch::to_text(result.program) << '\n';
-
-  // 4. Execute on the machine model.
+  // 3. Execute on the machine model.
   plim::arch::Machine machine;
   for (unsigned v = 0; v < 8; ++v) {
     const std::vector<bool> in{(v & 1) != 0, (v & 2) != 0, (v & 4) != 0};
-    const auto out = machine.run(result.program, in);
+    const auto out = machine.run(outcome.program, in);
     std::cout << "a=" << in[0] << " b=" << in[1] << " cin=" << in[2]
               << "  ->  sum=" << out[0] << " cout=" << out[1] << '\n';
   }
-
-  // 5. And check the whole pipeline end to end.
-  const auto v = plim::core::verify_program(optimized, result.program);
-  std::cout << "\nend-to-end verification: " << (v.ok ? "OK" : v.message)
-            << '\n';
-  return v.ok ? 0 : 1;
+  return 0;
 }

@@ -1,39 +1,41 @@
 /// Majority voter (the paper's `voter` benchmark at reduced size):
 /// 101 redundant inputs vote; the PLiM program computes whether a
 /// majority is set. Demonstrates rewriting impact and RRAM reuse on a
-/// deep arithmetic reduction tree.
+/// deep arithmetic reduction tree, with both compilation flavours run
+/// through the plim::Driver facade.
 
 #include <iostream>
 
 #include "arch/machine.hpp"
 #include "circuits/epfl.hpp"
-#include "core/compiler.hpp"
-#include "core/verify.hpp"
-#include "mig/rewriting.hpp"
+#include "driver/driver.hpp"
 #include "util/rng.hpp"
 
 int main() {
   constexpr unsigned n = 101;
   const auto mig = plim::circuits::make_voter(n);
-  const auto optimized = plim::mig::rewrite_for_plim(mig);
+  const auto request = plim::CompileRequest::from_mig(mig, "voter101");
 
-  plim::core::CompileOptions naive;
-  naive.smart_candidates = false;
-  const auto r_naive = plim::core::compile(optimized, naive);
-  const auto r_smart = plim::core::compile(optimized);
+  plim::Options naive;
+  naive.compile.smart_candidates = false;
+  naive.verify.enabled = false;  // the smart run below verifies end to end
+  const auto r_naive = plim::Driver(naive).run(request);
 
-  std::cout << "voter(" << n << "): " << mig.num_gates() << " gates, "
-            << optimized.num_gates() << " after rewriting\n";
-  std::cout << "index-order translation: " << r_naive.stats.num_instructions
-            << " instructions, " << r_naive.stats.num_rrams << " RRAMs\n";
-  std::cout << "smart compilation:       " << r_smart.stats.num_instructions
-            << " instructions, " << r_smart.stats.num_rrams << " RRAMs\n";
-
-  const auto v = plim::core::verify_program(optimized, r_smart.program);
-  if (!v.ok) {
-    std::cout << "verification failed: " << v.message << '\n';
+  const plim::Driver smart_driver;  // default options include verification
+  const auto r_smart = smart_driver.run(request);
+  if (!r_naive.ok() || !r_smart.ok()) {
+    std::cerr << r_naive.error_summary() << r_smart.error_summary() << '\n';
     return 1;
   }
+
+  std::cout << "voter(" << n << "): " << r_smart.stats.initial_gates
+            << " gates, " << r_smart.stats.gates << " after rewriting\n";
+  std::cout << "index-order translation: "
+            << r_naive.stats.compile.num_instructions << " instructions, "
+            << r_naive.stats.compile.num_rrams << " RRAMs\n";
+  std::cout << "smart compilation:       "
+            << r_smart.stats.compile.num_instructions << " instructions, "
+            << r_smart.stats.compile.num_rrams << " RRAMs\n";
 
   // Spot-check the majority semantics on the machine.
   plim::arch::Machine machine;

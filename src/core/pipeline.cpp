@@ -1,6 +1,9 @@
 #include "core/pipeline.hpp"
 
-#include "mig/cleanup.hpp"
+#include <stdexcept>
+#include <utility>
+
+#include "driver/driver.hpp"
 
 namespace plim::core {
 
@@ -9,31 +12,80 @@ PipelineResult run_pipeline(const mig::Mig& mig, PipelineConfig config,
                             const CompileOptions& base_compile_opts,
                             std::uint32_t schedule_banks,
                             const sched::ScheduleOptions& schedule_opts) {
-  PipelineResult result;
-
-  CompileOptions copts = base_compile_opts;
-  copts.smart_candidates =
-      (config == PipelineConfig::rewriting_and_compilation);
-
+  if (!schedule_opts.placement_hints.empty()) {
+    throw std::invalid_argument(
+        "run_pipeline: caller-supplied placement_hints are not supported by "
+        "the facade shim — use sched::schedule directly, or compile with "
+        "placement_banks == schedule_banks for compiler hints");
+  }
+  Options options;
+  options.rewrite = rewrite_opts;
   if (config == PipelineConfig::naive) {
-    const auto cleaned = mig::cleanup_dangling(mig);
-    result.mig_gates = cleaned.num_gates();
-    result.compiled = compile(cleaned, copts);
-  } else {
-    const auto rewritten =
-        mig::rewrite_for_plim(mig, rewrite_opts, &result.rewrite_stats);
-    result.mig_gates = rewritten.num_gates();
-    result.compiled = compile(rewritten, copts);
+    options.rewrite.effort = 0;
+  }
+  options.compile.smart_candidates =
+      (config == PipelineConfig::rewriting_and_compilation);
+  options.compile.cache_complements = base_compile_opts.cache_complements;
+  options.compile.textbook_slots = base_compile_opts.textbook_slots;
+  options.compile.allocation = base_compile_opts.allocation;
+  options.compile.rram_cap = base_compile_opts.rram_cap;
+  options.banks = schedule_banks;
+  if (base_compile_opts.placement_banks > 0) {
+    if (schedule_banks == 0) {
+      throw std::invalid_argument(
+          "run_pipeline: compile-only bank placement (placement_banks > 0 "
+          "without scheduling) is not supported by the facade shim — "
+          "schedule onto the same bank count, or call core::compile "
+          "directly");
+    }
+    if (base_compile_opts.placement_banks != schedule_banks) {
+      throw std::invalid_argument(
+          "run_pipeline: placement_banks " +
+          std::to_string(base_compile_opts.placement_banks) +
+          " does not match schedule_banks " +
+          std::to_string(schedule_banks) +
+          " — the facade rejects the old silent mismatch");
+    }
+    options.placement = PlacementMode::compiler;
+  }
+  options.schedule.cost =
+      schedule_banks > 0 ? schedule_opts.cost : base_compile_opts.cost;
+  options.schedule.cluster = schedule_opts.cluster;
+  options.schedule.refine_passes = schedule_opts.refine_passes;
+  options.schedule.lookahead = schedule_opts.lookahead;
+  options.schedule.execution = schedule_opts.execution;
+  // The legacy pipeline never verified; callers layer their own checks.
+  options.verify.enabled = false;
+
+  const Driver driver(options);
+  auto outcome =
+      driver.run(CompileRequest::from_mig(mig, "run_pipeline"));
+  if (!outcome.ok()) {
+    // Preserve the documented exception contract: capacity infeasibility
+    // is RramCapExceeded (see CompileOptions::rram_cap), everything else
+    // surfaces as invalid_argument carrying the driver's diagnostics.
+    for (const auto& d : outcome.diagnostics) {
+      if (d.code == "rram-cap-exceeded" && base_compile_opts.rram_cap) {
+        throw RramCapExceeded(*base_compile_opts.rram_cap);
+      }
+    }
+    throw std::invalid_argument("run_pipeline: " + outcome.error_summary());
   }
 
-  if (schedule_banks > 0) {
-    sched::ScheduleOptions sopts = schedule_opts;
-    sopts.banks = schedule_banks;
-    if (result.compiled.placement &&
-        result.compiled.placement->num_banks == schedule_banks) {
-      sopts.placement_hints = result.compiled.placement->cell_bank;
-    }
-    result.schedule = sched::schedule(result.compiled.program, sopts);
+  PipelineResult result;
+  // Legacy contract: rewrite stats are zeroed when rewriting is off (the
+  // driver reports the cleaned network's metrics instead).
+  if (config != PipelineConfig::naive) {
+    result.rewrite_stats = outcome.stats.rewrite;
+  }
+  result.mig_gates = outcome.stats.gates;
+  result.compiled.program = std::move(outcome.program);
+  result.compiled.stats = outcome.stats.compile;
+  result.compiled.placement = std::move(outcome.placement);
+  if (outcome.parallel) {
+    result.schedule.emplace();
+    result.schedule->program = std::move(*outcome.parallel);
+    result.schedule->stats = std::move(*outcome.stats.schedule);
   }
   return result;
 }

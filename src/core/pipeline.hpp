@@ -29,17 +29,23 @@ struct PipelineResult {
   std::optional<sched::ScheduleResult> schedule;
 };
 
-/// Runs one Table-1 configuration on a benchmark MIG. With
-/// `schedule_banks` > 0 the serial program is additionally list-scheduled
-/// onto that many PLiM banks (see sched/scheduler.hpp) under
+/// Compatibility shim over the plim::Driver facade (driver/driver.hpp —
+/// prefer it for new code): runs one Table-1 configuration on a
+/// benchmark MIG. With `schedule_banks` > 0 the serial program is
+/// additionally list-scheduled onto that many PLiM banks under
 /// `schedule_opts` (its bank count is overridden by `schedule_banks`).
-/// When the compiler ran with bank-aware placement
-/// (base_compile_opts.placement_banks == schedule_banks), the compiled
-/// placement is forwarded to the scheduler as bank-assignment hints.
-/// `schedule_opts.execution` selects the execution model the schedule's
-/// cycle figures are reported for (lockstep step clock vs decoupled
-/// per-bank streams with sync tokens, `plimc --execution`); the emitted
-/// program always carries both views.
+/// Compiler-side bank placement engages when
+/// `base_compile_opts.placement_banks` matches `schedule_banks`; a
+/// non-zero mismatch between the two — the foot-gun Options::validate()
+/// exists to reject — throws std::invalid_argument, as does any other
+/// configuration or compilation failure the driver reports (the thrown
+/// message carries the driver's diagnostics). Two legacy corners are
+/// narrowed by the facade: caller-supplied
+/// `schedule_opts.placement_hints` are rejected (the facade derives
+/// hints from compiler placement only), and when scheduling is engaged
+/// the one unified cost model (`schedule_opts.cost`) prices *both*
+/// compile-time placement and scheduling — `base_compile_opts.cost` is
+/// only read for unscheduled compiles.
 [[nodiscard]] PipelineResult run_pipeline(
     const mig::Mig& mig, PipelineConfig config,
     const mig::RewriteOptions& rewrite_opts = {},

@@ -1,0 +1,45 @@
+#include "driver/diagnostic.hpp"
+
+namespace plim {
+
+Diagnostic Diagnostic::error(std::string code, std::string message) {
+  return {Severity::error, std::move(code), std::move(message)};
+}
+
+Diagnostic Diagnostic::warning(std::string code, std::string message) {
+  return {Severity::warning, std::move(code), std::move(message)};
+}
+
+std::string format(const Diagnostic& d) {
+  std::string out =
+      d.severity == Diagnostic::Severity::error ? "error[" : "warning[";
+  out += d.code;
+  out += "]: ";
+  out += d.message;
+  return out;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  for (const auto& d : diags) {
+    if (d.severity == Diagnostic::Severity::error) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string error_summary(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) {
+    if (d.severity != Diagnostic::Severity::error) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += d.message;
+  }
+  return out;
+}
+
+}  // namespace plim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plim {
+
+/// Structured problem report of the driver facade. The boundary between
+/// the library and its consumers (CLI, batch service, benches) speaks
+/// diagnostics instead of exceptions: every failure mode gets a stable
+/// machine-matchable `code` plus an actionable human message, so callers
+/// can branch on the code ("rram-cap-exceeded" → widen the binary-search
+/// bound) without parsing prose, and a batch run can report each
+/// request's failure independently instead of dying on the first throw.
+struct Diagnostic {
+  enum class Severity { warning, error };
+
+  Severity severity = Severity::error;
+  /// Stable kebab-case identifier, e.g. "placement-needs-banks". Codes
+  /// are part of the API: tests and tools match on them.
+  std::string code;
+  /// Human-readable, actionable description (what is wrong and which
+  /// knob fixes it).
+  std::string message;
+
+  [[nodiscard]] static Diagnostic error(std::string code, std::string message);
+  [[nodiscard]] static Diagnostic warning(std::string code,
+                                          std::string message);
+};
+
+/// "error[<code>]: <message>" / "warning[<code>]: <message>".
+[[nodiscard]] std::string format(const Diagnostic& d);
+
+/// True when at least one diagnostic is an error.
+[[nodiscard]] bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// Error messages joined with "; " (empty when there are none) — the
+/// one-line summary CLIs print before exiting non-zero.
+[[nodiscard]] std::string error_summary(const std::vector<Diagnostic>& diags);
+
+}  // namespace plim

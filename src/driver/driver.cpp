@@ -1,0 +1,266 @@
+#include "driver/driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "circuits/epfl.hpp"
+#include "core/compiler.hpp"
+#include "core/verify.hpp"
+#include "io/blif.hpp"
+#include "mig/cleanup.hpp"
+#include "mig/rewriting.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/verify.hpp"
+
+namespace plim {
+
+namespace {
+
+/// Loads the request's network, or reports why it cannot be loaded.
+/// In-memory requests are *not* copied — the returned pointer aliases
+/// either `storage` or the request's shared network (which the request
+/// keeps alive for the duration of the run).
+const mig::Mig* load_network(const CompileRequest& request,
+                             std::optional<mig::Mig>& storage,
+                             std::vector<Diagnostic>& diags) {
+  switch (request.kind()) {
+    case CompileRequest::Kind::blif: {
+      std::ifstream in(request.path());
+      if (!in) {
+        diags.push_back(Diagnostic::error(
+            "input-open-failed", "cannot open " + request.path()));
+        return nullptr;
+      }
+      try {
+        storage = io::read_blif(in);
+        return &*storage;
+      } catch (const std::exception& e) {
+        diags.push_back(Diagnostic::error(
+            "blif-parse-error", request.path() + ": " + e.what()));
+        return nullptr;
+      }
+    }
+    case CompileRequest::Kind::benchmark:
+      try {
+        storage = circuits::build_benchmark(request.label());
+        return &*storage;
+      } catch (const std::exception& e) {
+        diags.push_back(Diagnostic::error("unknown-benchmark", e.what()));
+        return nullptr;
+      }
+    case CompileRequest::Kind::network:
+      if (request.network() == nullptr) {
+        diags.push_back(Diagnostic::error(
+            "request-invalid", "in-memory request carries no network"));
+        return nullptr;
+      }
+      return request.network();
+  }
+  diags.push_back(Diagnostic::error("request-invalid",
+                                    "unknown request kind"));
+  return nullptr;
+}
+
+}  // namespace
+
+CompileOutcome Driver::run(const CompileRequest& request) const {
+  CompileOutcome out;
+  out.stats.benchmark = request.label();
+
+  // Contradictory options are a caller error, reported per-outcome so a
+  // batch over a bad option set fails every request with the same story.
+  out.diagnostics = options_.validate();
+  if (has_errors(out.diagnostics)) {
+    return out;
+  }
+
+  // ---- load ----------------------------------------------------------------
+  std::optional<mig::Mig> loaded;
+  const mig::Mig* network = load_network(request, loaded, out.diagnostics);
+  if (network == nullptr) {
+    return out;
+  }
+  out.stats.initial_gates = network->num_gates();
+
+  // ---- rewrite -------------------------------------------------------------
+  mig::Mig optimized;
+  try {
+    if (options_.rewrite.effort > 0) {
+      optimized = mig::rewrite_for_plim(*network, options_.rewrite,
+                                        &out.stats.rewrite);
+    } else {
+      // Rewriting off: the "before/after" metrics still describe the
+      // network that is about to be compiled, so reports stay comparable
+      // across effort levels.
+      optimized = mig::cleanup_dangling(*network);
+      out.stats.rewrite.gates_before = network->num_gates();
+      out.stats.rewrite.gates_after = optimized.num_gates();
+      out.stats.rewrite.depth_before = network->depth();
+      out.stats.rewrite.depth_after = optimized.depth();
+      out.stats.rewrite.multi_complement_before =
+          mig::count_multi_complement(*network);
+      out.stats.rewrite.multi_complement_after =
+          mig::count_multi_complement(optimized);
+    }
+  } catch (const std::exception& e) {
+    out.diagnostics.push_back(Diagnostic::error("rewrite-failed", e.what()));
+    return out;
+  }
+  out.stats.gates = optimized.num_gates();
+
+  // ---- compile -------------------------------------------------------------
+  core::CompileOptions copts;
+  copts.smart_candidates = options_.compile.smart_candidates;
+  copts.cache_complements = options_.compile.cache_complements;
+  copts.textbook_slots = options_.compile.textbook_slots;
+  copts.allocation = options_.compile.allocation;
+  copts.rram_cap = options_.compile.rram_cap;
+  copts.cost = options_.schedule.cost;
+  if (options_.placement == PlacementMode::compiler) {
+    copts.placement_banks = options_.banks;
+  }
+  core::CompileResult compiled;
+  try {
+    compiled = core::compile(optimized, copts);
+  } catch (const core::RramCapExceeded& e) {
+    out.diagnostics.push_back(
+        Diagnostic::error("rram-cap-exceeded", e.what()));
+    return out;
+  } catch (const std::exception& e) {
+    out.diagnostics.push_back(Diagnostic::error("compile-failed", e.what()));
+    return out;
+  }
+  out.program = std::move(compiled.program);
+  out.placement = std::move(compiled.placement);
+  out.stats.compile = compiled.stats;
+
+  // ---- verify the serial program -------------------------------------------
+  // Against the *original* network, not the rewritten one: the facade's
+  // verification covers the whole pipeline (rewriting included), so a
+  // function-changing rewrite cannot hide behind a faithful translation.
+  if (options_.verify.enabled) {
+    try {
+      const auto v =
+          core::verify_program(*network, out.program, options_.verify.rounds,
+                               options_.verify.seed);
+      if (!v.ok) {
+        out.diagnostics.push_back(Diagnostic::error(
+            "verify-failed",
+            "program diverges from the input network: " + v.message));
+        return out;
+      }
+    } catch (const std::exception& e) {
+      out.diagnostics.push_back(Diagnostic::error("verify-failed", e.what()));
+      return out;
+    }
+  }
+
+  // ---- schedule ------------------------------------------------------------
+  if (options_.banks > 0) {
+    sched::ScheduleOptions sopts;
+    sopts.banks = options_.banks;
+    sopts.cost = options_.schedule.cost;
+    sopts.cluster = options_.schedule.cluster;
+    sopts.refine_passes = options_.schedule.refine_passes;
+    sopts.lookahead = options_.schedule.lookahead;
+    sopts.execution = options_.schedule.execution;
+    if (out.placement) {
+      sopts.placement_hints = out.placement->cell_bank;
+    }
+    sched::ScheduleResult scheduled;
+    try {
+      scheduled = sched::schedule(out.program, sopts);
+    } catch (const std::exception& e) {
+      out.diagnostics.push_back(
+          Diagnostic::error("schedule-failed", e.what()));
+      return out;
+    }
+    if (const auto err = scheduled.program.validate(); !err.empty()) {
+      out.diagnostics.push_back(Diagnostic::error(
+          "schedule-invalid", "scheduler emitted an invalid program: " + err));
+      return out;
+    }
+    if (options_.verify.enabled) {
+      try {
+        if (!sched::equivalent_to_serial(out.program, scheduled.program,
+                                         options_.verify.rounds,
+                                         options_.verify.seed)) {
+          out.diagnostics.push_back(Diagnostic::error(
+              "schedule-diverges",
+              "parallel schedule diverges from the serial program"));
+          return out;
+        }
+        if (options_.schedule.execution == sched::ExecutionModel::decoupled &&
+            !sched::equivalent_to_serial(out.program, scheduled.program,
+                                         options_.verify.rounds,
+                                         options_.verify.seed,
+                                         sched::ExecutionModel::decoupled)) {
+          out.diagnostics.push_back(Diagnostic::error(
+              "decoupled-diverges",
+              "decoupled execution diverges from the serial program"));
+          return out;
+        }
+      } catch (const std::exception& e) {
+        out.diagnostics.push_back(
+            Diagnostic::error("schedule-diverges", e.what()));
+        return out;
+      }
+    }
+    out.parallel = std::move(scheduled.program);
+    out.stats.schedule = scheduled.stats;
+  }
+
+  out.stats.verified = options_.verify.enabled;
+  return out;
+}
+
+std::vector<CompileOutcome> Driver::run_batch(
+    const std::vector<CompileRequest>& requests, unsigned threads) const {
+  std::vector<CompileOutcome> outcomes(requests.size());
+  if (requests.empty()) {
+    return outcomes;
+  }
+  const auto workers = static_cast<unsigned>(
+      std::min<std::size_t>(std::max(threads, 1u), requests.size()));
+
+  // Deterministic by construction: outcome i is always computed from
+  // request i, whatever thread claims it — only the claiming order
+  // varies between runs, never the result placement.
+  std::atomic<std::size_t> next{0};
+  const auto work = [&]() {
+    for (;;) {
+      const auto i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= requests.size()) {
+        return;
+      }
+      try {
+        outcomes[i] = run(requests[i]);
+      } catch (const std::exception& e) {
+        // run() captures expected failures itself; this is the backstop
+        // that keeps one pathological request from tearing down a batch.
+        outcomes[i].diagnostics.push_back(
+            Diagnostic::error("internal-error", e.what()));
+      }
+    }
+  };
+
+  if (workers == 1) {
+    work();
+    return outcomes;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) {
+    pool.emplace_back(work);
+  }
+  for (auto& thread : pool) {
+    thread.join();
+  }
+  return outcomes;
+}
+
+}  // namespace plim

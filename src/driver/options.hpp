@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "driver/diagnostic.hpp"
+#include "mig/rewriting.hpp"
+#include "sched/cost_model.hpp"
+#include "sched/parallel_program.hpp"
+
+namespace plim {
+
+/// Who decides which bank a value lives in (only meaningful with
+/// `Options::banks` > 0):
+///  - post:     the serial program is re-partitioned after compilation
+///              (heavy-edge clustering + cost-model bank assignment);
+///  - compiler: the compiler places node values into per-bank cell ranges
+///              (core::BankedAllocator) and the scheduler follows its
+///              placement hints.
+enum class PlacementMode { post, compiler };
+
+/// The single options surface of the plim::Driver facade. One `banks`
+/// knob drives both compile-time placement and scheduling — the old
+/// `CompileOptions::placement_banks` / `ScheduleOptions::banks` /
+/// `run_pipeline(schedule_banks)` trio, whose silent-override and
+/// mismatch foot-guns `validate()` now rejects with actionable
+/// diagnostics instead.
+struct Options {
+  /// PLiM banks the program is scheduled onto. 0 compiles the serial
+  /// program only (no scheduling stage); 1 degenerates to the serial
+  /// program modulo cell renaming. Hard API bound: 1024.
+  std::uint32_t banks = 0;
+
+  /// Bank-placement authority when `banks` > 0 (see PlacementMode).
+  PlacementMode placement = PlacementMode::post;
+
+  /// MIG rewriting stage (Algorithm 1). `rewrite.effort` == 0 disables
+  /// rewriting entirely — the network is only cleaned of dangling gates
+  /// before compilation.
+  mig::RewriteOptions rewrite;
+
+  /// MIG → RM3 compilation stage (Algorithm 2).
+  struct Compile {
+    /// §4.2.1 priority candidate selection; false translates in index
+    /// order (Table 1's "naïve" column).
+    bool smart_candidates = true;
+    /// Remember complemented copies of node values for reuse.
+    bool cache_complements = true;
+    /// §3 exposition mode: RM3 slots assigned from the children left to
+    /// right instead of the §4.2.2 case analysis. Contradicts
+    /// `smart_candidates` (validate() rejects the combination).
+    bool textbook_slots = false;
+    /// §4.2.3 free-list discipline (the paper uses FIFO for endurance).
+    core::AllocationPolicy allocation = core::AllocationPolicy::fifo;
+    /// Hard upper bound on distinct RRAM cells; infeasible compilations
+    /// fail with an "rram-cap-exceeded" diagnostic.
+    std::optional<std::uint32_t> rram_cap = std::nullopt;
+  } compile;
+
+  /// Multi-bank scheduling stage (engaged when `banks` > 0). The cost
+  /// model is shared with compile-time placement, so both layers price
+  /// transfers identically — there is no second knob to de-synchronize.
+  struct Schedule {
+    /// Transfer / bus / duplication economics. `cost.bus_width` > 0
+    /// bounds cross-bank copies per step (the bounded inter-bank bus).
+    sched::CostModel cost;
+    /// Heavy-edge clustering before bank assignment (ignored under
+    /// compiler placement, whose hints already cluster).
+    bool cluster = true;
+    /// KL refinement passes over the cluster→bank assignment (0
+    /// disables; the compile-time budget knob).
+    std::uint32_t refine_passes = 2;
+    /// Critical-first bus allocation in the list scheduler.
+    bool lookahead = true;
+    /// Execution model the headline cycle figures are reported for; the
+    /// emitted program always carries both views (steps + sync tokens).
+    sched::ExecutionModel execution = sched::ExecutionModel::lockstep;
+  } schedule;
+
+  /// End-to-end verification the driver runs on every outcome: the
+  /// serial program against bit-parallel MIG simulation, the schedule
+  /// against the serial program (lockstep, plus decoupled when
+  /// `schedule.execution` is decoupled). Failures surface as
+  /// "verify-failed" / "schedule-diverges" diagnostics.
+  struct Verify {
+    bool enabled = true;
+    unsigned rounds = 8;  ///< ×64 random vectors per check
+    std::uint64_t seed = 1;
+  } verify;
+
+  /// The §3 textbook-naïve translation preset (index order, left-to-right
+  /// slots, no complement caching, fresh cells only, no rewriting) — the
+  /// baseline of Fig. 3(b).
+  [[nodiscard]] static Options textbook_naive();
+
+  /// Checks the option set for contradictions. Errors (has_errors())
+  /// mean Driver::run would refuse the configuration; warnings flag
+  /// settings that are silently inert (e.g. a bus width without banks).
+  [[nodiscard]] std::vector<Diagnostic> validate() const;
+};
+
+}  // namespace plim

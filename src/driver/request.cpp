@@ -1,0 +1,85 @@
+#include "driver/request.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace plim {
+
+CompileRequest CompileRequest::from_blif(std::string path, std::string label) {
+  CompileRequest r;
+  r.kind_ = Kind::blif;
+  r.label_ = label.empty() ? path : std::move(label);
+  r.path_ = std::move(path);
+  return r;
+}
+
+CompileRequest CompileRequest::from_benchmark(std::string name) {
+  CompileRequest r;
+  r.kind_ = Kind::benchmark;
+  r.label_ = std::move(name);
+  return r;
+}
+
+CompileRequest CompileRequest::from_mig(mig::Mig network, std::string label) {
+  CompileRequest r;
+  r.kind_ = Kind::network;
+  r.label_ = std::move(label);
+  r.network_ = std::make_shared<const mig::Mig>(std::move(network));
+  return r;
+}
+
+std::vector<CompileRequest> read_manifest(std::istream& in) {
+  std::vector<CompileRequest> requests;
+  std::string line;
+  unsigned lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and surrounding whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first)) {
+      continue;  // blank / comment-only line
+    }
+    std::string second;
+    std::string excess;
+    const bool has_second = static_cast<bool>(tokens >> second);
+    if (tokens >> excess) {
+      throw std::runtime_error("manifest line " + std::to_string(lineno) +
+                               ": trailing token '" + excess + "'");
+    }
+    if (first == "blif") {
+      if (!has_second) {
+        throw std::runtime_error("manifest line " + std::to_string(lineno) +
+                                 ": 'blif' needs a file path");
+      }
+      requests.push_back(CompileRequest::from_blif(std::move(second)));
+    } else if (first == "benchmark") {
+      if (!has_second) {
+        throw std::runtime_error("manifest line " + std::to_string(lineno) +
+                                 ": 'benchmark' needs a name");
+      }
+      requests.push_back(CompileRequest::from_benchmark(std::move(second)));
+    } else if (!has_second) {
+      requests.push_back(CompileRequest::from_benchmark(std::move(first)));
+    } else {
+      throw std::runtime_error("manifest line " + std::to_string(lineno) +
+                               ": expected 'blif <path>', 'benchmark "
+                               "<name>' or a bare benchmark name");
+    }
+  }
+  return requests;
+}
+
+std::vector<CompileRequest> read_manifest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open manifest " + path);
+  }
+  return read_manifest(in);
+}
+
+}  // namespace plim

@@ -1,0 +1,46 @@
+#include "driver/stats_report.hpp"
+
+#include "util/stats.hpp"
+
+namespace plim {
+
+void StatsReport::normalize_timing() {
+  if (schedule) {
+    schedule->schedule_ms = 0.0;
+  }
+}
+
+void StatsReport::write_json_fields(util::JsonWriter& json) const {
+  json.field("benchmark", benchmark);
+  json.field("initial_gates", initial_gates);
+  json.field("gates", gates);
+  json.field("instructions", compile.num_instructions);
+  json.field("rrams", compile.num_rrams);
+  json.field("peak_live_rrams", compile.peak_live_rrams);
+  json.field("complement_materializations",
+             compile.complement_materializations);
+  json.field("verified", verified);
+  json.begin_object("rewrite");
+  json.field("gates_before", rewrite.gates_before);
+  json.field("gates_after", rewrite.gates_after);
+  json.field("depth_before", rewrite.depth_before);
+  json.field("depth_after", rewrite.depth_after);
+  json.field("multi_complement_before", rewrite.multi_complement_before);
+  json.field("multi_complement_after", rewrite.multi_complement_after);
+  json.end_object();
+  if (schedule) {
+    json.begin_object("schedule");
+    sched::write_json_fields(*schedule, json);
+    json.end_object();
+  }
+}
+
+std::string StatsReport::to_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  write_json_fields(json);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace plim

@@ -1,0 +1,314 @@
+#include "driver/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/epfl.hpp"
+#include "core/pipeline.hpp"
+#include "io/blif.hpp"
+
+namespace plim {
+namespace {
+
+bool has_code(const std::vector<Diagnostic>& diags, const std::string& code) {
+  for (const auto& d : diags) {
+    if (d.code == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- options validation matrix ----------------------------------------------
+
+TEST(OptionsValidate, DefaultsAreClean) {
+  EXPECT_TRUE(Options{}.validate().empty());
+  Options banked;
+  banked.banks = 4;
+  banked.placement = PlacementMode::compiler;
+  banked.schedule.execution = sched::ExecutionModel::decoupled;
+  EXPECT_TRUE(banked.validate().empty());
+  EXPECT_TRUE(Options::textbook_naive().validate().empty());
+}
+
+TEST(OptionsValidate, CompilerPlacementNeedsBanks) {
+  Options options;
+  options.placement = PlacementMode::compiler;
+  const auto diags = options.validate();
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_TRUE(has_code(diags, "placement-needs-banks"));
+}
+
+TEST(OptionsValidate, DecoupledExecutionNeedsBanks) {
+  Options options;
+  options.schedule.execution = sched::ExecutionModel::decoupled;
+  const auto diags = options.validate();
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_TRUE(has_code(diags, "execution-needs-banks"));
+}
+
+TEST(OptionsValidate, BanksRangeIsBounded) {
+  Options options;
+  options.banks = 1024;  // the documented maximum is fine
+  EXPECT_TRUE(options.validate().empty());
+  options.banks = 1025;
+  EXPECT_TRUE(has_code(options.validate(), "banks-out-of-range"));
+}
+
+TEST(OptionsValidate, TextbookSlotsConflictWithSmartCandidates) {
+  Options options;
+  options.compile.textbook_slots = true;  // smart_candidates still default-on
+  EXPECT_TRUE(has_code(options.validate(), "textbook-conflicts-smart"));
+  options.compile.smart_candidates = false;
+  EXPECT_TRUE(options.validate().empty());
+}
+
+TEST(OptionsValidate, ZeroRramCapIsRejected) {
+  Options options;
+  options.compile.rram_cap = 0;
+  EXPECT_TRUE(has_code(options.validate(), "rram-cap-zero"));
+}
+
+TEST(OptionsValidate, ZeroVerifyRoundsAreRejected) {
+  Options options;
+  options.verify.rounds = 0;
+  EXPECT_TRUE(has_code(options.validate(), "verify-rounds-zero"));
+  options.verify.enabled = false;  // rounds are then irrelevant
+  EXPECT_TRUE(options.validate().empty());
+}
+
+TEST(OptionsValidate, InertBusWidthIsOnlyAWarning) {
+  Options options;
+  options.schedule.cost.bus_width = 2;  // banks == 0: nothing to bound
+  const auto diags = options.validate();
+  EXPECT_FALSE(has_errors(diags));
+  EXPECT_TRUE(has_code(diags, "bus-width-without-banks"));
+  options.banks = 4;
+  EXPECT_TRUE(options.validate().empty());
+}
+
+TEST(Driver, RefusesContradictoryOptionsPerOutcome) {
+  Options options;
+  options.placement = PlacementMode::compiler;  // banks == 0
+  const Driver driver(options);
+  const auto outcome = driver.run(CompileRequest::from_benchmark("ctrl"));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(has_code(outcome.diagnostics, "placement-needs-banks"));
+}
+
+// ---- request kinds ----------------------------------------------------------
+
+TEST(Driver, BenchmarkAndInMemoryRequestsAgree) {
+  Options options;
+  options.rewrite.effort = 1;
+  options.banks = 2;
+  options.verify.rounds = 2;
+  const Driver driver(options);
+
+  const auto by_name = driver.run(CompileRequest::from_benchmark("ctrl"));
+  const auto by_mig = driver.run(
+      CompileRequest::from_mig(circuits::build_benchmark("ctrl"), "ctrl"));
+  ASSERT_TRUE(by_name.ok()) << by_name.error_summary();
+  ASSERT_TRUE(by_mig.ok()) << by_mig.error_summary();
+  // Same network, same options → byte-identical reports (labels match).
+  auto a = by_name.stats;
+  auto b = by_mig.stats;
+  a.normalize_timing();
+  b.normalize_timing();
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(Driver, BlifRequestRoundTrips) {
+  const auto network = circuits::build_benchmark("int2float");
+  const std::string path = "driver_roundtrip.blif";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    io::write_blif(network, out, "int2float");
+  }
+  Options options;
+  options.rewrite.effort = 1;
+  options.verify.rounds = 2;
+  const auto outcome =
+      Driver(options).run(CompileRequest::from_blif(path, "int2float"));
+  std::remove(path.c_str());
+  // BLIF re-synthesizes the covers AOIG-style, so instruction counts may
+  // differ from the in-memory build — but the driver's verification pins
+  // the compiled program to the parsed network's function.
+  ASSERT_TRUE(outcome.ok()) << outcome.error_summary();
+  EXPECT_TRUE(outcome.stats.verified);
+  EXPECT_GT(outcome.stats.compile.num_instructions, 0u);
+  EXPECT_EQ(outcome.stats.benchmark, "int2float");
+}
+
+TEST(Driver, LoadFailuresAreStructured) {
+  const Driver driver;
+  const auto missing =
+      driver.run(CompileRequest::from_blif("does-not-exist.blif"));
+  EXPECT_FALSE(missing.ok());
+  EXPECT_TRUE(has_code(missing.diagnostics, "input-open-failed"));
+
+  const auto unknown =
+      driver.run(CompileRequest::from_benchmark("no-such-benchmark"));
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_TRUE(has_code(unknown.diagnostics, "unknown-benchmark"));
+}
+
+TEST(Driver, RramCapExceededIsStructured) {
+  Options options;
+  options.rewrite.effort = 1;
+  options.compile.rram_cap = 2;
+  const auto outcome =
+      Driver(options).run(CompileRequest::from_benchmark("ctrl"));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(has_code(outcome.diagnostics, "rram-cap-exceeded"));
+}
+
+TEST(PipelineShim, PreservesRramCapExceptionContract) {
+  // core::run_pipeline is a shim over the driver, but its documented
+  // exception contract survives: capacity infeasibility still throws
+  // core::RramCapExceeded, not a generic invalid_argument.
+  core::CompileOptions copts;
+  copts.rram_cap = 2;
+  EXPECT_THROW(
+      (void)core::run_pipeline(circuits::build_benchmark("ctrl"),
+                               core::PipelineConfig::rewriting_and_compilation,
+                               {}, copts),
+      core::RramCapExceeded);
+}
+
+// ---- manifests --------------------------------------------------------------
+
+TEST(Manifest, ParsesCommentsBareNamesAndKinds) {
+  std::istringstream in(
+      "# EPFL smoke subset\n"
+      "benchmark ctrl\n"
+      "cavlc      # bare token = benchmark shorthand\n"
+      "\n"
+      "blif some/path.blif\n");
+  const auto requests = read_manifest(in);
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].kind(), CompileRequest::Kind::benchmark);
+  EXPECT_EQ(requests[0].label(), "ctrl");
+  EXPECT_EQ(requests[1].label(), "cavlc");
+  EXPECT_EQ(requests[2].kind(), CompileRequest::Kind::blif);
+  EXPECT_EQ(requests[2].path(), "some/path.blif");
+}
+
+TEST(Manifest, RejectsMalformedLines) {
+  std::istringstream trailing("benchmark ctrl extra\n");
+  EXPECT_THROW((void)read_manifest(trailing), std::runtime_error);
+  std::istringstream dangling("blif\n");
+  EXPECT_THROW((void)read_manifest(dangling), std::runtime_error);
+}
+
+// ---- batch determinism ------------------------------------------------------
+
+/// The determinism bar of the facade: a 4-thread batch over ≥4 EPFL
+/// benchmarks must produce byte-identical reports to serial runs. This is
+/// the in-process twin of CI's `plimc --batch --threads 4` diff.
+TEST(Batch, ThreadedEqualsSerialByteForByte) {
+  const std::vector<std::string> names = {"ctrl",   "cavlc", "int2float",
+                                          "router", "dec",   "priority"};
+  std::vector<CompileRequest> requests;
+  for (const auto& name : names) {
+    requests.push_back(CompileRequest::from_benchmark(name));
+  }
+
+  Options options;
+  options.rewrite.effort = 1;
+  options.banks = 2;
+  options.verify.rounds = 1;
+  const Driver driver(options);
+
+  const auto threaded = driver.run_batch(requests, 4);
+  ASSERT_EQ(threaded.size(), requests.size());
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto serial = driver.run(requests[i]);
+    ASSERT_TRUE(serial.ok()) << names[i] << ": " << serial.error_summary();
+    ASSERT_TRUE(threaded[i].ok())
+        << names[i] << ": " << threaded[i].error_summary();
+    auto a = serial.stats;
+    auto b = threaded[i].stats;
+    a.normalize_timing();
+    b.normalize_timing();
+    EXPECT_EQ(a.to_json(), b.to_json()) << names[i];
+  }
+
+  // A single-threaded batch is the same code path minus the pool.
+  const auto serial_batch = driver.run_batch(requests, 1);
+  ASSERT_EQ(serial_batch.size(), threaded.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto a = serial_batch[i].stats;
+    auto b = threaded[i].stats;
+    a.normalize_timing();
+    b.normalize_timing();
+    EXPECT_EQ(a.to_json(), b.to_json()) << names[i];
+  }
+}
+
+TEST(Batch, FailuresStayPerRequest) {
+  std::vector<CompileRequest> requests = {
+      CompileRequest::from_benchmark("ctrl"),
+      CompileRequest::from_benchmark("no-such-benchmark"),
+      CompileRequest::from_benchmark("router"),
+  };
+  Options options;
+  options.rewrite.effort = 1;
+  options.verify.rounds = 1;
+  const auto outcomes = Driver(options).run_batch(requests, 2);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_TRUE(has_code(outcomes[1].diagnostics, "unknown-benchmark"));
+  EXPECT_TRUE(outcomes[2].ok());
+}
+
+// ---- golden StatsReport schema ----------------------------------------------
+
+/// Pins the StatsReport JSON — schema *and* trajectory — for one fully
+/// deterministic configuration. When a PR intentionally changes the
+/// schema or the scheduler's output, regenerate the golden file with
+///   PLIM_REGEN_GOLDEN=1 ./test_driver --gtest_filter=Golden.*
+/// from the build directory and commit the diff.
+TEST(Golden, StatsReportJsonMatchesGoldenFile) {
+  Options options;
+  options.rewrite.effort = 1;
+  options.banks = 2;
+  options.verify.rounds = 2;
+  const auto outcome =
+      Driver(options).run(CompileRequest::from_benchmark("ctrl"));
+  ASSERT_TRUE(outcome.ok()) << outcome.error_summary();
+  auto report = outcome.stats;
+  report.normalize_timing();
+  const auto json = report.to_json();
+
+  const std::string golden_path =
+      std::string(PLIM_SOURCE_DIR) + "/tests/golden/stats_report.json";
+  if (std::getenv("PLIM_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << json << '\n';
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing " << golden_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string expected = buffer.str();
+  if (!expected.empty() && expected.back() == '\n') {
+    expected.pop_back();
+  }
+  EXPECT_EQ(json, expected)
+      << "StatsReport schema/trajectory drifted — if intentional, "
+         "regenerate with PLIM_REGEN_GOLDEN=1 (see test comment)";
+}
+
+}  // namespace
+}  // namespace plim

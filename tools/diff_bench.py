@@ -10,6 +10,12 @@ entries present on only one side are reported but do not fail the diff
 on either side is noted and skipped (the JSON schema may grow), and
 timing fields like schedule_ms are ignored.
 
+Every per-configuration block is one plim::StatsReport — the schema
+shared with `plimc --json` / `plimc --batch`: schedule metrics live in
+the nested "schedule" object (pre-facade trajectories carried them at
+the top level; both shapes are accepted so the diff can bridge the
+schema migration).
+
 Usage: diff_bench.py committed.json fresh.json [--tolerance 0.05]
 """
 
@@ -18,8 +24,15 @@ import json
 import sys
 
 
+def sched(block):
+    """Schedule metrics of one config block (StatsReport or legacy flat)."""
+    if isinstance(block.get("schedule"), dict):
+        return block["schedule"]
+    return block
+
+
 def entries(trajectory):
-    """Yield ((benchmark, mode, banks, bus_width), {steps, transfers})."""
+    """Yield ((benchmark, mode, banks, bus_width), schedule-metrics)."""
     for bench in trajectory.get("benchmarks", []):
         name = bench.get("benchmark", "?")
         for mode, payload in bench.items():
@@ -27,14 +40,16 @@ def entries(trajectory):
                 continue
             if isinstance(payload, dict) and isinstance(
                     payload.get("banks"), list):
-                for entry in payload["banks"]:
+                for entry in (sched(e) for e in payload["banks"]):
                     yield (name, mode, entry["banks"], entry.get("bus_width", 0)), entry
-                for entry in payload.get("bus_4banks", []):
+                for entry in (sched(e) for e in payload.get("bus_4banks", [])):
                     yield (name, mode, 4, entry.get("bus_width", 0)), entry
-            elif isinstance(payload, dict) and "steps" in payload:
-                # flat single-config blocks (e.g. unclustered_4banks)
-                yield (name, mode, payload.get("banks", 0),
-                       payload.get("bus_width", 0)), payload
+            elif isinstance(payload, dict):
+                entry = sched(payload)
+                if "steps" in entry:
+                    # flat single-config blocks (e.g. unclustered_4banks)
+                    yield (name, mode, entry.get("banks", 0),
+                           entry.get("bus_width", 0)), entry
 
 
 def main():
