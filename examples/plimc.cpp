@@ -31,12 +31,21 @@
 ///                    benchmark name; '#' comments). Implies stats-only
 ///                    output: a JSON array of StatsReports with timing
 ///                    normalized, so runs are byte-identical across
-///                    --threads values.
+///                    --threads values. Per-request wall-clock and an
+///                    end-of-batch latency summary (total, p50/p99) go
+///                    to stderr, where they cannot perturb that
+///                    determinism contract.
 ///   --threads N      worker threads for --batch (default 1)
 ///   --json <file|->  machine-readable stats report (StatsReport schema)
 ///                    to a file or stdout; "--json -" without -o
 ///                    suppresses the program listing so the JSON block
 ///                    owns stdout
+///   --trace <file>   capture a Chrome trace-event JSON of the run (one
+///                    span per pipeline phase per request; per-bank
+///                    cycle timelines under --execution decoupled) —
+///                    load it in Perfetto or chrome://tracing
+///   --metrics        print the metrics-registry summary (counters,
+///                    gauges, histograms) to stderr after the run
 ///   --no-verify      skip the end-to-end machine verification
 ///   --stats          print statistics to stderr
 ///
@@ -44,6 +53,7 @@
 /// verification), 2 usage or contradictory options (each rejected with a
 /// diagnostic from plim::Options::validate()).
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -53,7 +63,9 @@
 #include "arch/text.hpp"
 #include "driver/driver.hpp"
 #include "sched/text.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -66,9 +78,20 @@ int usage() {
                "[--refine-passes N]\n"
                "             [--placement post|compiler] "
                "[--execution lockstep|decoupled]\n"
-               "             [--threads N] [--json <file|->] [--no-verify] "
-               "[--stats]\n";
+               "             [--threads N] [--json <file|->] "
+               "[--trace <file>] [--metrics]\n"
+               "             [--no-verify] [--stats]\n";
   return 2;
+}
+
+/// Nearest-rank percentile over an ascending sample (q in [0, 1]).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
 }
 
 void print_stats(const plim::CompileOutcome& outcome) {
@@ -124,9 +147,11 @@ int main(int argc, char** argv) {
   std::string batch_path;
   std::string out_path;
   std::string json_path;
+  std::string trace_path;
   unsigned threads = 1;
   bool verify = true;
   bool stats = false;
+  bool metrics = false;
   plim::Options options;
 
   try {
@@ -247,6 +272,14 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (arg == "--trace") {
+      if (const char* v = next()) {
+        trace_path = v;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--no-verify") {
       verify = false;
     } else if (arg == "--stats") {
@@ -259,6 +292,10 @@ int main(int argc, char** argv) {
     return usage();  // malformed numeric argument
   }
   options.verify.enabled = verify;
+  options.trace.enabled = !trace_path.empty();
+  if (metrics) {
+    plim::util::MetricsRegistry::global().set_enabled(true);
+  }
 
   const bool batch = !batch_path.empty();
   const int sources =
@@ -304,6 +341,9 @@ int main(int argc, char** argv) {
     auto outcomes = driver.run_batch(requests, threads);
 
     bool all_ok = true;
+    std::vector<double> latencies;
+    latencies.reserve(outcomes.size());
+    double batch_total_ms = 0.0;
     plim::util::JsonWriter json;
     json.begin_object();
     json.field("bench", "plimc_batch");
@@ -318,6 +358,14 @@ int main(int argc, char** argv) {
                   << plim::format(d) << '\n';
       }
       all_ok = all_ok && outcome.ok();
+      // Per-request timing goes to stderr *before* normalization zeroes
+      // it: stdout carries the determinism-diffed JSON, stderr the
+      // compile-server-style latency report.
+      const auto ms = outcome.stats.metrics.total_ms;
+      latencies.push_back(ms);
+      batch_total_ms += ms;
+      std::cerr << "plimc: " << outcome.stats.benchmark << ": " << ms
+                << " ms\n";
       // Wall-clock fields are zeroed so a threaded batch is
       // byte-identical to a serial one (CI diffs the two).
       outcome.stats.normalize_timing();
@@ -327,8 +375,19 @@ int main(int argc, char** argv) {
     }
     json.end_array();
     json.end_object();
+    std::sort(latencies.begin(), latencies.end());
+    std::cerr << "plimc: batch of " << outcomes.size() << " requests in "
+              << batch_total_ms << " ms (p50 " << percentile(latencies, 0.50)
+              << " ms, p99 " << percentile(latencies, 0.99) << " ms)\n";
     if (!plim::util::emit_json(json, json_path.empty() ? "-" : json_path,
                                "plimc")) {
+      return 1;
+    }
+    if (metrics) {
+      std::cerr << plim::util::MetricsRegistry::global().summary();
+    }
+    if (!trace_path.empty() &&
+        !plim::util::Tracer::global().write_chrome_trace(trace_path)) {
       return 1;
     }
     return all_ok ? 0 : 1;
@@ -351,6 +410,13 @@ int main(int argc, char** argv) {
 
   if (stats) {
     print_stats(outcome);
+  }
+  if (metrics) {
+    std::cerr << plim::util::MetricsRegistry::global().summary();
+  }
+  if (!trace_path.empty() &&
+      !plim::util::Tracer::global().write_chrome_trace(trace_path)) {
+    return 1;
   }
 
   if (!json_path.empty()) {

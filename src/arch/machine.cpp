@@ -7,6 +7,7 @@
 
 #include "sched/decoupled.hpp"
 #include "sched/parallel_program.hpp"
+#include "sched/timeline.hpp"
 
 namespace plim::arch {
 
@@ -224,6 +225,12 @@ std::vector<std::uint64_t> Machine::run_decoupled_words(
   sched::DecoupledTiming computed;
   if (precomputed == nullptr) {
     computed = sched::decoupled_timing(program, width, phases_per_instruction);
+    // Cycle-level per-bank timeline (no-op while tracing is disabled).
+    // Only for timing computed here: callers passing a precomputed
+    // timing (sched::verify re-runs the program once per round) already
+    // had their one timeline emitted when that timing was derived.
+    sched::trace_decoupled_timeline(program, computed, phases_per_instruction,
+                                    "machine run");
   }
   const auto& timing = precomputed != nullptr ? *precomputed : computed;
 

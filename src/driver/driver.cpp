@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <fstream>
 #include <thread>
@@ -15,6 +16,8 @@
 #include "mig/rewriting.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/verify.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace plim {
 
@@ -68,8 +71,28 @@ const mig::Mig* load_network(const CompileRequest& request,
 }  // namespace
 
 CompileOutcome Driver::run(const CompileRequest& request) const {
+  // Options::trace switches on the process-wide collectors; it never
+  // switches them off, so a caller (plimc --trace) that enabled them
+  // directly keeps collecting across drivers with any option set.
+  if (options_.trace.enabled) {
+    util::Tracer::global().set_enabled(true);
+    util::MetricsRegistry::global().set_enabled(true);
+  }
+  const util::TraceSpan request_span(
+      "request",
+      "\"benchmark\":\"" + util::json_escape(request.label()) + "\"");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto out = run_impl(request);
+  out.stats.metrics.total_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+  return out;
+}
+
+CompileOutcome Driver::run_impl(const CompileRequest& request) const {
   CompileOutcome out;
   out.stats.benchmark = request.label();
+  auto& metrics = out.stats.metrics;
 
   // Contradictory options are a caller error, reported per-outcome so a
   // batch over a bad option set fails every request with the same story.
@@ -80,7 +103,11 @@ CompileOutcome Driver::run(const CompileRequest& request) const {
 
   // ---- load ----------------------------------------------------------------
   std::optional<mig::Mig> loaded;
-  const mig::Mig* network = load_network(request, loaded, out.diagnostics);
+  const mig::Mig* network = nullptr;
+  {
+    const util::ScopedPhase phase("load", &metrics.load_ms);
+    network = load_network(request, loaded, out.diagnostics);
+  }
   if (network == nullptr) {
     return out;
   }
@@ -89,6 +116,7 @@ CompileOutcome Driver::run(const CompileRequest& request) const {
   // ---- rewrite -------------------------------------------------------------
   mig::Mig optimized;
   try {
+    const util::ScopedPhase phase("rewrite", &metrics.rewrite_ms);
     if (options_.rewrite.effort > 0) {
       optimized = mig::rewrite_for_plim(*network, options_.rewrite,
                                         &out.stats.rewrite);
@@ -125,6 +153,7 @@ CompileOutcome Driver::run(const CompileRequest& request) const {
   }
   core::CompileResult compiled;
   try {
+    const util::ScopedPhase phase("compile", &metrics.compile_ms);
     compiled = core::compile(optimized, copts);
   } catch (const core::RramCapExceeded& e) {
     out.diagnostics.push_back(
@@ -144,6 +173,7 @@ CompileOutcome Driver::run(const CompileRequest& request) const {
   // function-changing rewrite cannot hide behind a faithful translation.
   if (options_.verify.enabled) {
     try {
+      const util::ScopedPhase phase("verify", &metrics.verify_ms);
       const auto v =
           core::verify_program(*network, out.program, options_.verify.rounds,
                                options_.verify.seed);
@@ -168,11 +198,14 @@ CompileOutcome Driver::run(const CompileRequest& request) const {
     sopts.refine_passes = options_.schedule.refine_passes;
     sopts.lookahead = options_.schedule.lookahead;
     sopts.execution = options_.schedule.execution;
+    sopts.trace_label = request.label();
+    sopts.trace_timeline = options_.trace.timeline;
     if (out.placement) {
       sopts.placement_hints = out.placement->cell_bank;
     }
     sched::ScheduleResult scheduled;
     try {
+      const util::ScopedPhase phase("schedule", &metrics.schedule_ms);
       scheduled = sched::schedule(out.program, sopts);
     } catch (const std::exception& e) {
       out.diagnostics.push_back(
@@ -186,6 +219,8 @@ CompileOutcome Driver::run(const CompileRequest& request) const {
     }
     if (options_.verify.enabled) {
       try {
+        const util::ScopedPhase phase("verify-schedule",
+                                      &metrics.schedule_verify_ms);
         if (!sched::equivalent_to_serial(out.program, scheduled.program,
                                          options_.verify.rounds,
                                          options_.verify.seed)) {
@@ -212,6 +247,12 @@ CompileOutcome Driver::run(const CompileRequest& request) const {
     }
     out.parallel = std::move(scheduled.program);
     out.stats.schedule = scheduled.stats;
+    metrics.refine_moves_tried = scheduled.stats.refine_moves_tried;
+    metrics.refine_moves_kept = scheduled.stats.refine_moves_kept;
+    metrics.bus_stalls = scheduled.stats.bus_stalls;
+    for (const auto idle : scheduled.stats.bank_idle_cycles) {
+      metrics.bank_idle_cycles += idle;
+    }
   }
 
   out.stats.verified = options_.verify.enabled;

@@ -60,7 +60,10 @@ class Driver {
   /// Runs the full pipeline on one request: load (BLIF / named benchmark
   /// / in-memory MIG) → rewrite → compile → verify → schedule → verify
   /// schedule. Never throws for request- or option-level problems; those
-  /// come back as error diagnostics in the outcome.
+  /// come back as error diagnostics in the outcome. Every phase is timed
+  /// into StatsReport::metrics, and under Options::trace each phase also
+  /// emits a span into util::Tracer (one "request" span per call, so
+  /// run_batch traces show per-thread worklist occupancy).
   [[nodiscard]] CompileOutcome run(const CompileRequest& request) const;
 
   /// Runs every request and returns the outcomes in request order.
@@ -71,6 +74,8 @@ class Driver {
       const std::vector<CompileRequest>& requests, unsigned threads = 1) const;
 
  private:
+  [[nodiscard]] CompileOutcome run_impl(const CompileRequest& request) const;
+
   Options options_;
 };
 

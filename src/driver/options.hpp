@@ -90,6 +90,20 @@ struct Options {
     std::uint64_t seed = 1;
   } verify;
 
+  /// Observability: when enabled, the driver switches on the process-wide
+  /// tracer + metrics registry (util::Tracer / util::MetricsRegistry) and
+  /// emits one span per pipeline phase per request — under run_batch the
+  /// trace shows per-thread worklist occupancy. `timeline` additionally
+  /// renders cycle-accurate per-bank execution timelines for decoupled
+  /// schedules. The per-phase wall-clock metrics in StatsReport are
+  /// measured regardless of this switch; only trace-event collection is
+  /// gated. Export via util::Tracer::global().write_chrome_trace()
+  /// (plimc --trace does both).
+  struct Trace {
+    bool enabled = false;
+    bool timeline = true;
+  } trace;
+
   /// The §3 textbook-naïve translation preset (index order, left-to-right
   /// slots, no complement caching, fresh cells only, no rewriting) — the
   /// baseline of Fig. 3(b).

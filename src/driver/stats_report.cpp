@@ -5,8 +5,17 @@
 namespace plim {
 
 void StatsReport::normalize_timing() {
+  metrics.total_ms = 0.0;
+  metrics.load_ms = 0.0;
+  metrics.rewrite_ms = 0.0;
+  metrics.compile_ms = 0.0;
+  metrics.verify_ms = 0.0;
+  metrics.schedule_ms = 0.0;
+  metrics.schedule_verify_ms = 0.0;
   if (schedule) {
     schedule->schedule_ms = 0.0;
+    schedule->refine_ms = 0.0;
+    schedule->sync_ms = 0.0;
   }
 }
 
@@ -27,6 +36,19 @@ void StatsReport::write_json_fields(util::JsonWriter& json) const {
   json.field("depth_after", rewrite.depth_after);
   json.field("multi_complement_before", rewrite.multi_complement_before);
   json.field("multi_complement_after", rewrite.multi_complement_after);
+  json.end_object();
+  json.begin_object("metrics");
+  json.field("total_ms", metrics.total_ms);
+  json.field("load_ms", metrics.load_ms);
+  json.field("rewrite_ms", metrics.rewrite_ms);
+  json.field("compile_ms", metrics.compile_ms);
+  json.field("verify_ms", metrics.verify_ms);
+  json.field("schedule_ms", metrics.schedule_ms);
+  json.field("schedule_verify_ms", metrics.schedule_verify_ms);
+  json.field("refine_moves_tried", metrics.refine_moves_tried);
+  json.field("refine_moves_kept", metrics.refine_moves_kept);
+  json.field("bus_stalls", metrics.bus_stalls);
+  json.field("bank_idle_cycles", metrics.bank_idle_cycles);
   json.end_object();
   if (schedule) {
     json.begin_object("schedule");

@@ -38,15 +38,37 @@ struct StatsReport {
   /// (false when verification was disabled).
   bool verified = false;
 
-  /// Zeroes wall-clock fields (schedule_ms) so reports are byte-stable
-  /// across runs — batch determinism diffs and golden-file tests depend
-  /// on this.
+  /// Observability summary of the run: where the pipeline spent its
+  /// wall-clock, phase by phase, plus the scheduler/refinement counters
+  /// tuning loops feed on. The wall-clock fields are measured on every
+  /// run (two clock reads per phase, tracing not required) and are the
+  /// exact extents of the trace spans the driver emits under
+  /// Options::trace.
+  struct Metrics {
+    double total_ms = 0.0;    ///< whole request, load through verify
+    double load_ms = 0.0;     ///< parse BLIF / build benchmark network
+    double rewrite_ms = 0.0;  ///< MIG rewriting (Algorithm 1)
+    double compile_ms = 0.0;  ///< MIG → RM3 translation (Algorithm 2)
+    double verify_ms = 0.0;   ///< serial program vs network simulation
+    double schedule_ms = 0.0;  ///< multi-bank scheduling, refinement incl.
+    double schedule_verify_ms = 0.0;  ///< schedule vs serial equivalence
+    std::uint32_t refine_moves_tried = 0;  ///< KL trial moves evaluated
+    std::uint32_t refine_moves_kept = 0;   ///< of which kept
+    std::uint32_t bus_stalls = 0;  ///< bank-steps idled waiting on the bus
+    std::uint64_t bank_idle_cycles = 0;  ///< sum over banks
+  } metrics;
+
+  /// Zeroes *every* wall-clock field (metrics.*_ms plus the schedule's
+  /// schedule_ms / refine_ms / sync_ms) so reports are byte-stable
+  /// across runs and thread counts — batch determinism diffs and
+  /// golden-file tests depend on this.
   void normalize_timing();
 
   /// Emits the report as fields of the currently open JSON object:
   /// benchmark, initial_gates, gates, instructions, rrams,
-  /// peak_live_rrams, verified, a nested "rewrite" object, and — when a
-  /// schedule ran — a nested "schedule" object (the
+  /// peak_live_rrams, verified, a nested "rewrite" object, a nested
+  /// "metrics" object (per-phase timings + scheduler/refine counters),
+  /// and — when a schedule ran — a nested "schedule" object (the
   /// sched::write_json_fields schema).
   void write_json_fields(util::JsonWriter& json) const;
 

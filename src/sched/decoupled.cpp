@@ -388,25 +388,26 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
   //    earlier one — the FIFO bus queue that keeps decoupled makespan
   //    within the lockstep bound.
   const auto stream_latency = phases > 1 ? phases - 1 : phases;
+  enum class EdgeKind : std::uint8_t { stream, sync, bus };
   struct Edge {
     std::uint32_t from;
     std::uint32_t to;
     std::uint64_t latency;
-    bool bus_order;
+    EdgeKind kind;
   };
   std::vector<Edge> edges;
   edges.reserve(fs.total + program.sync_edges().size());
   for (std::uint32_t b = 0; b < fs.banks; ++b) {
     for (std::uint32_t pos = 1; pos < fs.len(b); ++pos) {
       edges.push_back({fs.id(b, pos - 1), fs.id(b, pos), stream_latency,
-                       false});
+                       EdgeKind::stream});
     }
   }
   for (const auto& e : program.sync_edges()) {
     if (e.from_bank < fs.banks && e.to_bank < fs.banks &&
         e.from_pos < fs.len(e.from_bank) && e.to_pos < fs.len(e.to_bank)) {
       edges.push_back({fs.id(e.from_bank, e.from_pos),
-                       fs.id(e.to_bank, e.to_pos), phases, false});
+                       fs.id(e.to_bank, e.to_pos), phases, EdgeKind::sync});
     }
   }
   if (bus_width > 0) {
@@ -425,7 +426,7 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
       }
     }
     for (std::size_t i = 1; i < bus_order.size(); ++i) {
-      edges.push_back({bus_order[i - 1], bus_order[i], 0, true});
+      edges.push_back({bus_order[i - 1], bus_order[i], 0, EdgeKind::bus});
     }
   }
 
@@ -441,13 +442,13 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
   struct Succ {
     std::uint32_t to;
     std::uint64_t latency;
-    bool bus_order;
+    EdgeKind kind;
   };
   std::vector<Succ> succ(edges.size());
   {
     auto cursor = succ_off;
     for (const auto& e : edges) {
-      succ[cursor[e.from]++] = {e.to, e.latency, e.bus_order};
+      succ[cursor[e.from]++] = {e.to, e.latency, e.kind};
     }
   }
 
@@ -459,6 +460,10 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
   std::vector<std::uint64_t> dep_ready(fs.total, 0);
   std::vector<std::uint64_t> bus_floor(fs.total, 0);
   std::vector<std::uint64_t> start(fs.total, 0);
+  // Earliest issue implied by the bank's own pipelined stream alone; any
+  // dependency readiness beyond it came through sync tokens, which is
+  // how the per-op wait splits into sync_wait vs bus_wait below.
+  std::vector<std::uint64_t> stream_ready(fs.total, 0);
   std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
                       std::greater<>>
       servers;
@@ -489,11 +494,14 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
     const auto b = fs.bank_of[i];
     t.bank_finish_cycles[b] = std::max(t.bank_finish_cycles[b], finish);
     for (auto k = succ_off[i]; k < succ_off[i + 1]; ++k) {
-      const auto [j, latency, bus_chain] = succ[k];
-      if (bus_chain) {
+      const auto [j, latency, kind] = succ[k];
+      if (kind == EdgeKind::bus) {
         bus_floor[j] = std::max(bus_floor[j], s);
       } else {
         dep_ready[j] = std::max(dep_ready[j], s + latency);
+        if (kind == EdgeKind::stream) {
+          stream_ready[j] = std::max(stream_ready[j], s + latency);
+        }
       }
       if (--indeg[j] == 0) {
         queue.push_back(j);
@@ -533,9 +541,18 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
     return fs.bank_of[x] < fs.bank_of[y];
   });
   t.order.reserve(fs.total);
+  t.start_cycles.reserve(fs.total);
+  t.sync_wait_cycles.reserve(fs.total);
+  t.bus_wait_cycles.reserve(fs.total);
   for (const auto gid : order) {
     const auto b = fs.bank_of[gid];
     t.order.emplace_back(b, gid - fs.off[b]);
+    t.start_cycles.push_back(start[gid]);
+    // The wait before issue splits at dep_ready: up to there the op was
+    // held by sync tokens (readiness beyond its own stream's pipelining),
+    // past there by the bus (arbiter order + server contention).
+    t.sync_wait_cycles.push_back(dep_ready[gid] - stream_ready[gid]);
+    t.bus_wait_cycles.push_back(start[gid] - dep_ready[gid]);
   }
   return t;
 }

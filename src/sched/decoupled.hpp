@@ -72,6 +72,16 @@ struct DecoupledTiming {
   /// instructions in so every read sees exactly the values the sync
   /// tokens guarantee.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+  /// Per-op cycle accounting, aligned index-for-index with `order`: the
+  /// cycle the op issued, and how its pre-issue wait splits between
+  /// sync-token stalls (dependency ready beyond the bank's own pipelined
+  /// stream) and bus stalls (arbiter order + server contention). These
+  /// feed the cycle-level per-bank trace timelines
+  /// (sched::trace_decoupled_timeline); the aggregate counters above are
+  /// their sums.
+  std::vector<std::uint64_t> start_cycles;
+  std::vector<std::uint64_t> sync_wait_cycles;
+  std::vector<std::uint64_t> bus_wait_cycles;
 };
 
 /// Event-driven timing of the decoupled execution. Every bank advances

@@ -45,11 +45,14 @@ void write_json_fields(const ScheduleStats& stats, util::JsonWriter& json) {
   json.field("utilization", stats.utilization);
   json.field("speedup", stats.speedup);
   json.field("refine_passes", stats.refine_passes);
+  json.field("refine_moves_tried", stats.refine_moves_tried);
   json.field("refine_moves_kept", stats.refine_moves_kept);
   json.field("refine_steps_saved", stats.refine_steps_saved);
   json.field("refine_transfers_saved",
              static_cast<double>(stats.refine_transfers_saved));
   json.field("schedule_ms", stats.schedule_ms);
+  json.field("refine_ms", stats.refine_ms);
+  json.field("sync_ms", stats.sync_ms);
 }
 
 std::uint32_t ParallelProgram::add_input(std::string name) {

@@ -221,7 +221,8 @@ struct ScheduleStats {
   /// each step, decoupled charges waits + tail idle until the makespan.
   std::vector<std::uint64_t> bank_idle_cycles;
   std::uint32_t refine_passes = 0;      ///< KL refinement passes run
-  std::uint32_t refine_moves_kept = 0;  ///< moves/swaps that survived
+  std::uint32_t refine_moves_tried = 0;  ///< moves/swaps evaluated
+  std::uint32_t refine_moves_kept = 0;   ///< moves/swaps that survived
   std::uint32_t refine_steps_saved = 0;  ///< steps removed by refinement
   /// Transfers removed — negative when refinement traded extra copies
   /// for a shorter critical chain (its objective is lexicographic:
@@ -231,6 +232,8 @@ struct ScheduleStats {
   double utilization = 0.0;  ///< parallel_instructions / (steps × banks)
   double speedup = 0.0;      ///< serial_instructions / steps
   double schedule_ms = 0.0;  ///< scheduler wall-clock, refinement included
+  double refine_ms = 0.0;    ///< of which: KL refinement passes
+  double sync_ms = 0.0;      ///< of which: sync derivation + decoupled timing
 };
 
 /// Emits the stats as fields of the currently open JSON object — the one

@@ -8,6 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace plim::sched {
 
 namespace {
@@ -399,8 +402,32 @@ RefineStats refine(const DependenceGraph& graph,
     return load;
   };
 
+  auto& registry = util::MetricsRegistry::global();
+  // Registers a trial's outcome: accept/reject tallies plus a gain
+  // histogram over the step/transfer improvement kept moves bought.
+  const auto record_trial = [&](const RefineEval& before, const RefineEval& r,
+                                bool kept) {
+    if (!registry.enabled()) {
+      return;
+    }
+    registry.counter_add("refine.moves_tried");
+    if (!kept) {
+      registry.counter_add("refine.moves_rejected");
+      return;
+    }
+    registry.counter_add("refine.moves_kept");
+    registry.observe("refine.gain_steps",
+                     static_cast<double>(before.steps) -
+                         static_cast<double>(r.steps));
+    registry.observe("refine.gain_transfers",
+                     static_cast<double>(before.transfers) -
+                         static_cast<double>(r.transfers));
+  };
+
   for (std::uint32_t pass = 0; pass < passes; ++pass) {
     ++stats.passes_run;
+    const util::TraceSpan pass_span("refine.pass",
+                                    "\"pass\":" + std::to_string(pass));
     const auto eff_load = effective_loads();
 
     // Candidates: critical cross-bank edges first (they attack makespan
@@ -647,10 +674,12 @@ RefineStats refine(const DependenceGraph& graph,
                      improves(r) ? "KEEP" : "reject");
       }
       if (improves(r)) {
+        record_trial(best, r, true);
         best = std::move(r);
         ++stats.moves_kept;
         continue;
       }
+      record_trial(best, r, false);
       revert_group(group);
       if (group.size() == 1) {
         rejected.push_back(move_key(m));
@@ -674,9 +703,11 @@ RefineStats refine(const DependenceGraph& graph,
       ++tried;
       ++stats.moves_tried;
       if (improves(r)) {
+        record_trial(best, r, true);
         best = std::move(r);
         ++stats.moves_kept;
       } else {
+        record_trial(best, r, false);
         revert_move(back, undo_partner);
         revert_group(group);
       }

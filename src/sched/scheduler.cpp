@@ -15,6 +15,9 @@
 #include "sched/clustering.hpp"
 #include "sched/decoupled.hpp"
 #include "sched/refine.hpp"
+#include "sched/timeline.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace plim::sched {
 
@@ -490,10 +493,24 @@ ListSchedule list_schedule(const Expansion& ex, std::uint32_t banks,
   std::vector<Prio> deferred;
   std::vector<std::pair<Prio, std::uint32_t>> bank_order;  // (top, bank)
   std::uint32_t scheduled = 0;
+  // Ready-queue occupancy, aggregated locally so the registry (one mutex
+  // per call) is touched exactly once per run, not per step — this loop
+  // runs once per refinement trial move.
+  const bool metrics_on = util::MetricsRegistry::global().enabled();
+  std::uint64_t ready_depth_sum = 0;
+  std::uint64_t ready_depth_max = 0;
   while (scheduled < vn) {
     const auto t = static_cast<std::uint32_t>(ls.step_instrs.size());
     auto& step = ls.step_instrs.emplace_back();
     std::uint32_t bus_used = 0;
+    if (metrics_on) {
+      std::uint64_t depth = 0;
+      for (std::uint32_t b = 0; b < banks; ++b) {
+        depth += ready[b].size();
+      }
+      ready_depth_sum += depth;
+      ready_depth_max = std::max(ready_depth_max, depth);
+    }
 
     // The critical-chain lookahead: serve banks most-critical-first, so
     // zero-slack copies claim the bounded bus before off-chain bulk
@@ -561,6 +578,18 @@ ListSchedule list_schedule(const Expansion& ex, std::uint32_t banks,
         }
       }
     }
+  }
+  if (metrics_on) {
+    auto& reg = util::MetricsRegistry::global();
+    const auto steps = ls.step_instrs.size();
+    reg.counter_add("sched.list.runs");
+    reg.counter_add("sched.list.bus_stalls", ls.bus_stalls);
+    reg.observe("sched.list.ready_depth_mean",
+                steps > 0 ? static_cast<double>(ready_depth_sum) /
+                                static_cast<double>(steps)
+                          : 0.0);
+    reg.observe("sched.list.ready_depth_max",
+                static_cast<double>(ready_depth_max));
   }
 
   if (want_critical_edges) {
@@ -687,6 +716,7 @@ ScheduleResult schedule(const arch::Program& serial,
   };
 
   if (banks > 1) {
+    const util::TraceSpan assign_span("sched.assign");
     if (!opts.placement_hints.empty()) {
       if (opts.placement_hints.size() < serial.num_rrams()) {
         throw std::invalid_argument(
@@ -753,7 +783,9 @@ ScheduleResult schedule(const arch::Program& serial,
   // refines past the favourite (square@8: the chain-height start opens
   // 2.5% behind producer order and finishes 2% ahead).
   RefineStats rstats;
+  double refine_ms = 0.0;
   if (banks > 1 && opts.refine_passes > 0 && num_segments > 1) {
+    const util::ScopedPhase refine_phase("sched.refine", &refine_ms);
     if (cluster_of.empty()) {
       // Hint mode still refines at heavy-edge cluster granularity; the
       // hints are the starting assignment.
@@ -788,12 +820,15 @@ ScheduleResult schedule(const arch::Program& serial,
   // kept refinement move, or the dual-start winner) — reuse that run.
   Expansion ex;
   ListSchedule ls;
-  if (cache.valid && cache.sb == seg_bank) {
-    ex = std::move(cache.ex);
-    ls = std::move(cache.ls);
-  } else {
-    ex = expand(graph, serial, seg_bank, opts.cost);
-    ls = list_schedule(ex, banks, opts.cost, opts.lookahead, false);
+  {
+    const util::TraceSpan pack_span("sched.pack");
+    if (cache.valid && cache.sb == seg_bank) {
+      ex = std::move(cache.ex);
+      ls = std::move(cache.ls);
+    } else {
+      ex = expand(graph, serial, seg_bank, opts.cost);
+      ls = list_schedule(ex, banks, opts.cost, opts.lookahead, false);
+    }
   }
   const auto& virt = ex.virt;
   const auto vn = static_cast<std::uint32_t>(virt.size());
@@ -801,6 +836,8 @@ ScheduleResult schedule(const arch::Program& serial,
   const auto num_vcells = ex.num_vcells;
 
   // ---- physical allocation: disjoint per-bank ranges, FIFO recycling ----
+  std::optional<util::TraceSpan> alloc_span;
+  alloc_span.emplace("sched.alloc");
   std::vector<std::uint32_t> first_step(num_vcells, npos);
   std::vector<std::uint32_t> last_step(num_vcells, 0);
   // Virtual cells read from another bank (transfer sources). Recycling
@@ -917,10 +954,15 @@ ScheduleResult schedule(const arch::Program& serial,
     pp.add_output(serial.output_name(o),
                   final_cell(last_segment_of_cell[serial.output_cell(o)]));
   }
+  alloc_span.reset();
 
   // Sync tokens for decoupled execution: one coalesced signal/wait pair
   // per surviving cross-bank transfer edge (see sched/decoupled.hpp).
-  derive_sync(pp);
+  double sync_ms = 0.0;
+  {
+    const util::ScopedPhase sync_phase("sched.sync", &sync_ms);
+    derive_sync(pp);
+  }
 
   auto& stats = result.stats;
   stats.banks = banks;
@@ -946,6 +988,7 @@ ScheduleResult schedule(const arch::Program& serial,
   stats.bus_stalls = ls.bus_stalls;
   stats.placement_hints_used = !opts.placement_hints.empty();
   stats.refine_passes = rstats.passes_run;
+  stats.refine_moves_tried = rstats.moves_tried;
   stats.refine_moves_kept = rstats.moves_kept;
   stats.refine_steps_saved = rstats.steps_before - rstats.steps_after;
   stats.refine_transfers_saved =
@@ -968,7 +1011,19 @@ ScheduleResult schedule(const arch::Program& serial,
   stats.execution = opts.execution;
   stats.sync_tokens = static_cast<std::uint32_t>(pp.sync_edges().size());
   stats.lockstep_cycles = std::uint64_t{num_steps} * phases;
-  const auto timing = decoupled_timing(pp, opts.cost.bus_width, phases);
+  double timing_ms = 0.0;
+  DecoupledTiming timing;
+  {
+    const util::ScopedPhase timing_phase("sched.timing", &timing_ms);
+    timing = decoupled_timing(pp, opts.cost.bus_width, phases);
+  }
+  sync_ms += timing_ms;
+  if (opts.execution == ExecutionModel::decoupled && opts.trace_timeline) {
+    // The cycle-level per-bank timeline (no-op unless tracing is on).
+    trace_decoupled_timeline(
+        pp, timing, phases,
+        opts.trace_label.empty() ? "schedule" : opts.trace_label);
+  }
   stats.decoupled_cycles = timing.makespan_cycles;
   stats.decoupled_bus_stall_cycles = timing.bus_stall_cycles;
   stats.decoupled_speedup =
@@ -987,6 +1042,8 @@ ScheduleResult schedule(const arch::Program& serial,
           (std::uint64_t{num_steps} - stats.bank_load[b]) * phases;
     }
   }
+  stats.refine_ms = refine_ms;
+  stats.sync_ms = sync_ms;
   stats.schedule_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "arch/program.hpp"
@@ -57,6 +58,16 @@ struct ScheduleOptions {
   /// needs, so `plimc --execution` and Machine::run_decoupled work on
   /// any schedule.
   ExecutionModel execution = ExecutionModel::lockstep;
+
+  /// Label for this schedule's trace artifacts (the name of the
+  /// per-bank cycle timeline process when tracing is enabled and
+  /// `execution` is decoupled) — the driver passes the benchmark name.
+  /// Empty uses "schedule".
+  std::string trace_label;
+
+  /// Whether to render the cycle-accurate per-bank timeline into the
+  /// tracer for decoupled schedules (no-op while tracing is disabled).
+  bool trace_timeline = true;
 };
 
 struct ScheduleResult {
