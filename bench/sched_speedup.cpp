@@ -129,9 +129,9 @@ int main(int argc, char** argv) {
     options.banks = banks;
     options.placement = compiler_placement ? plim::PlacementMode::compiler
                                            : plim::PlacementMode::post;
-    // Converged refinement budget: passes stop early once a pass keeps
-    // no move, so small circuits pay almost nothing.
-    options.schedule.refine_passes = 8;
+    // Default refinement budget (incremental evaluator, 20 passes):
+    // passes stop early once a pass finds nothing new, so small circuits
+    // pay almost nothing.
     // Report cycle figures (makespan_cycles, bank idle) under the
     // decoupled model; lockstep_cycles rides along in the same JSON.
     // This also makes the driver verify the schedule under *both*

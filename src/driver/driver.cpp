@@ -196,6 +196,8 @@ CompileOutcome Driver::run_impl(const CompileRequest& request) const {
     sopts.cost = options_.schedule.cost;
     sopts.cluster = options_.schedule.cluster;
     sopts.refine_passes = options_.schedule.refine_passes;
+    sopts.refine_incremental = options_.schedule.refine_incremental;
+    sopts.refine_resync = options_.schedule.refine_resync;
     sopts.lookahead = options_.schedule.lookahead;
     sopts.execution = options_.schedule.execution;
     sopts.trace_label = request.label();
@@ -249,6 +251,7 @@ CompileOutcome Driver::run_impl(const CompileRequest& request) const {
     out.stats.schedule = scheduled.stats;
     metrics.refine_moves_tried = scheduled.stats.refine_moves_tried;
     metrics.refine_moves_kept = scheduled.stats.refine_moves_kept;
+    metrics.refine_moves_screened = scheduled.stats.refine_moves_screened;
     metrics.bus_stalls = scheduled.stats.bus_stalls;
     for (const auto idle : scheduled.stats.bank_idle_cycles) {
       metrics.bank_idle_cycles += idle;

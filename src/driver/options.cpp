@@ -56,6 +56,13 @@ std::vector<Diagnostic> Options::validate() const {
         "rram_cap = 0 admits no work cells at all — use std::nullopt for "
         "an unbounded array or a positive capacity"));
   }
+  if (schedule.refine_resync == 0) {
+    diags.push_back(Diagnostic::error(
+        "refine-resync-zero",
+        "refine_resync = 0 would never confirm accepted moves against the "
+        "exact evaluator — use 1 (confirm every accept, the default) or a "
+        "larger interval for deferred resync"));
+  }
   if (verify.enabled && verify.rounds == 0) {
     diags.push_back(Diagnostic::error(
         "verify-rounds-zero",

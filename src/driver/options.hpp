@@ -70,8 +70,22 @@ struct Options {
     /// compiler placement, whose hints already cluster).
     bool cluster = true;
     /// KL refinement passes over the cluster→bank assignment (0
-    /// disables; the compile-time budget knob).
-    std::uint32_t refine_passes = 2;
+    /// disables; the compile-time budget knob). The default assumes the
+    /// incremental screen below — 20 screened passes cost less
+    /// wall-clock than the 2 full-evaluation passes that used to be the
+    /// default.
+    std::uint32_t refine_passes = 20;
+    /// Screen refinement trial moves with the O(window) incremental
+    /// delta evaluator and spend exact re-schedules only on promising
+    /// candidates (plimc --refine-eval {incremental,full}). false
+    /// re-schedules every trial exactly.
+    bool refine_incremental = true;
+    /// Exact-confirmation cadence on the incremental path (plimc
+    /// --refine-resync K): 1 confirms every accepted move with a full
+    /// re-schedule; K > 1 accepts up to K moves on the estimate between
+    /// resyncs, rolling back when the exact evaluation disagrees. Must
+    /// be ≥ 1 (validate() rejects 0).
+    std::uint32_t refine_resync = 1;
     /// Critical-first bus allocation in the list scheduler.
     bool lookahead = true;
     /// Execution model the headline cycle figures are reported for; the

@@ -52,8 +52,11 @@ struct StatsReport {
     double verify_ms = 0.0;   ///< serial program vs network simulation
     double schedule_ms = 0.0;  ///< multi-bank scheduling, refinement incl.
     double schedule_verify_ms = 0.0;  ///< schedule vs serial equivalence
-    std::uint32_t refine_moves_tried = 0;  ///< KL trial moves evaluated
+    std::uint32_t refine_moves_tried = 0;  ///< KL trial moves priced
     std::uint32_t refine_moves_kept = 0;   ///< of which kept
+    /// Of refine_moves_tried: rejected by the incremental estimate alone
+    /// (no exact re-schedule spent).
+    std::uint32_t refine_moves_screened = 0;
     std::uint32_t bus_stalls = 0;  ///< bank-steps idled waiting on the bus
     std::uint64_t bank_idle_cycles = 0;  ///< sum over banks
   } metrics;

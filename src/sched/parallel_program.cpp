@@ -45,8 +45,12 @@ void write_json_fields(const ScheduleStats& stats, util::JsonWriter& json) {
   json.field("utilization", stats.utilization);
   json.field("speedup", stats.speedup);
   json.field("refine_passes", stats.refine_passes);
+  json.field("refine_eval",
+             stats.refine_incremental ? "incremental" : "full");
   json.field("refine_moves_tried", stats.refine_moves_tried);
   json.field("refine_moves_kept", stats.refine_moves_kept);
+  json.field("refine_moves_screened", stats.refine_moves_screened);
+  json.field("refine_full_evals", stats.refine_full_evals);
   json.field("refine_steps_saved", stats.refine_steps_saved);
   json.field("refine_transfers_saved",
              static_cast<double>(stats.refine_transfers_saved));

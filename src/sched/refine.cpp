@@ -1,13 +1,17 @@
 #include "sched/refine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <optional>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "sched/incremental.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -24,6 +28,15 @@ struct Move {
   std::uint32_t cluster;  ///< dense cluster index
   std::uint32_t bank;
   std::uint32_t seg = npos;  ///< npos = whole cluster
+};
+
+/// A group of moves judged with one trial evaluation, tagged with its
+/// stream's provenance: `screened` streams are load/transfer-visible
+/// (the incremental estimate prices them well), the rest are
+/// chain-shaped and go straight to exact evaluation.
+struct Group {
+  std::vector<Move> moves;
+  bool screened = false;
 };
 
 /// Static, assignment-independent view of the segment/cluster structure:
@@ -217,9 +230,11 @@ RefineStats refine(const DependenceGraph& graph,
                    std::vector<std::uint32_t>& seg_bank,
                    const std::vector<std::uint32_t>& cluster_of,
                    std::uint32_t banks, const CostModel& cost,
-                   std::uint32_t passes, const RefineEvaluator& evaluate,
+                   const RefineOptions& options,
+                   const RefineEvaluator& evaluate,
                    const RefineEval* baseline) {
   RefineStats stats;
+  const auto passes = options.passes;
   if (banks <= 1 || passes == 0 || graph.num_segments() == 0) {
     return stats;
   }
@@ -228,6 +243,7 @@ RefineStats refine(const DependenceGraph& graph,
   if (num_clusters <= 1) {
     return stats;
   }
+  const auto t0 = std::chrono::steady_clock::now();
 
   // Per-bank instruction loads (throughput-bound surrogate) and, per
   // cluster, the per-member load split by bank — clusters may straddle
@@ -282,9 +298,41 @@ RefineStats refine(const DependenceGraph& graph,
   stats.steps_before = best.steps;
   stats.transfers_before = best.transfers;
 
+  // The incremental screen, anchored on the exact starting evaluation.
+  const bool use_inc = options.incremental;
+  const auto resync_interval = std::max<std::uint32_t>(
+      options.resync_interval, 1);
+  stats.incremental = use_inc;
+  std::optional<IncrementalEval> inc;
+  if (use_inc) {
+    inc.emplace(graph, cost, banks);
+    inc->resync(seg_bank, best);
+  }
+  // Current reference the screen compares estimates against: equal to
+  // `best` whenever the state is exactly anchored; estimate-based while
+  // deferred-mode (resync_interval > 1) accepts ride between resyncs.
+  std::uint32_t cur_steps = best.steps;
+  std::uint32_t cur_transfers = best.transfers;
+  // Last exact anchor for deferred-mode rollback.
+  std::vector<std::uint32_t> anchor_bank;
+  if (use_inc && resync_interval > 1) {
+    anchor_bank = seg_bank;
+  }
+  std::uint32_t pending = 0;  ///< estimate-accepted moves since last anchor
+
   std::vector<std::uint32_t> scratch;
   scratch.reserve(banks);
-  const std::uint32_t budget = 8 + 2 * banks;
+  // Exact re-schedules per pass. The full evaluator spends its whole
+  // budget on blind trials; under screening most exact evaluations are
+  // *confirmations* of moves the estimate already liked, so each pass
+  // needs fewer raw exact slots to keep the same acceptance flow — that
+  // is where the wall-clock headroom for the 10x pass budget comes from.
+  const std::uint32_t full_budget =
+      use_inc ? 6 + banks : 8 + 2 * banks;
+  // Screened estimates are ~3 orders of magnitude cheaper than an exact
+  // re-schedule, so the incremental path prices far more candidates.
+  const std::uint32_t trial_budget =
+      use_inc ? 48 * full_budget : full_budget;
 
   const auto move_seg = [&](std::uint32_t s, std::uint32_t q) {
     bank_load[seg_bank[s]] -= seg_size[s];
@@ -353,14 +401,16 @@ RefineStats refine(const DependenceGraph& graph,
     return partner;
   };
 
-  // Moves rejected by the evaluator, remembered across passes: the
-  // candidate generators are deterministic, so without this a pass that
-  // keeps nothing would regenerate and retry the exact same rejected
-  // list forever instead of exploring further down the gain order.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> rejected;
+  // Moves rejected (by screen or exact evaluation), remembered across
+  // passes: the candidate generators are deterministic, so without this
+  // a pass that keeps nothing would regenerate and retry the exact same
+  // rejected list forever instead of exploring further down the gain
+  // order. Hash sets — the incremental path tries thousands of moves.
+  std::unordered_set<std::uint64_t> rejected;
   const auto move_key = [](const Move& m) {
-    return m.seg != npos ? std::make_pair(m.seg | 0x80000000u, m.bank)
-                         : std::make_pair(m.cluster, m.bank);
+    const auto hi = m.seg != npos ? (std::uint64_t{m.seg} | 0x80000000u)
+                                  : std::uint64_t{m.cluster};
+    return (hi << 32) | m.bank;
   };
   // A rejected batch regenerates identically while the assignment is
   // unchanged — remember it so convergence is detected.
@@ -405,29 +455,185 @@ RefineStats refine(const DependenceGraph& graph,
   auto& registry = util::MetricsRegistry::global();
   // Registers a trial's outcome: accept/reject tallies plus a gain
   // histogram over the step/transfer improvement kept moves bought.
-  const auto record_trial = [&](const RefineEval& before, const RefineEval& r,
-                                bool kept) {
+  // Screened (estimate-only) and exact trials tally identically; the
+  // screened counter records how many never cost an exact re-schedule.
+  const auto record_trial = [&](std::uint32_t steps0, std::uint32_t xfer0,
+                                std::uint32_t steps1, std::uint32_t xfer1,
+                                bool kept, bool screened_only) {
     if (!registry.enabled()) {
       return;
     }
     registry.counter_add("refine.moves_tried");
+    if (screened_only) {
+      registry.counter_add("refine.moves_screened");
+    }
     if (!kept) {
       registry.counter_add("refine.moves_rejected");
       return;
     }
     registry.counter_add("refine.moves_kept");
-    registry.observe("refine.gain_steps",
-                     static_cast<double>(before.steps) -
-                         static_cast<double>(r.steps));
-    registry.observe("refine.gain_transfers",
-                     static_cast<double>(before.transfers) -
-                         static_cast<double>(r.transfers));
+    registry.observe("refine.gain_steps", static_cast<double>(steps0) -
+                                              static_cast<double>(steps1));
+    registry.observe("refine.gain_transfers", static_cast<double>(xfer0) -
+                                                  static_cast<double>(xfer1));
+  };
+
+  const bool debug = std::getenv("PLIM_REFINE_DEBUG") != nullptr;
+
+  // Per-pass budget counters (reset each pass; lambdas below close over
+  // them).
+  std::uint32_t tried = 0;
+  std::uint32_t full_used = 0;
+
+  std::vector<std::vector<std::uint32_t>> undos;
+  std::vector<IncrementalEval::MovedSeg> moved;
+  const auto collect_moved = [&](const Move& m) {
+    if (m.seg != npos) {
+      if (seg_bank[m.seg] != m.bank) {
+        moved.emplace_back(m.seg, seg_bank[m.seg]);
+      }
+      return;
+    }
+    for (auto k = st.member_off[m.cluster]; k < st.member_off[m.cluster + 1];
+         ++k) {
+      const auto s = st.member_seg[k];
+      if (seg_bank[s] != m.bank) {
+        moved.emplace_back(s, seg_bank[s]);
+      }
+    }
+  };
+  const auto apply_group = [&](const std::vector<Move>& g) {
+    undos.clear();
+    moved.clear();
+    for (const auto& m : g) {
+      collect_moved(m);
+      undos.emplace_back();
+      apply_move(m, undos.back());
+    }
+  };
+  const auto revert_group = [&](const std::vector<Move>& g) {
+    for (std::size_t k = g.size(); k-- > 0;) {
+      revert_move(g[k], undos[k]);
+    }
+  };
+
+  // Adopts `r` (an exact evaluation of the current seg_bank) as the new
+  // anchor: all pending estimate-accepted moves are confirmed.
+  const auto adopt_anchor = [&](RefineEval&& r) {
+    best = std::move(r);
+    cur_steps = best.steps;
+    cur_transfers = best.transfers;
+    if (inc) {
+      inc->resync(seg_bank, best);
+    }
+    if (use_inc && resync_interval > 1) {
+      anchor_bank = seg_bank;
+    }
+    pending = 0;
+  };
+  // Deferred-mode exact resync: confirm the pending estimate-accepted
+  // batch, or roll everything back to the last exact anchor.
+  const auto settle_pending = [&] {
+    if (pending == 0) {
+      return;
+    }
+    auto r = evaluate(seg_bank);
+    ++full_used;
+    ++stats.full_evals;
+    ++stats.resyncs;
+    if (improves(r)) {
+      if (debug) {
+        std::fprintf(stderr, "refine: resync CONFIRMED %u pending -> %u/%u\n",
+                     pending, r.steps, r.transfers);
+      }
+      adopt_anchor(std::move(r));
+      return;
+    }
+    if (debug) {
+      std::fprintf(stderr,
+                   "refine: resync ROLLBACK %u pending (%u/%u vs %u/%u)\n",
+                   pending, r.steps, r.transfers, best.steps, best.transfers);
+    }
+    seg_bank = anchor_bank;
+    bank_load.assign(banks, 0);
+    for (std::uint32_t s = 0; s < graph.num_segments(); ++s) {
+      bank_load[seg_bank[s]] += seg_size[s];
+    }
+    inc->resync(seg_bank, best);
+    cur_steps = best.steps;
+    cur_transfers = best.transfers;
+    pending = 0;
+  };
+
+  // Prices one group; returns whether it was kept. Screened groups are
+  // estimate-priced first and only promising ones earn an exact
+  // re-schedule (or, in deferred mode, an estimate-accept).
+  const auto try_group = [&](const std::vector<Move>& g,
+                             bool screened) -> bool {
+    apply_group(g);
+    ++tried;
+    ++stats.moves_tried;
+    if (screened && inc) {
+      const auto est = inc->estimate(seg_bank, moved);
+      const bool promising =
+          est.steps < cur_steps ||
+          (est.steps == cur_steps && est.transfers < cur_transfers);
+      if (!promising) {
+        ++stats.moves_screened;
+        record_trial(cur_steps, cur_transfers, est.steps, est.transfers,
+                     false, true);
+        revert_group(g);
+        return false;
+      }
+      if (resync_interval > 1) {
+        // Estimate-accept: commit the delta, settle at the resync
+        // cadence. moved still matches the applied group.
+        inc->commit(seg_bank, moved);
+        record_trial(cur_steps, cur_transfers, est.steps, est.transfers,
+                     true, true);
+        cur_steps = est.steps;
+        cur_transfers = est.transfers;
+        ++stats.moves_kept;
+        ++pending;
+        if (pending >= resync_interval) {
+          settle_pending();
+        }
+        return true;
+      }
+    }
+    auto r = evaluate(seg_bank);
+    ++full_used;
+    ++stats.full_evals;
+    if (debug) {
+      const auto& m = g.front();
+      std::fprintf(stderr,
+                   "refine: group size=%zu first=(c%u b%u s%d)%s -> steps %u "
+                   "xfer %u (best %u/%u) %s\n",
+                   g.size(), m.cluster, m.bank,
+                   m.seg == npos ? -1 : static_cast<int>(m.seg),
+                   screened ? " [screened]" : "", r.steps, r.transfers,
+                   best.steps, best.transfers,
+                   improves(r) ? "KEEP" : "reject");
+    }
+    if (improves(r)) {
+      record_trial(best.steps, best.transfers, r.steps, r.transfers, true,
+                   false);
+      adopt_anchor(std::move(r));
+      ++stats.moves_kept;
+      return true;
+    }
+    record_trial(best.steps, best.transfers, r.steps, r.transfers, false,
+                 false);
+    revert_group(g);
+    return false;
   };
 
   for (std::uint32_t pass = 0; pass < passes; ++pass) {
     ++stats.passes_run;
-    const util::TraceSpan pass_span("refine.pass",
-                                    "\"pass\":" + std::to_string(pass));
+    const util::TraceSpan pass_span(
+        "refine.pass", "\"pass\":" + std::to_string(pass) +
+                           ",\"mode\":\"" +
+                           (use_inc ? "incremental" : "full") + "\"");
     const auto eff_load = effective_loads();
 
     // Candidates: critical cross-bank edges first (they attack makespan
@@ -436,18 +642,18 @@ RefineStats refine(const DependenceGraph& graph,
     std::vector<Move> cand_local;
     std::vector<Move> cand_balance;
     std::vector<Move> cand_bucket;
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> seen;
+    std::vector<Move> cand_fine;
+    std::unordered_set<std::uint64_t> seen;
     const auto push_candidate = [&](std::vector<Move>& out, std::uint32_t c,
                                     std::uint32_t q) {
       if (q >= banks || fully_in(c, q)) {
         return;
       }
-      const auto key = std::make_pair(c, q);
-      if (std::find(seen.begin(), seen.end(), key) != seen.end() ||
-          std::find(rejected.begin(), rejected.end(), key) != rejected.end()) {
+      const auto key = (std::uint64_t{c} << 32) | q;
+      if (seen.count(key) != 0 || rejected.count(key) != 0) {
         return;
       }
-      seen.push_back(key);
+      seen.insert(key);
       out.push_back({c, q});
     };
     const auto push_segment_candidate = [&](std::vector<Move>& out,
@@ -455,18 +661,17 @@ RefineStats refine(const DependenceGraph& graph,
       if (q >= banks || seg_bank[s] == q) {
         return;
       }
-      const auto key = std::make_pair(s | 0x80000000u, q);
-      if (std::find(seen.begin(), seen.end(), key) != seen.end() ||
-          std::find(rejected.begin(), rejected.end(), key) != rejected.end()) {
+      const auto key = ((std::uint64_t{s} | 0x80000000u) << 32) | q;
+      if (seen.count(key) != 0 || rejected.count(key) != 0) {
         return;
       }
-      seen.push_back(key);
+      seen.insert(key);
       out.push_back({npos, q, s});
     };
     for (const auto& [ps, cs] : best.critical_cross_edges) {
       push_candidate(cand_cross, st.cluster_idx[cs], seg_bank[ps]);
       push_candidate(cand_cross, st.cluster_idx[ps], seg_bank[cs]);
-      if (cand_cross.size() >= budget) {
+      if (cand_cross.size() >= full_budget) {
         break;
       }
     }
@@ -477,7 +682,7 @@ RefineStats refine(const DependenceGraph& graph,
     // into the chain's own cluster, where whole-cluster moves cannot
     // separate them.
     for (const auto& [ps, rs] : best.critical_local_edges) {
-      if (cand_local.size() >= budget) {
+      if (cand_local.size() >= full_budget) {
         break;
       }
       const auto home = seg_bank[rs];
@@ -497,58 +702,56 @@ RefineStats refine(const DependenceGraph& graph,
     // (tightly coupled clusters always price negative there) — for a
     // throughput-bound circuit the exact evaluator confirms the step win
     // the surrogate cannot see.
-    {
-      std::uint32_t peak_bank = 0;
-      std::uint32_t low_bank = 0;
-      for (std::uint32_t b = 1; b < banks; ++b) {
-        if (eff_load[b] > eff_load[peak_bank]) {
-          peak_bank = b;
+    std::uint32_t peak_bank = 0;
+    std::uint32_t low_bank = 0;
+    for (std::uint32_t b = 1; b < banks; ++b) {
+      if (eff_load[b] > eff_load[peak_bank]) {
+        peak_bank = b;
+      }
+      if (eff_load[b] < eff_load[low_bank]) {
+        low_bank = b;
+      }
+    }
+    if (eff_load[peak_bank] > eff_load[low_bank]) {
+      // Rank by *net* peak relief, not raw size: evacuating a cluster
+      // whose defs the peak bank keeps consuming re-imports
+      // transfer_instructions of copy work per such def right back
+      // into the peak bank. Boundary clusters relieve; embedded ones
+      // backfire.
+      const auto net_relief = [&](std::uint32_t c) {
+        std::int64_t copies_back = 0;
+        for (auto k = st.produced_off[c]; k < st.produced_off[c + 1]; ++k) {
+          const auto d = st.produced_def[k];
+          for (auto r = st.reader_off[d]; r < st.reader_off[d + 1]; ++r) {
+            const auto rs = st.reader_seg[r];
+            if (st.cluster_idx[rs] != c && seg_bank[rs] == peak_bank) {
+              ++copies_back;
+              break;  // one copy per (def, bank), however many readers
+            }
+          }
         }
-        if (eff_load[b] < eff_load[low_bank]) {
-          low_bank = b;
+        return static_cast<std::int64_t>(st.cluster_size[c]) -
+               static_cast<std::int64_t>(cost.transfer_instructions) *
+                   copies_back;
+      };
+      const auto balance_cap = use_inc ? trial_budget : full_budget / 2;
+      std::vector<std::pair<std::int64_t, std::uint32_t>> in_peak;
+      for (std::uint32_t c = 0; c < num_clusters; ++c) {
+        if (fully_in(c, peak_bank)) {
+          const auto relief = net_relief(c);
+          if (relief > 0) {
+            in_peak.emplace_back(-relief, c);  // best relief first
+          }
         }
       }
-      if (eff_load[peak_bank] > eff_load[low_bank]) {
-        // Rank by *net* peak relief, not raw size: evacuating a cluster
-        // whose defs the peak bank keeps consuming re-imports
-        // transfer_instructions of copy work per such def right back
-        // into the peak bank. Boundary clusters relieve; embedded ones
-        // backfire.
-        const auto net_relief = [&](std::uint32_t c) {
-          std::int64_t copies_back = 0;
-          for (auto k = st.produced_off[c]; k < st.produced_off[c + 1]; ++k) {
-            const auto d = st.produced_def[k];
-            for (auto r = st.reader_off[d]; r < st.reader_off[d + 1]; ++r) {
-              const auto rs = st.reader_seg[r];
-              if (st.cluster_idx[rs] != c && seg_bank[rs] == peak_bank) {
-                ++copies_back;
-                break;  // one copy per (def, bank), however many readers
-              }
-            }
-          }
-          return static_cast<std::int64_t>(st.cluster_size[c]) -
-                 static_cast<std::int64_t>(cost.transfer_instructions) *
-                     copies_back;
-        };
-        std::vector<std::pair<std::int64_t, std::uint32_t>> in_peak;
-        for (std::uint32_t c = 0; c < num_clusters; ++c) {
-          if (fully_in(c, peak_bank)) {
-            const auto relief = net_relief(c);
-            if (relief > 0) {
-              in_peak.emplace_back(-relief, c);  // best relief first
-            }
-          }
+      std::sort(in_peak.begin(), in_peak.end());
+      for (const auto& [neg_relief, c] : in_peak) {
+        if (cand_balance.size() >= balance_cap) {
+          break;
         }
-        std::sort(in_peak.begin(), in_peak.end());
-        for (const auto& [neg_relief, c] : in_peak) {
-          if (cand_balance.size() >= budget / 2) {
-            break;
-          }
-          // Only moves that actually lower the peak are worth a trial.
-          if (eff_load[low_bank] + st.cluster_size[c] <
-              eff_load[peak_bank]) {
-            push_candidate(cand_balance, c, low_bank);
-          }
+        // Only moves that actually lower the peak are worth a trial.
+        if (eff_load[low_bank] + st.cluster_size[c] < eff_load[peak_bank]) {
+          push_candidate(cand_balance, c, low_bank);
         }
       }
     }
@@ -584,12 +787,36 @@ RefineStats refine(const DependenceGraph& graph,
         buckets[bucket].push_back({c, best_bank});
       }
     }
+    const auto bucket_cap = use_inc ? trial_budget : full_budget;
     for (std::size_t bkt = buckets.size(); bkt-- > 0;) {
       for (const auto& m : buckets[bkt]) {
-        if (cand_bucket.size() >= budget) {
+        if (cand_bucket.size() >= bucket_cap) {
           break;
         }
         push_candidate(cand_bucket, m.cluster, m.bank);
+      }
+    }
+
+    // Fine-grained peak spills (incremental only): individual segments
+    // of the peak bank offered to the least-loaded bank, largest first.
+    // Exact evaluation could never afford segment granularity — the
+    // screen prices hundreds of these for less than one re-schedule and
+    // surfaces the few that actually lower the peak. This is the stream
+    // that attacks load-bound stragglers (square) whose clusters are
+    // too coarse to balance.
+    if (use_inc && eff_load[peak_bank] > eff_load[low_bank]) {
+      std::vector<std::pair<std::int64_t, std::uint32_t>> in_peak_segs;
+      for (std::uint32_t s = 0; s < graph.num_segments(); ++s) {
+        if (seg_bank[s] == peak_bank && seg_size[s] > 0) {
+          in_peak_segs.emplace_back(-std::int64_t{seg_size[s]}, s);
+        }
+      }
+      std::sort(in_peak_segs.begin(), in_peak_segs.end());
+      for (const auto& [neg_size, s] : in_peak_segs) {
+        if (cand_fine.size() >= trial_budget) {
+          break;
+        }
+        push_segment_candidate(cand_fine, s, low_bank);
       }
     }
 
@@ -614,79 +841,65 @@ RefineStats refine(const DependenceGraph& graph,
       }
     }
 
-    // Candidate groups, one trial schedule each: the batch first, then
-    // the three single-move streams interleaved so a latency-bound
-    // circuit's spread moves and a throughput-bound circuit's balance
-    // moves both get tried within the bounded budget.
-    std::vector<std::vector<Move>> groups;
+    // Candidate groups, one trial each: the batch first, then the
+    // streams interleaved so a latency-bound circuit's spread moves and
+    // a throughput-bound circuit's balance moves both get tried within
+    // the bounded budget. Chain-shaped streams (cross, local, batch) go
+    // straight to exact evaluation — their step effect is invisible to
+    // the load model and a strict screen would starve them; the
+    // load/transfer-visible streams are screened.
+    std::vector<Group> groups;
     if (batch.size() > 1 && !same_moves(batch, rejected_batch)) {
-      groups.push_back(std::move(batch));
+      groups.push_back({std::move(batch), false});
     }
-    for (std::size_t k = 0;
-         k < std::max({cand_cross.size(), cand_local.size(),
-                       cand_balance.size(), cand_bucket.size()});
-         ++k) {
-      for (const auto* src :
-           {&cand_cross, &cand_local, &cand_balance, &cand_bucket}) {
-        if (k < src->size()) {
-          groups.push_back({(*src)[k]});
+    const std::pair<const std::vector<Move>*, bool> streams[] = {
+        {&cand_cross, false},
+        {&cand_local, false},
+        {&cand_balance, use_inc},
+        {&cand_bucket, use_inc},
+        {&cand_fine, true},
+    };
+    // Screened streams drain two entries per round: their rejects are
+    // priced by the estimate alone, so feeding them faster spends the
+    // exact budget on screen-approved confirmations instead of blind
+    // chain-stream trials.
+    std::size_t idx[std::size(streams)] = {};
+    for (bool progress = true; progress;) {
+      progress = false;
+      for (std::size_t si = 0; si < std::size(streams); ++si) {
+        const auto& [src, screened] = streams[si];
+        const std::size_t take = screened ? 2 : 1;
+        for (std::size_t t = 0; t < take && idx[si] < src->size(); ++t) {
+          groups.push_back({{(*src)[idx[si]++]}, screened});
+          progress = true;
         }
       }
     }
 
-    std::uint32_t tried = 0;
-    std::vector<std::vector<std::uint32_t>> undos;
-    std::vector<std::uint32_t> undo_partner;
-    const auto apply_group = [&](const std::vector<Move>& g) {
-      undos.clear();
-      for (const auto& m : g) {
-        undos.emplace_back();
-        apply_move(m, undos.back());
-      }
-    };
-    const auto revert_group = [&](const std::vector<Move>& g) {
-      for (std::size_t k = g.size(); k-- > 0;) {
-        revert_move(g[k], undos[k]);
-      }
-    };
+    tried = 0;
+    full_used = 0;
     for (const auto& group : groups) {
-      if (tried >= budget) {
+      if (tried >= trial_budget || full_used >= full_budget) {
         break;
       }
-      const auto& m = group.front();
-      if (group.size() == 1 &&
+      const auto& m = group.moves.front();
+      if (group.moves.size() == 1 &&
           (m.seg != npos ? seg_bank[m.seg] == m.bank
                          : fully_in(m.cluster, m.bank))) {
         continue;  // an earlier kept move already homed it
       }
-      apply_group(group);
-      auto r = evaluate(seg_bank);
-      ++tried;
-      ++stats.moves_tried;
-      if (std::getenv("PLIM_REFINE_DEBUG") != nullptr) {
-        std::fprintf(stderr,
-                     "refine: pass %u group#%zu size=%zu first=(c%u b%u s%d) "
-                     "-> steps %u xfer %u (best %u/%u) %s\n",
-                     pass, static_cast<std::size_t>(&group - groups.data()),
-                     group.size(), m.cluster, m.bank,
-                     m.seg == npos ? -1 : static_cast<int>(m.seg), r.steps,
-                     r.transfers, best.steps, best.transfers,
-                     improves(r) ? "KEEP" : "reject");
-      }
-      if (improves(r)) {
-        record_trial(best, r, true);
-        best = std::move(r);
-        ++stats.moves_kept;
+      const bool kept = try_group(group.moves, group.screened);
+      if (kept) {
         continue;
       }
-      record_trial(best, r, false);
-      revert_group(group);
-      if (group.size() == 1) {
-        rejected.push_back(move_key(m));
+      if (group.moves.size() == 1) {
+        rejected.insert(move_key(m));
       } else {
-        rejected_batch = group;
+        rejected_batch = group.moves;
+        continue;
       }
-      if (group.size() > 1 || m.seg != npos || tried >= budget) {
+      if (m.seg != npos || tried >= trial_budget ||
+          full_used >= full_budget) {
         continue;  // swap retries only make sense for single cluster moves
       }
       // One swap retry: exchange with the closest-sized cluster of the
@@ -697,27 +910,29 @@ RefineStats refine(const DependenceGraph& graph,
       }
       const Move back{partner,
                       seg_bank[st.member_seg[st.member_off[m.cluster]]]};
-      apply_group(group);
-      apply_move(back, undo_partner);
-      r = evaluate(seg_bank);
-      ++tried;
-      ++stats.moves_tried;
-      if (improves(r)) {
-        record_trial(best, r, true);
-        best = std::move(r);
-        ++stats.moves_kept;
-      } else {
-        record_trial(best, r, false);
-        revert_move(back, undo_partner);
-        revert_group(group);
-      }
+      try_group({m, back}, group.screened);
     }
+    // Settle deferred accepts before the pass ends so candidate
+    // generation (and the final result) always sees exact state.
+    settle_pending();
     if (tried == 0) {
       break;  // nothing new to try — further passes would be no-ops
     }
   }
+  settle_pending();
   stats.steps_after = best.steps;
   stats.transfers_after = best.transfers;
+
+  if (registry.enabled()) {
+    registry.gauge_set("refine.incremental", use_inc ? 1.0 : 0.0);
+    const auto secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (secs > 0.0 && stats.moves_tried > 0) {
+      registry.gauge_set("refine.trial_moves_per_s",
+                         static_cast<double>(stats.moves_tried) / secs);
+    }
+  }
   return stats;
 }
 

@@ -19,6 +19,11 @@ namespace plim::sched {
 struct RefineEval {
   std::uint32_t steps = 0;
   std::uint32_t transfers = 0;
+  /// Virtual critical path of the expanded program — the chain bound the
+  /// incremental evaluator anchors its step model on.
+  std::uint32_t chain = 0;
+  /// Bus stalls of the packed schedule (bounded-bus deferrals).
+  std::uint32_t bus_stalls = 0;
   /// (producer segment, consumer segment) of critical cross-bank reads.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> critical_cross_edges;
   /// (producer segment, reader segment) of zero-slack *same-bank* reads
@@ -33,10 +38,35 @@ struct RefineEval {
 using RefineEvaluator =
     std::function<RefineEval(const std::vector<std::uint32_t>& seg_bank)>;
 
+/// Refinement budget and evaluator-mode knobs (see refine()).
+struct RefineOptions {
+  /// Maximum refinement passes; a pass that tries nothing new ends the
+  /// loop early. With the incremental screen on, passes are cheap —
+  /// 20 incremental passes cost less wall-clock than 2 full ones.
+  std::uint32_t passes = 20;
+  /// Screen trial moves with sched::IncrementalEval (O(window) delta
+  /// estimates) and spend exact re-schedules only on promising
+  /// candidates. false re-schedules every trial exactly (the pre-
+  /// incremental behaviour).
+  bool incremental = true;
+  /// Exact re-evaluation cadence on the incremental path: 1 confirms
+  /// every accepted move with a full re-schedule (accepted state is
+  /// always exact — the default); K > 1 accepts up to K moves on the
+  /// estimate before one exact resync, rolling the whole batch back to
+  /// the last exact anchor if the resync disagrees. Must be ≥ 1.
+  std::uint32_t resync_interval = 1;
+};
+
 struct RefineStats {
   std::uint32_t passes_run = 0;
-  std::uint32_t moves_tried = 0;   ///< evaluator invocations beyond baseline
-  std::uint32_t moves_kept = 0;    ///< moves/swaps that survived
+  std::uint32_t moves_tried = 0;  ///< trial moves priced (screened + exact)
+  std::uint32_t moves_kept = 0;   ///< moves/swaps that survived
+  /// Of moves_tried: rejected by the incremental estimate alone, without
+  /// spending an exact re-schedule.
+  std::uint32_t moves_screened = 0;
+  std::uint32_t full_evals = 0;  ///< exact re-schedules beyond baseline
+  std::uint32_t resyncs = 0;     ///< deferred-mode exact resyncs (K > 1)
+  bool incremental = false;      ///< evaluator mode this run used
   std::uint32_t steps_before = 0;
   std::uint32_t steps_after = 0;
   std::uint32_t transfers_before = 0;
@@ -54,18 +84,30 @@ struct RefineStats {
 ///     cross-bank edges (pull a critical consumer into its producer's
 ///     bank or vice versa) — the surrogate cannot see makespan, these
 ///     target it directly;
-///  3. re-schedules each candidate move through `evaluate` and keeps it
-///     only when it improves the lexicographic objective (fewer steps,
-///     or equal steps and fewer transfers) — steps never increase, and
+///  3. prices each candidate. On the incremental path (see
+///     RefineOptions::incremental) load/transfer-visible streams (gain
+///     buckets, peak relief, fine-grained peak-bank spills, swaps) are
+///     first screened with an O(window) IncrementalEval delta estimate,
+///     and only estimates that beat the current assignment earn an exact
+///     re-schedule; critical-edge and batched-spread streams go straight
+///     to exact evaluation (their step effect is chain-shaped — invisible
+///     to the load model). A move is kept only when its *exact*
+///     evaluation improves the lexicographic objective (fewer steps, or
+///     equal steps and fewer transfers) — steps never increase, and
 ///     transfers only rise when steps strictly fall; a rejected move may
 ///     retry once as a swap with the closest-sized cluster of the target
 ///     bank (covers pure load exchanges the one-way move cannot
 ///     express).
 ///
-/// At most a bounded number of evaluations run per pass (the compile-time
-/// budget: `refine_passes` passes × O(banks) evaluations), and a pass
-/// that keeps nothing ends the loop early, so refinement never increases
-/// steps or transfers and its cost is strictly bounded.
+/// Exact re-schedules are bounded per pass (6 + banks on the incremental
+/// path, where most of them are confirmations of screen-approved moves;
+/// 8 + 2·banks on the full path, which spends them on blind trials),
+/// screened estimates at 48× that, and a pass that tries nothing new ends the
+/// loop early — so refinement never increases steps or transfers and its
+/// cost is strictly bounded. With resync_interval == 1 every kept move
+/// is exact-confirmed at keep time; with K > 1 monotonicity holds at
+/// resync granularity (an estimate-accepted batch that the exact resync
+/// disproves is rolled back wholesale to the last exact anchor).
 ///
 /// `cluster_of` maps every segment to a cluster root (see
 /// cluster_segments()); `seg_bank` is updated in place with the refined
@@ -78,7 +120,7 @@ RefineStats refine(const DependenceGraph& graph,
                    std::vector<std::uint32_t>& seg_bank,
                    const std::vector<std::uint32_t>& cluster_of,
                    std::uint32_t banks, const CostModel& cost,
-                   std::uint32_t passes, const RefineEvaluator& evaluate,
+                   const RefineOptions& options, const RefineEvaluator& evaluate,
                    const RefineEval* baseline = nullptr);
 
 }  // namespace plim::sched

@@ -706,7 +706,8 @@ ScheduleResult schedule(const arch::Program& serial,
     cache.valid = true;
     return RefineEval{
         static_cast<std::uint32_t>(cache.ls.step_instrs.size()),
-        cache.ex.transfers, cache.ls.critical_cross_edges,
+        cache.ex.transfers, cache.ls.virtual_critical_path,
+        cache.ls.bus_stalls, cache.ls.critical_cross_edges,
         cache.ls.critical_local_edges};
   };
   const auto lexicographically_better = [](const RefineEval& x,
@@ -777,11 +778,13 @@ ScheduleResult schedule(const arch::Program& serial,
   }
 
   // ---- KL refinement ----------------------------------------------------
-  // Two legs: the best and the runner-up seed both get the full KL
-  // treatment, and the lexicographically better *refined* result wins —
-  // a start whose greedy evaluation trails by a few percent regularly
-  // refines past the favourite (square@8: the chain-height start opens
-  // 2.5% behind producer order and finishes 2% ahead).
+  // Two legs, probe-then-commit: the best and the runner-up seed each get
+  // a short probe (greedy evaluation is a weak predictor of *refined*
+  // quality — square@8: the chain-height start opens 2.5% behind producer
+  // order and finishes well ahead), then the remaining pass budget is
+  // spent entirely on whichever probe refined better. Refining both legs
+  // to completion doubles refinement wall-clock for no quality: the
+  // losing leg's tail passes are pure waste.
   RefineStats rstats;
   double refine_ms = 0.0;
   if (banks > 1 && opts.refine_passes > 0 && num_segments > 1) {
@@ -792,26 +795,62 @@ ScheduleResult schedule(const arch::Program& serial,
       cluster_of = opts.cluster ? cluster_segments(graph, banks)
                                 : identity_clusters();
     }
-    rstats = refine(graph, seg_bank, cluster_of, banks, opts.cost,
-                    opts.refine_passes, evaluate,
-                    start_eval ? &*start_eval : nullptr);
-    if (second_start) {
+    const RefineOptions ropts{opts.refine_passes, opts.refine_incremental,
+                              opts.refine_resync};
+    if (!second_start) {
+      rstats = refine(graph, seg_bank, cluster_of, banks, opts.cost, ropts,
+                      evaluate, start_eval ? &*start_eval : nullptr);
+    } else {
+      RefineOptions probe_opts = ropts;
+      probe_opts.passes = std::min(
+          ropts.passes, std::max<std::uint32_t>(2, ropts.passes / 5));
+      rstats = refine(graph, seg_bank, cluster_of, banks, opts.cost,
+                      probe_opts, evaluate,
+                      start_eval ? &*start_eval : nullptr);
       auto second_bank = std::move(*second_start);
-      const auto rstats2 = refine(graph, second_bank, cluster_of, banks,
-                                  opts.cost, opts.refine_passes, evaluate,
-                                  &*second_eval);
-      const RefineEval first_final{rstats.steps_after,
-                                   rstats.transfers_after, {}, {}};
-      const RefineEval second_final{rstats2.steps_after,
-                                    rstats2.transfers_after, {}, {}};
-      const auto total_passes = rstats.passes_run + rstats2.passes_run;
-      const auto total_tried = rstats.moves_tried + rstats2.moves_tried;
+      const auto rstats2 =
+          refine(graph, second_bank, cluster_of, banks, opts.cost,
+                 probe_opts, evaluate, &*second_eval);
+      RefineEval first_final;
+      first_final.steps = rstats.steps_after;
+      first_final.transfers = rstats.transfers_after;
+      RefineEval second_final;
+      second_final.steps = rstats2.steps_after;
+      second_final.transfers = rstats2.transfers_after;
+      // Cost-side tallies sum over everything spent (both probes plus
+      // the commit leg below); quality-side fields stay the winner's.
+      auto total_passes = rstats.passes_run + rstats2.passes_run;
+      auto total_tried = rstats.moves_tried + rstats2.moves_tried;
+      auto total_screened = rstats.moves_screened + rstats2.moves_screened;
+      auto total_full = rstats.full_evals + rstats2.full_evals;
+      auto total_resyncs = rstats.resyncs + rstats2.resyncs;
       if (lexicographically_better(second_final, first_final)) {
         seg_bank = std::move(second_bank);
         rstats = rstats2;
       }
+      if (ropts.passes > probe_opts.passes) {
+        RefineOptions commit_opts = ropts;
+        commit_opts.passes = ropts.passes - probe_opts.passes;
+        // No baseline: the winner's critical-edge lists are gone (the
+        // loser's probe ran in between), so the commit leg re-anchors
+        // with one exact evaluation.
+        const auto rstats3 = refine(graph, seg_bank, cluster_of, banks,
+                                    opts.cost, commit_opts, evaluate,
+                                    nullptr);
+        total_passes += rstats3.passes_run;
+        total_tried += rstats3.moves_tried;
+        total_screened += rstats3.moves_screened;
+        total_full += rstats3.full_evals;
+        total_resyncs += rstats3.resyncs;
+        rstats.steps_after = rstats3.steps_after;
+        rstats.transfers_after = rstats3.transfers_after;
+        rstats.moves_kept += rstats3.moves_kept;
+      }
       rstats.passes_run = total_passes;
       rstats.moves_tried = total_tried;
+      rstats.moves_screened = total_screened;
+      rstats.full_evals = total_full;
+      rstats.resyncs = total_resyncs;
     }
   }
 
@@ -990,6 +1029,9 @@ ScheduleResult schedule(const arch::Program& serial,
   stats.refine_passes = rstats.passes_run;
   stats.refine_moves_tried = rstats.moves_tried;
   stats.refine_moves_kept = rstats.moves_kept;
+  stats.refine_moves_screened = rstats.moves_screened;
+  stats.refine_full_evals = rstats.full_evals;
+  stats.refine_incremental = rstats.incremental;
   stats.refine_steps_saved = rstats.steps_before - rstats.steps_after;
   stats.refine_transfers_saved =
       static_cast<std::int64_t>(rstats.transfers_before) -

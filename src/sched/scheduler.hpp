@@ -37,12 +37,28 @@ struct ScheduleOptions {
 
   /// Kernighan–Lin-style refinement passes over the cluster→bank
   /// assignment (see sched/refine.hpp): candidate moves and swaps are
-  /// re-scheduled exactly and kept only when neither steps nor transfers
-  /// regress, so refinement is monotone — it can only improve the
-  /// schedule. 0 disables; each pass is bounded by O(banks) trial
-  /// schedules, so this is the compile-time budget knob
+  /// kept only when their exact re-schedule shows neither steps nor
+  /// transfers regress, so refinement is monotone — it can only improve
+  /// the schedule. 0 disables; each pass is bounded by O(banks) exact
+  /// re-schedules, so this is the compile-time budget knob
   /// (`plimc --refine-passes`). Applies on top of placement hints too.
-  std::uint32_t refine_passes = 2;
+  /// The default assumes the incremental screen (refine_incremental) —
+  /// 20 screened passes cost less wall-clock than 2 pre-incremental
+  /// ones.
+  std::uint32_t refine_passes = 20;
+
+  /// Screen refinement trial moves with the O(window) incremental delta
+  /// evaluator (sched::IncrementalEval) and spend exact re-schedules
+  /// only on promising candidates. false prices every trial with a full
+  /// re-schedule (`plimc --refine-eval full`).
+  bool refine_incremental = true;
+
+  /// Exact-confirmation cadence on the incremental path: 1 re-schedules
+  /// on every accepted move (accepted state is always exact); K > 1
+  /// accepts up to K moves on the estimate between exact resyncs,
+  /// rolling back to the last exact anchor when the resync disagrees
+  /// (`plimc --refine-resync`). Must be ≥ 1.
+  std::uint32_t refine_resync = 1;
 
   /// Critical-chain lookahead in the list scheduler: each step serves
   /// banks most-critical-first (least slack, then height), so on a

@@ -147,11 +147,22 @@ TEST_F(MetricsTest, SchedulerFeedsRegistry) {
   EXPECT_EQ(reg.counter("refine.moves_kept") +
                 reg.counter("refine.moves_rejected"),
             reg.counter("refine.moves_tried"));
+  // The incremental screen's tallies agree between the registry and the
+  // schedule stats: screened (estimate-only) trials are a subset of all
+  // trials and never outnumber them.
+  EXPECT_EQ(reg.counter("refine.moves_screened"),
+            outcome.stats.schedule->refine_moves_screened);
+  EXPECT_LE(reg.counter("refine.moves_screened"),
+            reg.counter("refine.moves_tried"));
+  // The default evaluator mode is incremental, and refine publishes it.
+  EXPECT_EQ(reg.gauge("refine.incremental"), 1.0);
   // Driver-level aggregates surfaced into the report's metrics object.
   EXPECT_EQ(outcome.stats.metrics.refine_moves_tried,
             outcome.stats.schedule->refine_moves_tried);
   EXPECT_EQ(outcome.stats.metrics.refine_moves_kept,
             outcome.stats.schedule->refine_moves_kept);
+  EXPECT_EQ(outcome.stats.metrics.refine_moves_screened,
+            outcome.stats.schedule->refine_moves_screened);
 }
 
 }  // namespace

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <numeric>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "circuits/epfl.hpp"
 #include "core/compiler.hpp"
 #include "mig/random.hpp"
 #include "mig/rewriting.hpp"
+#include "sched/depgraph.hpp"
+#include "sched/refine.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/text.hpp"
 #include "sched/verify.hpp"
@@ -135,6 +141,134 @@ TEST(Refine, EquivalenceWithCompilerPlacementHints) {
   ASSERT_EQ(result.program.validate(), "");
   EXPECT_TRUE(result.stats.placement_hints_used);
   EXPECT_TRUE(equivalent_to_serial(compiled.program, result.program, 4, 99));
+}
+
+// ---- evaluator exactness ----------------------------------------------------
+
+/// Deterministic stand-in for the scheduler's exact evaluator: steps is
+/// the peak bank load (instructions plus one slot per distinct incoming
+/// copy), transfers the distinct (producer, reader-bank) pairs, and the
+/// first cross-bank read becomes a critical edge so the unscreened
+/// critical-edge stream has candidates too. It is a pure function of the
+/// bank assignment, so a fresh call on refine()'s final assignment must
+/// reproduce exactly the (steps, transfers) refine() reported — even
+/// when the incremental screen's own load model disagrees with it.
+RefineEval toy_exact_eval(const DependenceGraph& graph, std::uint32_t banks,
+                          const std::vector<std::uint32_t>& seg_bank) {
+  RefineEval eval;
+  std::vector<std::uint32_t> load(banks, 0);
+  for (std::uint32_t i = 0; i < graph.num_instructions(); ++i) {
+    ++load[seg_bank[graph.segment_of(i)]];
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> copies;
+  for (std::uint32_t i = 0; i < graph.num_instructions(); ++i) {
+    const std::uint32_t reader_bank = seg_bank[graph.segment_of(i)];
+    for (const std::uint32_t def : {graph.def_of_a(i), graph.def_of_b(i)}) {
+      if (def == DependenceGraph::npos ||
+          seg_bank[graph.segment_of(def)] == reader_bank) {
+        continue;
+      }
+      if (copies.insert({def, reader_bank}).second) {
+        ++load[reader_bank];
+        if (eval.critical_cross_edges.empty()) {
+          eval.critical_cross_edges.emplace_back(graph.segment_of(def),
+                                                 graph.segment_of(i));
+        }
+      }
+    }
+  }
+  eval.transfers = static_cast<std::uint32_t>(copies.size());
+  eval.steps = *std::max_element(load.begin(), load.end());
+  eval.chain = graph.critical_path();
+  return eval;
+}
+
+/// The accepted state never drifts from the exact evaluator: after
+/// refine() returns, re-evaluating the final assignment from scratch
+/// must reproduce the reported (steps, transfers) bit-for-bit — with
+/// confirmation on every accept (K = 1), with deferred resync (K = 4,
+/// where a batch is committed on the estimate and settled later), and
+/// on the full path.
+TEST(Refine, AcceptedStateMatchesFreshExactEvaluation) {
+  struct Mode {
+    bool incremental;
+    std::uint32_t resync;
+  };
+  const Mode modes[] = {{false, 1}, {true, 1}, {true, 4}};
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    mig::RandomMigOptions ropts;
+    ropts.num_pis = 6;
+    ropts.num_gates = 50 + static_cast<std::uint32_t>(seed * 37 % 70);
+    ropts.num_pos = 3;
+    const auto compiled = core::compile(mig::random_mig(ropts, seed));
+    const auto graph = DependenceGraph::build(compiled.program);
+    std::vector<std::uint32_t> cluster_of(graph.num_segments());
+    std::iota(cluster_of.begin(), cluster_of.end(), 0u);
+    for (const std::uint32_t banks : {2u, 4u, 8u}) {
+      for (const auto& mode : modes) {
+        std::vector<std::uint32_t> seg_bank(graph.num_segments());
+        for (std::uint32_t s = 0; s < graph.num_segments(); ++s) {
+          seg_bank[s] = s % banks;
+        }
+        const auto evaluate = [&](const std::vector<std::uint32_t>& sb) {
+          return toy_exact_eval(graph, banks, sb);
+        };
+        RefineOptions opts;
+        opts.passes = 6;
+        opts.incremental = mode.incremental;
+        opts.resync_interval = mode.resync;
+        const auto baseline = evaluate(seg_bank);
+        const auto stats = refine(graph, seg_bank, cluster_of, banks,
+                                  CostModel{}, opts, evaluate, &baseline);
+        const auto ctx = ::testing::Message()
+                         << "seed " << seed << ", banks " << banks
+                         << ", incremental " << mode.incremental << ", K "
+                         << mode.resync;
+        const auto fresh = evaluate(seg_bank);
+        EXPECT_EQ(stats.steps_after, fresh.steps) << ctx;
+        EXPECT_EQ(stats.transfers_after, fresh.transfers) << ctx;
+        EXPECT_EQ(stats.steps_before, baseline.steps) << ctx;
+        EXPECT_EQ(stats.transfers_before, baseline.transfers) << ctx;
+        // Lexicographic keep-rule holds at the end state no matter the
+        // evaluator mode.
+        EXPECT_LE(stats.steps_after, stats.steps_before) << ctx;
+        if (stats.steps_after == stats.steps_before) {
+          EXPECT_LE(stats.transfers_after, stats.transfers_before) << ctx;
+        }
+        EXPECT_EQ(stats.incremental, mode.incremental) << ctx;
+        if (!mode.incremental) {
+          EXPECT_EQ(stats.moves_screened, 0u) << ctx;
+        }
+        for (const auto bank : seg_bank) {
+          ASSERT_LT(bank, banks);
+        }
+      }
+    }
+  }
+}
+
+/// Deferred resync (K > 1) through the whole scheduler: the machine-run
+/// parity and the never-worse-than-unrefined guarantee survive
+/// estimate-committed batches.
+TEST(Refine, DeferredResyncKeepsEquivalenceAndMonotonicity) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    mig::RandomMigOptions ropts;
+    ropts.num_pis = 6;
+    ropts.num_gates = 60 + static_cast<std::uint32_t>(seed * 31 % 40);
+    ropts.num_pos = 3;
+    const auto compiled = core::compile(mig::random_mig(ropts, seed));
+    for (const std::uint32_t banks : {2u, 4u, 8u}) {
+      const auto base = schedule(compiled.program, with_refinement(banks, 0));
+      auto opts = with_refinement(banks, 6);
+      opts.refine_resync = 4;
+      const auto result = schedule(compiled.program, opts);
+      ASSERT_EQ(result.program.validate(), "") << "banks " << banks;
+      EXPECT_LE(result.stats.steps, base.stats.steps) << "banks " << banks;
+      EXPECT_TRUE(equivalent_to_serial(compiled.program, result.program, 4,
+                                       seed * 1000 + banks))
+          << "banks " << banks;
+    }
+  }
 }
 
 // ---- critical-path regression bars ------------------------------------------

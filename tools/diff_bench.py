@@ -3,7 +3,11 @@
 
 Fails (exit 1) when any benchmark configuration regresses by more than
 the tolerance in `steps`, `transfers`, or `makespan_cycles` (the
-cycle-level figure of merit of the decoupled execution model).
+cycle-level figure of merit of the decoupled execution model), or when
+`refine_steps_saved` — the steps the refinement passes bought, the
+higher-is-better yield the incremental evaluator's 10x pass budget
+pays for — shrinks by more than the tolerance (skipped when the
+committed run saved nothing, so zero-yield configs cannot trap noise).
 Configurations are matched by (benchmark, mode, banks, bus_width);
 entries present on only one side are reported but do not fail the diff
 (benchmarks and sweep shapes may legitimately grow), a metric missing
@@ -81,6 +85,13 @@ def main():
             before, after = old[metric], new[metric]
             if after > before * (1.0 + args.tolerance):
                 regressions.append((key, metric, before, after))
+        # Higher-is-better: refinement yield must not collapse.
+        metric = "refine_steps_saved"
+        if metric not in old or metric not in new:
+            missing_metrics.add(metric)
+        elif old[metric] > 0 and new[metric] < old[metric] * (
+                1.0 - args.tolerance):
+            regressions.append((key, metric, old[metric], new[metric]))
     for metric in sorted(missing_metrics):
         print(f"note: metric {metric} missing on one side, skipped")
     for key in sorted(set(fresh) - set(committed)):
@@ -93,7 +104,7 @@ def main():
         name, mode, banks, bus = key
         print(f"REGRESSION: {name} ({mode}, {banks} banks, bus {bus}) "
               f"{metric} {before} -> {after} "
-              f"(+{100.0 * (after - before) / max(before, 1):.1f}%)")
+              f"({100.0 * (after - before) / max(before, 1):+.1f}%)")
     if regressions:
         print(f"diff_bench: {len(regressions)} regression(s) over "
               f"{compared} configurations")
