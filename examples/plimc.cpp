@@ -17,6 +17,11 @@
 ///   --naive          index-order candidates (Table-1 naïve column)
 ///   --alloc fifo|lifo|fresh
 ///   --cap N          RRAM capacity bound (fails if infeasible)
+///   --degrade        graceful degradation under --cap pressure: climb
+///                    the Driver retry ladder (recompute-on-evict →
+///                    aggressive eviction → rewrite harder) instead of
+///                    failing; a degraded success warns on stderr and
+///                    still exits 0
 ///   --banks N        schedule onto N parallel PLiM banks and emit the
 ///                    multi-bank listing instead of the serial one
 ///   --schedule       shorthand for --banks 4
@@ -61,7 +66,9 @@
 ///
 /// Exit codes: 0 success, 1 request failed (I/O, compilation,
 /// verification), 2 usage or contradictory options (each rejected with a
-/// diagnostic from plim::Options::validate()).
+/// diagnostic from plim::Options::validate()). Warnings — validation
+/// warnings and run-produced ones like rram-cap-degraded — go to stderr
+/// and never change the exit code; only errors exit non-zero.
 
 #include <algorithm>
 #include <cstring>
@@ -84,6 +91,7 @@ int usage() {
                "--batch <manifest>)\n"
                "             [-o <file>] [--effort N] [--naive] "
                "[--alloc fifo|lifo|fresh] [--cap N]\n"
+               "             [--degrade]\n"
                "             [--banks N] [--schedule] [--bus-width K] "
                "[--refine-passes N]\n"
                "             [--refine-eval incremental|full] "
@@ -233,6 +241,8 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (arg == "--degrade") {
+      options.compile.degradation.enabled = true;
     } else if (arg == "--banks") {
       if (const char* v = next()) {
         options.banks = static_cast<std::uint32_t>(std::stoul(v));
@@ -356,6 +366,27 @@ int main(int argc, char** argv) {
   if (plim::has_errors(diags)) {
     return 2;
   }
+  // Diagnostics the run reproduces verbatim (every outcome re-validates
+  // the options) are deduplicated against this up-front print; warnings
+  // the run itself produced (rram-cap-retry, rram-cap-degraded, …) are
+  // news and do get printed — to stderr, without touching the exit code.
+  std::vector<std::string> validation_codes;
+  validation_codes.reserve(diags.size());
+  for (const auto& d : diags) {
+    validation_codes.push_back(d.code);
+  }
+  const auto print_outcome_diags = [&](const plim::CompileOutcome& outcome,
+                                       const std::string& label) {
+    for (const auto& d : outcome.diagnostics) {
+      if (d.severity != plim::Diagnostic::Severity::error &&
+          std::find(validation_codes.begin(), validation_codes.end(),
+                    d.code) != validation_codes.end()) {
+        continue;
+      }
+      std::cerr << "plimc: " << (label.empty() ? "" : label + ": ")
+                << plim::format(d) << '\n';
+    }
+  };
 
   const plim::Driver driver(options);
 
@@ -383,14 +414,7 @@ int main(int argc, char** argv) {
     json.field("bench", "plimc_batch");
     json.begin_array("results");
     for (auto& outcome : outcomes) {
-      for (const auto& d : outcome.diagnostics) {
-        // Warnings were already printed once by the up-front validation.
-        if (d.severity != plim::Diagnostic::Severity::error) {
-          continue;
-        }
-        std::cerr << "plimc: " << outcome.stats.benchmark << ": "
-                  << plim::format(d) << '\n';
-      }
+      print_outcome_diags(outcome, outcome.stats.benchmark);
       all_ok = all_ok && outcome.ok();
       // Per-request timing goes to stderr *before* normalization zeroes
       // it: stdout carries the determinism-diffed JSON, stderr the
@@ -432,12 +456,7 @@ int main(int argc, char** argv) {
                            ? plim::CompileRequest::from_blif(blif_path)
                            : plim::CompileRequest::from_benchmark(benchmark);
   const auto outcome = driver.run(request);
-  for (const auto& d : outcome.diagnostics) {
-    // Warnings were already printed once by the up-front validation.
-    if (d.severity == plim::Diagnostic::Severity::error) {
-      std::cerr << "plimc: " << plim::format(d) << '\n';
-    }
-  }
+  print_outcome_diags(outcome, "");
   if (!outcome.ok()) {
     return 1;
   }

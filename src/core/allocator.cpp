@@ -25,10 +25,32 @@ std::optional<std::uint32_t> RramAllocator::take_free(
   return cell;
 }
 
+bool RramAllocator::evict_until(std::uint32_t bank,
+                                const std::function<bool()>& stop) {
+  // Under `fresh`, released cells are never reused, so evicting live
+  // values can never satisfy a pending request — fail immediately
+  // instead of looping while the handler sheds cells for nothing.
+  if (!evict_ || policy_ == AllocationPolicy::fresh) {
+    return false;
+  }
+  while (!stop()) {
+    if (!evict_(bank)) {
+      return false;
+    }
+    ++evictions_;
+  }
+  return true;
+}
+
 std::uint32_t RramAllocator::request() {
   std::uint32_t cell;
-  if (const auto reused = take_free(free_)) {
+  if (auto reused = take_free(free_)) {
     cell = *reused;
+  } else if (cap_ && next_ >= *cap_ &&
+             !evict_until(kAnyBank, [&] { return !free_.empty(); })) {
+    throw RramCapExceeded(*cap_);
+  } else if (auto evicted = take_free(free_)) {
+    cell = *evicted;
   } else {
     if (cap_ && next_ >= *cap_) {
       throw RramCapExceeded(*cap_);
@@ -50,6 +72,7 @@ BankedAllocator::BankedAllocator(std::uint32_t num_banks,
     : RramAllocator(policy, cap),
       next_local_(num_banks == 0 ? 1 : num_banks, 0),
       bank_live_(num_banks == 0 ? 1 : num_banks, 0),
+      bank_peak_(num_banks == 0 ? 1 : num_banks, 0),
       free_(num_banks == 0 ? 1 : num_banks) {}
 
 std::uint32_t BankedAllocator::request() {
@@ -66,17 +89,30 @@ std::uint32_t BankedAllocator::request_in(std::uint32_t bank) {
   if (bank >= num_banks()) {
     throw std::out_of_range("BankedAllocator: bank index out of range");
   }
+  // A fresh cell is blocked by the global cap *or* the bank budget; a
+  // reused cell is always fine. Eviction can only help via reuse, and
+  // only a cell of this very bank lands on this bank's free list.
+  const auto fresh_blocked = [&] {
+    return (cap() && total_ >= *cap()) ||
+           (bank_budget_ && next_local_[bank] >= *bank_budget_);
+  };
   std::uint32_t cell;
-  if (const auto reused = take_free(free_[bank])) {
+  if (auto reused = take_free(free_[bank])) {
     cell = *reused;
+  } else if (fresh_blocked() &&
+             !evict_until(bank, [&] { return !free_[bank].empty(); })) {
+    throw RramCapExceeded(cap() ? *cap() : *bank_budget_);
+  } else if (auto evicted = take_free(free_[bank])) {
+    cell = *evicted;
   } else {
-    if (cap() && total_ >= *cap()) {
-      throw RramCapExceeded(*cap());
+    if (fresh_blocked()) {
+      throw RramCapExceeded(cap() ? *cap() : *bank_budget_);
     }
     cell = next_local_[bank]++ * num_banks() + bank;
     ++total_;
   }
   ++bank_live_[bank];
+  bank_peak_[bank] = std::max(bank_peak_[bank], bank_live_[bank]);
   count_request();
   return cell;
 }

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace plim::core {
@@ -23,18 +25,52 @@ enum class AllocationPolicy : std::uint8_t {
 };
 
 /// Thrown when an `rram_cap` constraint (future-work extension of the
-/// paper) is violated during compilation.
+/// paper) is violated during compilation and no eviction handler could
+/// recover capacity. Carries the violated cap and, when the thrower knows
+/// it, the honest live-set lower bound — the smallest capacity *any*
+/// compilation strategy could work in — so callers can distinguish a
+/// recoverable squeeze from genuine infeasibility.
 class RramCapExceeded : public std::runtime_error {
  public:
-  explicit RramCapExceeded(std::uint32_t cap)
-      : std::runtime_error("RRAM capacity exceeded (cap = " +
-                           std::to_string(cap) + ")") {}
+  explicit RramCapExceeded(std::uint32_t cap,
+                           std::uint32_t live_lower_bound = 0)
+      : std::runtime_error(
+            "RRAM capacity exceeded (cap = " + std::to_string(cap) +
+            (live_lower_bound > 0
+                 ? ", live-set lower bound = " + std::to_string(live_lower_bound)
+                 : std::string{}) +
+            ")"),
+        cap_(cap),
+        live_lower_bound_(live_lower_bound) {}
+
+  [[nodiscard]] std::uint32_t cap() const noexcept { return cap_; }
+  /// 0 when the thrower could not compute a bound.
+  [[nodiscard]] std::uint32_t live_lower_bound() const noexcept {
+    return live_lower_bound_;
+  }
+
+ private:
+  std::uint32_t cap_;
+  std::uint32_t live_lower_bound_;
 };
+
+/// Sentinel bank passed to an EvictionHandler when any bank's cell would
+/// satisfy the pending request (flat, un-banked allocation).
+inline constexpr std::uint32_t kAnyBank = 0xffffffffu;
+
+/// Called when a request would exceed the capacity: the handler should
+/// `release()` at least one live cell owned by `bank` (kAnyBank: any
+/// cell) and return true, or return false when it cannot — the request
+/// then fails with RramCapExceeded. Handlers must not request cells.
+using EvictionHandler = std::function<bool(std::uint32_t bank)>;
 
 /// The RRAM allocation interface of §4.2.3: `request` returns a ready
 /// cell (reusing released ones per policy), `release` returns a cell to
 /// the free list. The base class is the paper's flat single-bank array;
-/// BankedAllocator refines it with per-bank placement.
+/// BankedAllocator refines it with per-bank placement. Under an
+/// `rram_cap`, an optional eviction handler turns the hard capacity
+/// cliff into a callback: the compiler picks a victim live cell to spill
+/// (recompute-on-evict) instead of aborting.
 class RramAllocator {
  public:
   explicit RramAllocator(AllocationPolicy policy = AllocationPolicy::fifo,
@@ -42,13 +78,24 @@ class RramAllocator {
       : policy_(policy), cap_(cap) {}
   virtual ~RramAllocator() = default;
 
-  /// Returns a cell id ready for use. Throws RramCapExceeded if a fresh
-  /// cell would exceed the configured capacity.
+  /// Returns a cell id ready for use. When a fresh cell would exceed the
+  /// configured capacity, the eviction handler (if any) is consulted
+  /// until a reusable cell appears; RramCapExceeded is thrown only when
+  /// no handler is set or the handler gives up.
   [[nodiscard]] virtual std::uint32_t request();
 
   /// Returns a cell to the free list. The caller guarantees the cell's
   /// value is dead.
   virtual void release(std::uint32_t cell);
+
+  /// Installs (or clears, with nullptr) the capacity-pressure callback.
+  void set_eviction_handler(EvictionHandler handler) {
+    evict_ = std::move(handler);
+  }
+  /// Evictions the handler performed on this allocator's behalf.
+  [[nodiscard]] std::uint32_t evictions() const noexcept {
+    return evictions_;
+  }
 
   /// Total distinct cells ever allocated — the paper's #R metric.
   [[nodiscard]] virtual std::uint32_t total_allocated() const noexcept {
@@ -71,6 +118,12 @@ class RramAllocator {
   /// by the flat and the banked allocator.
   [[nodiscard]] std::optional<std::uint32_t> take_free(
       std::deque<std::uint32_t>& free);
+  /// Runs the eviction handler for `bank` until it surrenders or
+  /// `stop()` (re-checked after every successful eviction) says the
+  /// pressure is gone. Returns true when `stop()` was satisfied. Under
+  /// the `fresh` policy eviction is pointless (released cells are never
+  /// reused) and the call fails immediately.
+  bool evict_until(std::uint32_t bank, const std::function<bool()>& stop);
   /// Accounts one successful request / release in the live statistics.
   void count_request() noexcept;
   void count_release() noexcept { --live_; }
@@ -78,10 +131,12 @@ class RramAllocator {
  private:
   AllocationPolicy policy_;
   std::optional<std::uint32_t> cap_;
+  EvictionHandler evict_;
   std::deque<std::uint32_t> free_;
   std::uint32_t next_ = 0;
   std::uint32_t live_ = 0;
   std::uint32_t peak_ = 0;
+  std::uint32_t evictions_ = 0;
 };
 
 /// Bank-aware placement of the compiled program (serial cell → bank),
@@ -99,7 +154,8 @@ struct Placement {
 /// `request_in(bank)` places a value into a specific bank (per-bank free
 /// lists follow the configured policy); the inherited `request()` places
 /// into the bank with the fewest live cells. The capacity bound applies
-/// to the total number of distinct cells across all banks.
+/// to the total number of distinct cells across all banks; an optional
+/// per-bank budget additionally caps every single bank's distinct cells.
 class BankedAllocator final : public RramAllocator {
  public:
   explicit BankedAllocator(std::uint32_t num_banks,
@@ -118,6 +174,16 @@ class BankedAllocator final : public RramAllocator {
     return total_;
   }
 
+  /// Caps the distinct cells of every individual bank (the per-bank
+  /// capacity budget); std::nullopt removes the budget. The total `cap`
+  /// stays in force independently.
+  void set_bank_budget(std::optional<std::uint32_t> cells_per_bank) {
+    bank_budget_ = cells_per_bank;
+  }
+  [[nodiscard]] std::optional<std::uint32_t> bank_budget() const noexcept {
+    return bank_budget_;
+  }
+
   [[nodiscard]] std::uint32_t num_banks() const noexcept {
     return static_cast<std::uint32_t>(next_local_.size());
   }
@@ -128,6 +194,10 @@ class BankedAllocator final : public RramAllocator {
   /// Cells of `bank` currently holding live values.
   [[nodiscard]] std::uint32_t bank_live(std::uint32_t bank) const {
     return bank_live_[bank];
+  }
+  /// High-water mark of `bank`'s simultaneously live cells.
+  [[nodiscard]] std::uint32_t bank_peak_live(std::uint32_t bank) const {
+    return bank_peak_[bank];
   }
   /// Distinct cells ever allocated in `bank`.
   [[nodiscard]] std::uint32_t bank_allocated(std::uint32_t bank) const {
@@ -140,8 +210,10 @@ class BankedAllocator final : public RramAllocator {
 
  private:
   std::uint32_t total_ = 0;
+  std::optional<std::uint32_t> bank_budget_;
   std::vector<std::uint32_t> next_local_;  ///< fresh cells handed out per bank
   std::vector<std::uint32_t> bank_live_;
+  std::vector<std::uint32_t> bank_peak_;
   std::vector<std::deque<std::uint32_t>> free_;  ///< per-bank free lists
 };
 

@@ -20,6 +20,74 @@ using mig::Mig;
 using mig::Signal;
 using arch::Operand;
 
+/// Nodes reachable from the POs (constants and PIs always count) — the
+/// set the compiler translates and the live-set bound reasons over.
+std::vector<bool> reachable_from_pos(const Mig& mig) {
+  std::vector<bool> reach(mig.size(), false);
+  reach[0] = true;
+  std::vector<mig::node> stack;
+  mig.foreach_pi([&](mig::node n) { reach[n] = true; });
+  mig.foreach_po([&](Signal f, std::uint32_t) {
+    if (!reach[f.index()]) {
+      reach[f.index()] = true;
+      stack.push_back(f.index());
+    }
+  });
+  while (!stack.empty()) {
+    const mig::node n = stack.back();
+    stack.pop_back();
+    if (!mig.is_gate(n)) {
+      continue;
+    }
+    for (const auto f : mig.fanins(n)) {
+      if (!reach[f.index()]) {
+        reach[f.index()] = true;
+        stack.push_back(f.index());
+      }
+    }
+  }
+  return reach;
+}
+
+/// See live_set_lower_bound() — shared with the compiler, which already
+/// has the reachability bitmap in hand.
+std::uint32_t lower_bound_from_reach(const Mig& mig,
+                                     const std::vector<bool>& reach) {
+  std::uint32_t bound = 0;
+  // Each gate's RM3 needs its distinct gate-operand values resident at
+  // once (PIs and constants are read as immediate operands, and the
+  // destination can coincide with a dying operand cell — but never go
+  // below one cell for the result itself).
+  mig.foreach_gate([&](mig::node n) {
+    if (!reach[n]) {
+      return;
+    }
+    std::array<mig::node, 3> g{};
+    std::uint32_t k = 0;
+    for (const auto f : mig.fanins(n)) {
+      const auto c = f.index();
+      if (!mig.is_gate(c)) {
+        continue;
+      }
+      bool dup = false;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        dup = dup || g[j] == c;
+      }
+      if (!dup) {
+        g[k++] = c;
+      }
+    }
+    bound = std::max(bound, std::max(k, 1u));
+  });
+  // At program end every distinct output signal value occupies a cell.
+  std::set<std::pair<mig::node, bool>> sigs;
+  mig.foreach_po([&](Signal f, std::uint32_t) {
+    sigs.insert({f.index(), f.complemented()});
+  });
+  bound = std::max(bound, static_cast<std::uint32_t>(sigs.size()));
+  return bound;
+}
+
 /// Everything the §4.2.2 case analysis needs to know about one fanin.
 struct ChildRef {
   Signal edge;
@@ -44,7 +112,8 @@ class Compiler {
         value_cell_(m.size(), -1),
         compl_cell_(m.size(), -1),
         computed_(m.size(), false),
-        max_parent_level_(m.size(), 0) {
+        max_parent_level_(m.size(), 0),
+        pin_(m.size(), 0) {
     if (opts_.placement_banks > 0) {
       auto banked = std::make_unique<BankedAllocator>(
           opts_.placement_banks, opts_.allocation, opts_.rram_cap);
@@ -58,18 +127,48 @@ class Compiler {
 
   CompileResult run() {
     prepare();
+    bound_ = lower_bound_from_reach(mig_, reach_);
+    const bool degrade =
+        opts_.degradation.enabled && opts_.rram_cap.has_value();
+    if (degrade) {
+      if (*opts_.rram_cap < bound_) {
+        // Genuinely infeasible: no strategy fits below the live-set lower
+        // bound — fail fast, before a single instruction is emitted.
+        throw RramCapExceeded(*opts_.rram_cap, bound_);
+      }
+      // Recompute budget: in the narrow band just above the true
+      // algorithmic floor the zombie cache degenerates and replay turns
+      // exponential (every use recomputes its whole cone, Fibonacci
+      // style). 128x the gate count comfortably admits every trade a
+      // caller could want (the cap sweep's own Pareto cutoff is 40x)
+      // while turning near-floor thrash into a fast structured failure.
+      std::uint32_t gates = 0;
+      mig_.foreach_gate([&](mig::node n) { gates += reach_[n] ? 1 : 0; });
+      replay_budget_ = 128ull * std::max(gates, 1u);
+      alloc_->set_eviction_handler(
+          [this](std::uint32_t bank) { return evict_one(bank); });
+    }
     if (banked_ != nullptr) {
       prepare_placement();
     }
     mig_.foreach_pi(
         [&](mig::node n) { program_.add_input(mig_.pi_name(mig_.pi_index(n))); });
 
-    if (opts_.smart_candidates) {
-      run_smart_order();
-    } else {
-      run_index_order();
+    try {
+      if (opts_.smart_candidates) {
+        run_smart_order();
+      } else {
+        run_index_order();
+      }
+      finalize_outputs();
+    } catch (const RramCapExceeded& e) {
+      if (degrade) {
+        // The heuristics lost the squeeze above the bound — attach the
+        // bound so callers can tell this from genuine infeasibility.
+        throw RramCapExceeded(e.cap(), bound_);
+      }
+      throw;
     }
-    finalize_outputs();
 
     CompileStats stats;
     stats.num_instructions =
@@ -78,8 +177,17 @@ class Compiler {
     stats.num_gates = translated_;
     stats.peak_live_rrams = alloc_->peak_live();
     stats.complement_materializations = complement_materializations_;
+    stats.rram_cap = opts_.rram_cap.value_or(0);
+    stats.live_lower_bound = bound_;
+    stats.cells_evicted = cells_evicted_;
+    stats.ops_recomputed = ops_recomputed_;
+    stats.replay_max_depth = replay_max_depth_;
     std::optional<Placement> placement;
     if (banked_ != nullptr) {
+      stats.bank_peak_live.resize(banked_->num_banks());
+      for (std::uint32_t b = 0; b < banked_->num_banks(); ++b) {
+        stats.bank_peak_live[b] = banked_->bank_peak_live(b);
+      }
       placement = banked_->placement(program_.num_rrams());
     }
     return CompileResult{std::move(program_), stats, std::move(placement)};
@@ -89,33 +197,12 @@ class Compiler {
   // ---- preparation ---------------------------------------------------------
 
   void prepare() {
-    // Reachability from POs.
-    reach_[0] = true;
-    std::vector<mig::node> stack;
-    mig_.foreach_pi([&](mig::node n) { reach_[n] = true; });
-    mig_.foreach_po([&](Signal f, std::uint32_t) {
-      if (!reach_[f.index()]) {
-        reach_[f.index()] = true;
-        stack.push_back(f.index());
-      }
-    });
-    while (!stack.empty()) {
-      const mig::node n = stack.back();
-      stack.pop_back();
-      if (!mig_.is_gate(n)) {
-        continue;
-      }
-      for (const auto f : mig_.fanins(n)) {
-        if (!reach_[f.index()]) {
-          reach_[f.index()] = true;
-          stack.push_back(f.index());
-        }
-      }
-    }
+    reach_ = reachable_from_pos(mig_);
 
     // Uses = reachable parent gates (to be computed) + PO references
     // (permanent pins, so output cells are never reclaimed).
-    const std::uint32_t depth = *std::max_element(level_.begin(), level_.end());
+    depth_ = *std::max_element(level_.begin(), level_.end());
+    const std::uint32_t depth = depth_;
     mig_.foreach_node([&](mig::node n) {
       if (!reach_[n] || mig_.is_constant(n)) {
         return;
@@ -497,6 +584,18 @@ class Compiler {
     const auto& fanins = mig_.fanins(v);
     std::array<ChildRef, 3> ch{child_ref(fanins[0]), child_ref(fanins[1]),
                                child_ref(fanins[2])};
+    // Under capacity pressure an operand may have been evicted since it
+    // was computed — revive it, then pin all three children so the cell
+    // requests of this very translation cannot evict them mid-selection.
+    for (const auto& c : ch) {
+      if (c.is_const) {
+        continue;
+      }
+      if (c.is_gate) {
+        ensure_live(c.n);
+      }
+      pin(c.n);
+    }
     if (banked_ != nullptr) {
       current_bank_ = pick_bank(v);
     }
@@ -523,6 +622,11 @@ class Compiler {
       alloc_->release(t);
     }
     for (const auto& c : ch) {
+      if (!c.is_const) {
+        unpin(c.n);
+      }
+    }
+    for (const auto& c : ch) {
       if (c.is_const) {
         continue;
       }
@@ -541,6 +645,282 @@ class Compiler {
     if (compl_cell_[n] >= 0) {
       alloc_->release(static_cast<std::uint32_t>(compl_cell_[n]));
       compl_cell_[n] = -1;
+    }
+  }
+
+  // ---- recompute-on-evict (graceful degradation) -----------------------------
+
+  /// Pins protect a node's value and complement cells from eviction while
+  /// they serve as in-flight RM3 operands of the current (re)translation.
+  void pin(mig::node n) { ++pin_[n]; }
+  void unpin(mig::node n) {
+    assert(pin_[n] > 0);
+    --pin_[n];
+  }
+
+  [[nodiscard]] bool cell_is_output(std::uint32_t cell) const {
+    return output_cells_.count(cell) > 0;
+  }
+  [[nodiscard]] bool bank_matches(std::uint32_t cell,
+                                  std::uint32_t bank) const {
+    return bank == kAnyBank || banked_ == nullptr ||
+           banked_->bank_of(cell) == bank;
+  }
+
+  /// When will this value be needed next? A static proxy: the lowest
+  /// level among its not-yet-translated parents (a lower level fires
+  /// sooner); values only POs still wait for are needed last of all.
+  [[nodiscard]] std::uint32_t next_use_estimate(mig::node n) const {
+    std::uint32_t next = depth_ + 1;
+    bool any = false;
+    for (const auto p : fanout_.parents(n)) {
+      if (reach_[p] && !computed_[p]) {
+        any = true;
+        next = std::min(next, level_[p]);
+      }
+    }
+    return any ? next : depth_ + 1;
+  }
+
+  /// Instructions (roughly) to recompute n's value right now: the gates
+  /// of its evicted/dead fanin cone, down to live values and PIs.
+  /// nullopt marks a cone deeper than `limit` — too dear to be a good
+  /// victim at this level.
+  [[nodiscard]] std::optional<std::uint32_t> replay_cost(
+      mig::node n, std::uint32_t limit) const {
+    std::uint32_t cost = 0;
+    std::vector<mig::node> stack{n};
+    std::vector<mig::node> seen;
+    while (!stack.empty()) {
+      const auto v = stack.back();
+      stack.pop_back();
+      if (std::find(seen.begin(), seen.end(), v) != seen.end()) {
+        continue;
+      }
+      seen.push_back(v);
+      if (++cost > limit) {
+        return std::nullopt;
+      }
+      for (const auto f : mig_.fanins(v)) {
+        const auto c = f.index();
+        if (mig_.is_gate(c) && value_cell_[c] < 0) {
+          stack.push_back(c);
+        }
+      }
+    }
+    return cost;
+  }
+
+  /// The allocator's capacity-pressure callback: releases one victim cell
+  /// of `bank` (kAnyBank: any) or returns false when every cell is
+  /// load-bearing. Victim order: complement caches first (pure caches —
+  /// dropping one costs at most a future re-materialization), then live
+  /// gate values by (cheapest replay, farthest next use, lowest index).
+  bool evict_one(std::uint32_t bank) {
+    // Pass 0: zombies — dead values kept resident after a replay. Their
+    // cells are pure caches (no pending use), so they go first. The list
+    // may hold stale entries (already evicted, or revived into a live
+    // role); those are pruned as they are encountered.
+    for (std::size_t i = 0; i < zombies_.size();) {
+      const auto n = zombies_[i];
+      if (!mig_.is_gate(n) || !computed_[n] || value_cell_[n] < 0 ||
+          remaining_uses_[n] != 0) {
+        zombies_[i] = zombies_.back();
+        zombies_.pop_back();
+        continue;
+      }
+      const auto cell = static_cast<std::uint32_t>(value_cell_[n]);
+      if (pin_[n] > 0 || cell_is_output(cell) || !bank_matches(cell, bank)) {
+        ++i;
+        continue;
+      }
+      alloc_->release(cell);
+      value_cell_[n] = -1;
+      zombies_[i] = zombies_.back();
+      zombies_.pop_back();
+      ++cells_evicted_;
+      return true;
+    }
+
+    mig::node best = 0;
+    bool found = false;
+    std::uint32_t best_nu = 0;
+    for (mig::node n = 0; n < mig_.size(); ++n) {
+      if (compl_cell_[n] < 0 || pin_[n] > 0) {
+        continue;
+      }
+      const auto cell = static_cast<std::uint32_t>(compl_cell_[n]);
+      if (cell_is_output(cell) || !bank_matches(cell, bank)) {
+        continue;
+      }
+      const auto nu = next_use_estimate(n);
+      if (!found || nu > best_nu) {
+        found = true;
+        best = n;
+        best_nu = nu;
+      }
+    }
+    if (found) {
+      alloc_->release(static_cast<std::uint32_t>(compl_cell_[best]));
+      compl_cell_[best] = -1;
+      ++cells_evicted_;
+      return true;
+    }
+
+    // A short replay chain keeps the latency price of this eviction
+    // bounded; values whose dead fanin cone is deeper are admitted only
+    // at the aggressive ladder level.
+    constexpr std::uint32_t kCheapReplay = 8;
+    std::uint32_t best_cost = 0;
+    mig::node far = 0;  // aggressive fallback: farthest next use, any cone
+    bool far_found = false;
+    std::uint32_t far_nu = 0;
+    for (mig::node n = 0; n < mig_.size(); ++n) {
+      if (!mig_.is_gate(n) || !computed_[n] || value_cell_[n] < 0 ||
+          pin_[n] > 0 || remaining_uses_[n] == 0) {
+        continue;
+      }
+      const auto cell = static_cast<std::uint32_t>(value_cell_[n]);
+      if (cell_is_output(cell) || !bank_matches(cell, bank)) {
+        continue;
+      }
+      const auto nu = next_use_estimate(n);
+      if (!far_found || nu > far_nu) {
+        far_found = true;
+        far = n;
+        far_nu = nu;
+      }
+      const auto cost = replay_cost(n, kCheapReplay);
+      if (!cost) {
+        continue;
+      }
+      if (!found || *cost < best_cost ||
+          (*cost == best_cost && nu > best_nu)) {
+        found = true;
+        best = n;
+        best_cost = *cost;
+        best_nu = nu;
+      }
+    }
+    if (!found && opts_.degradation.aggressive && far_found) {
+      // No cheap chain left — spill the value needed last and accept
+      // that its replay will cascade through dead operands (recomputed
+      // recursively from primary inputs if need be).
+      found = true;
+      best = far;
+    }
+    if (!found) {
+      return false;
+    }
+    alloc_->release(static_cast<std::uint32_t>(value_cell_[best]));
+    value_cell_[best] = -1;
+    ++cells_evicted_;
+    return true;
+  }
+
+  /// Revives an evicted gate value before use; no-op when resident.
+  void ensure_live(mig::node n) {
+    if (mig_.is_gate(n) && computed_[n] && value_cell_[n] < 0) {
+      replay(n, 1);
+    }
+  }
+
+  /// Replay destination: like select_destination_z but never reuses an
+  /// operand cell — a replay does not consume uses, so every operand
+  /// value must survive it.
+  std::uint32_t replay_destination_z(const std::array<ChildRef, 3>& ch,
+                                     std::array<bool, 3>& taken) {
+    for (int i = 0; i < 3; ++i) {
+      if (!taken[i] && ch[i].is_const) {
+        taken[i] = true;
+        return emit_const_cell(ch[i].cval);
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (!taken[i] && ch[i].compl_edge) {
+        taken[i] = true;
+        return emit_complement_of(ch[i].n);
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (!taken[i]) {
+        taken[i] = true;
+        return emit_copy_of(ch[i].n);
+      }
+    }
+    assert(false && "replay destination selection must succeed");
+    return 0;
+  }
+
+  /// Re-emits the RM3 of an evicted gate from its operands, reviving
+  /// value_cell_[v]. Dead operands (already consumed by the original
+  /// translation) are themselves replayed into temporaries and dropped
+  /// again afterwards; use counts are never touched — the original
+  /// translation accounted them.
+  void replay(mig::node v, std::uint32_t depth) {
+    assert(mig_.is_gate(v) && computed_[v] && value_cell_[v] < 0);
+    const auto& fanins = mig_.fanins(v);
+    std::array<ChildRef, 3> ch{child_ref(fanins[0]), child_ref(fanins[1]),
+                               child_ref(fanins[2])};
+    std::array<bool, 3> revived_dead{false, false, false};
+    // Deepest child first: a pinned value cell is held from the moment
+    // its sibling finishes until this frame emits, so descending into
+    // the deepest subtree before any sibling is materialized keeps the
+    // number of cells a cascade holds bounded by its breadth, not its
+    // depth (a depth-order descent with a shallow sibling pinned per
+    // frame would need O(depth) cells and starve the allocator).
+    std::array<int, 3> order{0, 1, 2};
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const auto lvl = [&](int i) {
+        return ch[i].is_const ? 0u : level_[ch[i].n];
+      };
+      return lvl(a) > lvl(b);
+    });
+    for (const int i : order) {
+      const auto& c = ch[i];
+      if (c.is_const) {
+        continue;
+      }
+      if (c.is_gate && value_cell_[c.n] < 0) {
+        replay(c.n, depth + 1);
+        revived_dead[i] = remaining_uses_[c.n] == 0;
+      }
+      pin(c.n);
+    }
+    if (banked_ != nullptr) {
+      current_bank_ = pick_bank(v);
+    }
+    std::vector<std::uint32_t> temps;
+    std::array<bool, 3> taken{false, false, false};
+    const Operand b_op = select_operand_b(ch, taken, temps);
+    const std::uint32_t z_cell = replay_destination_z(ch, taken);
+    const Operand a_op = select_operand_a(ch, taken, temps);
+    emit(a_op, b_op, z_cell);
+    value_cell_[v] = static_cast<std::int64_t>(z_cell);
+    ++ops_recomputed_;
+    if (ops_recomputed_ > replay_budget_) {
+      // Thrash, not progress: the cap is (technically) feasible but every
+      // value is recomputed over and over. Surface it as capacity
+      // pressure so the caller's retry ladder / diagnostics engage.
+      throw RramCapExceeded(*opts_.rram_cap, bound_);
+    }
+    replay_max_depth_ = std::max(replay_max_depth_, depth);
+    for (const auto t : temps) {
+      alloc_->release(t);
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (ch[i].is_const) {
+        continue;
+      }
+      unpin(ch[i].n);
+      if (revived_dead[i]) {
+        // Keep the revived value resident as a zombie: a cache of a
+        // recomputable dead value. Zombies are the first eviction
+        // victims, so they cost capacity only while it is spare — but
+        // while resident they turn repeated deep replay cascades into
+        // single-step ones.
+        zombies_.push_back(ch[i].n);
+      }
     }
   }
 
@@ -759,12 +1139,18 @@ class Compiler {
 
   void finalize_outputs() {
     mig_.foreach_po([&](Signal f, std::uint32_t i) {
-      program_.add_output(mig_.po_name(i), output_cell(f));
+      const auto cell = output_cell(f);
+      // Output cells must survive to program end — exempt from eviction.
+      output_cells_.insert(cell);
+      program_.add_output(mig_.po_name(i), cell);
     });
   }
 
   std::uint32_t output_cell(Signal f) {
     const mig::node n = f.index();
+    if (mig_.is_gate(n)) {
+      ensure_live(n);  // the PO value itself may have been evicted
+    }
     set_bank_near(n);
     if (mig_.is_constant(n)) {
       const bool v = f.complemented();
@@ -789,15 +1175,20 @@ class Compiler {
       pi_copy_.emplace(n, cell);
       return cell;
     }
-    // Gate: PO references pin remaining_uses_ ≥ 1, so the value cell (and
-    // any complement cache) can never have been released or overwritten.
+    // Gate: PO references pin remaining_uses_ ≥ 1, so the value cell can
+    // never have been released — though under capacity pressure it (or a
+    // complement cache) may have been evicted and just revived above.
     assert(computed_[n]);
     if (!f.complemented()) {
       assert(value_cell_[n] >= 0);
       return static_cast<std::uint32_t>(value_cell_[n]);
     }
     if (compl_cell_[n] < 0) {
+      // The materialization requests a cell; pin n so the request cannot
+      // evict the very value being complemented.
+      pin(n);
       compl_cell_[n] = emit_complement_of(n);
+      unpin(n);
     }
     return static_cast<std::uint32_t>(compl_cell_[n]);
   }
@@ -832,9 +1223,23 @@ class Compiler {
   std::optional<std::uint32_t> const_one_cell_;
   std::uint32_t translated_ = 0;
   std::uint32_t complement_materializations_ = 0;
+  // ---- degradation state ----
+  std::vector<std::uint32_t> pin_;     ///< in-flight operand protection
+  std::set<std::uint32_t> output_cells_;
+  std::uint32_t depth_ = 0;            ///< deepest gate level
+  std::uint32_t bound_ = 0;            ///< live-set lower bound
+  std::vector<mig::node> zombies_;     ///< resident caches of dead values
+  std::uint64_t replay_budget_ = 0;    ///< recompute cutoff (thrash guard)
+  std::uint32_t cells_evicted_ = 0;
+  std::uint32_t ops_recomputed_ = 0;
+  std::uint32_t replay_max_depth_ = 0;
 };
 
 }  // namespace
+
+std::uint32_t live_set_lower_bound(const mig::Mig& mig) {
+  return lower_bound_from_reach(mig, reachable_from_pos(mig));
+}
 
 CompileResult compile(const mig::Mig& mig, const CompileOptions& opts) {
   Compiler compiler(mig, opts);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "arch/program.hpp"
 #include "core/allocator.hpp"
@@ -9,6 +10,22 @@
 #include "sched/cost_model.hpp"
 
 namespace plim::core {
+
+/// Graceful degradation under a tight `rram_cap` (the CONTRA-style
+/// area-constrained mapping of the ROADMAP): instead of aborting when a
+/// fresh cell would exceed the cap, the compiler evicts a live
+/// intermediate whose MIG node can be recomputed from still-live values
+/// or primary inputs, and replays its computation on the next use —
+/// trading instructions (latency) for cells (area).
+struct DegradationOptions {
+  /// Master switch; off preserves the hard-failure behavior.
+  bool enabled = false;
+  /// Level-2 escalation of the driver's retry ladder: also evict values
+  /// whose replay needs a recompute *cascade* (dead operands recomputed
+  /// recursively from primary inputs). Off, only values whose operands
+  /// are all still live (single-step replay) are eviction victims.
+  bool aggressive = false;
+};
 
 /// Options of the MIG → PLiM compilation (Algorithm 2 of the paper).
 struct CompileOptions {
@@ -34,8 +51,15 @@ struct CompileOptions {
   bool textbook_slots = false;
 
   /// Future-work extension: hard upper bound on distinct RRAM cells.
-  /// Compilation throws RramCapExceeded when it cannot stay within it.
+  /// Compilation throws RramCapExceeded when it cannot stay within it —
+  /// unless `degradation.enabled` turns the cliff into recompute-on-evict.
   std::optional<std::uint32_t> rram_cap = std::nullopt;
+
+  /// Recompute-on-evict compilation under capacity pressure (only read
+  /// when `rram_cap` is set). With degradation enabled, a cap below the
+  /// honest live-set lower bound (see live_set_lower_bound()) fails fast
+  /// with that bound attached to the RramCapExceeded.
+  DegradationOptions degradation;
 
   /// Bank-aware placement: when > 0, node values are placed directly into
   /// per-bank cell ranges by a BankedAllocator — each node picks the bank
@@ -61,6 +85,22 @@ struct CompileStats {
   /// Explicit complement materializations (2-instruction inversions) —
   /// the quantity MIG rewriting attacks.
   std::uint32_t complement_materializations = 0;
+  /// The `rram_cap` the compilation ran under (0 = unbounded) — echoed
+  /// so reports are self-describing.
+  std::uint32_t rram_cap = 0;
+  /// Honest lower bound on simultaneously live cells for this network —
+  /// no compilation strategy, however clever, fits below it (RM3 operand
+  /// residency per gate, plus the distinct output values that must all
+  /// reside in cells at program end).
+  std::uint32_t live_lower_bound = 0;
+  // ---- degradation (all 0 when no eviction happened) ----------------------
+  std::uint32_t cells_evicted = 0;   ///< live values spilled under pressure
+  std::uint32_t ops_recomputed = 0;  ///< gate replays emitted on next use
+  std::uint32_t replay_max_depth = 0;  ///< deepest recompute cascade
+  /// Per-bank high-water marks of live cells (empty under flat
+  /// allocation) — the true per-bank capacity need under reuse, which
+  /// `num_rrams` overstates.
+  std::vector<std::uint32_t> bank_peak_live;
 };
 
 struct CompileResult {
@@ -85,5 +125,14 @@ struct CompileResult {
 /// complement caching. Destination cells of single-fanout gate children
 /// are still reused (as in the paper's 19-instruction example program).
 [[nodiscard]] CompileResult translate_naive_textbook(const mig::Mig& mig);
+
+/// Honest lower bound on simultaneously live RRAM cells for compiling
+/// `mig` under ANY strategy: each gate's distinct gate-operand values
+/// must be resident at its RM3 (at least one cell for the result), and
+/// each distinct output signal occupies its own cell at program end. A
+/// cap below this bound is genuinely infeasible — with degradation
+/// enabled, compile() fails fast and reports the bound in the
+/// RramCapExceeded instead of attempting eviction.
+[[nodiscard]] std::uint32_t live_set_lower_bound(const mig::Mig& mig);
 
 }  // namespace plim::core

@@ -29,6 +29,12 @@ PipelineResult run_pipeline(const mig::Mig& mig, PipelineConfig config,
   options.compile.textbook_slots = base_compile_opts.textbook_slots;
   options.compile.allocation = base_compile_opts.allocation;
   options.compile.rram_cap = base_compile_opts.rram_cap;
+  options.compile.degradation.enabled = base_compile_opts.degradation.enabled;
+  if (base_compile_opts.degradation.aggressive) {
+    // The shim has no per-level control; an aggressive request starts the
+    // ladder at full eviction strength.
+    options.compile.degradation.max_level = 3;
+  }
   options.banks = schedule_banks;
   if (base_compile_opts.placement_banks > 0) {
     if (schedule_banks == 0) {

@@ -140,7 +140,7 @@ CompileOutcome Driver::run_impl(const CompileRequest& request) const {
   }
   out.stats.gates = optimized.num_gates();
 
-  // ---- compile -------------------------------------------------------------
+  // ---- compile (with the capacity-pressure retry ladder) -------------------
   core::CompileOptions copts;
   copts.smart_candidates = options_.compile.smart_candidates;
   copts.cache_complements = options_.compile.cache_complements;
@@ -151,21 +151,102 @@ CompileOutcome Driver::run_impl(const CompileRequest& request) const {
   if (options_.placement == PlacementMode::compiler) {
     copts.placement_banks = options_.banks;
   }
+
+  // Ladder levels, attempted in order until one fits the cap:
+  //   0  plain compile (exactly the non-degraded behavior);
+  //   1  recompute-on-evict;
+  //   2  aggressive eviction (replay cascades admitted);
+  //   3  rewrite harder (smaller #R to start from) + aggressive eviction.
+  // Without degradation enabled only level 0 runs.
+  const auto& degrade = options_.compile.degradation;
+  const std::uint32_t max_level =
+      degrade.enabled && options_.compile.rram_cap ? degrade.max_level : 0;
+  auto& registry = util::MetricsRegistry::global();
   core::CompileResult compiled;
-  try {
+  std::uint32_t level = 0;
+  mig::Mig boosted;  // level-3 re-rewrite, kept alive past the loop
+  {
     const util::ScopedPhase phase("compile", &metrics.compile_ms);
-    compiled = core::compile(optimized, copts);
-  } catch (const core::RramCapExceeded& e) {
-    out.diagnostics.push_back(
-        Diagnostic::error("rram-cap-exceeded", e.what()));
-    return out;
-  } catch (const std::exception& e) {
-    out.diagnostics.push_back(Diagnostic::error("compile-failed", e.what()));
-    return out;
+    for (;; ++level) {
+      copts.degradation.enabled = level >= 1;
+      copts.degradation.aggressive = level >= 2;
+      const mig::Mig* net = &optimized;
+      try {
+        if (level >= 3) {
+          // Last rung: spend extra rewrite effort to shrink the network
+          // itself — a smaller #R may fit where eviction alone cannot
+          // (and it lowers the live-set bound a too-tight cap is
+          // compared against).
+          auto ropts = options_.rewrite;
+          ropts.effort += degrade.rewrite_boost;
+          boosted = mig::rewrite_for_plim(*network, ropts);
+          net = &boosted;
+        }
+        compiled = core::compile(*net, copts);
+        break;
+      } catch (const core::RramCapExceeded& e) {
+        if (level < max_level) {
+          registry.counter_add("driver.rram_cap.retries");
+          out.diagnostics.push_back(Diagnostic::warning(
+              "rram-cap-retry",
+              "compile attempt at degradation level " + std::to_string(level) +
+                  " exceeded the RRAM cap (" + e.what() +
+                  ") — retrying at level " + std::to_string(level + 1)));
+          continue;
+        }
+        registry.counter_add("driver.rram_cap.failures");
+        std::string msg{e.what()};
+        if (e.live_lower_bound() > 0) {
+          msg += "; caps below the live-set lower bound of " +
+                 std::to_string(e.live_lower_bound()) +
+                 " cells are infeasible for any strategy";
+        } else if (max_level > 0) {
+          msg += "; every degradation level up to " +
+                 std::to_string(max_level) + " was attempted";
+        }
+        out.diagnostics.push_back(
+            Diagnostic::error("rram-cap-exceeded", msg));
+        return out;
+      } catch (const std::exception& e) {
+        out.diagnostics.push_back(
+            Diagnostic::error("compile-failed", e.what()));
+        return out;
+      }
+    }
+  }
+  if (level > 0) {
+    registry.counter_add("driver.rram_cap.degraded_successes");
+    registry.counter_add("driver.rram_cap.cells_evicted",
+                         compiled.stats.cells_evicted);
+    registry.counter_add("driver.rram_cap.ops_recomputed",
+                         compiled.stats.ops_recomputed);
+    out.diagnostics.push_back(Diagnostic::warning(
+        "rram-cap-degraded",
+        "compiled under capacity pressure at degradation level " +
+            std::to_string(level) + ": " +
+            std::to_string(compiled.stats.cells_evicted) +
+            " cells evicted, " +
+            std::to_string(compiled.stats.ops_recomputed) +
+            " ops recomputed (replay depth " +
+            std::to_string(compiled.stats.replay_max_depth) +
+            "), peak live " +
+            std::to_string(compiled.stats.peak_live_rrams) + " of cap " +
+            std::to_string(*options_.compile.rram_cap)));
+    if (level >= 3) {
+      out.stats.gates = boosted.num_gates();  // the network actually compiled
+    }
   }
   out.program = std::move(compiled.program);
   out.placement = std::move(compiled.placement);
   out.stats.compile = compiled.stats;
+  // The true capacity need under reuse (num_rrams overstates it) — the
+  // gauges a capacity planner watches.
+  registry.gauge_set("compile.peak_live_rrams",
+                     compiled.stats.peak_live_rrams);
+  for (std::size_t b = 0; b < compiled.stats.bank_peak_live.size(); ++b) {
+    registry.gauge_set("compile.bank_peak_live." + std::to_string(b),
+                       compiled.stats.bank_peak_live[b]);
+  }
 
   // ---- verify the serial program -------------------------------------------
   // Against the *original* network, not the rewritten one: the facade's

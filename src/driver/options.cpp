@@ -56,6 +56,23 @@ std::vector<Diagnostic> Options::validate() const {
         "rram_cap = 0 admits no work cells at all — use std::nullopt for "
         "an unbounded array or a positive capacity"));
   }
+  if (compile.degradation.enabled && (compile.degradation.max_level == 0 ||
+                                      compile.degradation.max_level > 3)) {
+    diags.push_back(Diagnostic::error(
+        "degradation-level-range",
+        "degradation.max_level = " +
+            std::to_string(compile.degradation.max_level) +
+            " is outside the retry ladder (1 = recompute-on-evict, "
+            "2 = aggressive eviction, 3 = rewrite harder and compile "
+            "aggressively)"));
+  }
+  if (compile.degradation.enabled && !compile.rram_cap) {
+    diags.push_back(Diagnostic::warning(
+        "degradation-without-cap",
+        "degradation only engages when a compile hits compile.rram_cap; "
+        "without a cap it is inert — set rram_cap (plimc: --cap N) "
+        "or drop --degrade"));
+  }
   if (schedule.refine_resync == 0) {
     diags.push_back(Diagnostic::error(
         "refine-resync-zero",

@@ -55,8 +55,31 @@ struct Options {
     /// §4.2.3 free-list discipline (the paper uses FIFO for endurance).
     core::AllocationPolicy allocation = core::AllocationPolicy::fifo;
     /// Hard upper bound on distinct RRAM cells; infeasible compilations
-    /// fail with an "rram-cap-exceeded" diagnostic.
+    /// fail with an "rram-cap-exceeded" diagnostic — unless degradation
+    /// is enabled, which turns the cliff into a retry ladder.
     std::optional<std::uint32_t> rram_cap = std::nullopt;
+    /// Graceful degradation under capacity pressure (plimc --degrade):
+    /// when a compile hits `rram_cap`, the driver climbs a bounded retry
+    /// ladder instead of failing —
+    ///   level 1: recompute-on-evict (spill a live intermediate, replay
+    ///            its RM3 on next use);
+    ///   level 2: aggressive eviction (victims whose replay cascades
+    ///            through dead operands are admitted too);
+    ///   level 3: re-rewrite at higher effort (smaller #R to start from)
+    ///            and compile aggressively.
+    /// Every attempt is recorded as an "rram-cap-retry" warning and a
+    /// metrics-registry counter; a degraded success carries an
+    /// "rram-cap-degraded" warning. A cap below the honest live-set
+    /// lower bound (core::live_set_lower_bound) is genuinely infeasible:
+    /// the final "rram-cap-exceeded" error reports that bound.
+    struct Degradation {
+      bool enabled = false;
+      /// Highest ladder level to climb (1–3).
+      std::uint32_t max_level = 3;
+      /// Extra rewrite effort the level-3 attempt adds on top of
+      /// `Options::rewrite.effort`.
+      std::uint32_t rewrite_boost = 2;
+    } degradation;
   } compile;
 
   /// Multi-bank scheduling stage (engaged when `banks` > 0). The cost

@@ -28,6 +28,18 @@ void StatsReport::write_json_fields(util::JsonWriter& json) const {
   json.field("peak_live_rrams", compile.peak_live_rrams);
   json.field("complement_materializations",
              compile.complement_materializations);
+  json.field("rram_cap", compile.rram_cap);
+  json.field("live_lower_bound", compile.live_lower_bound);
+  json.field("cells_evicted", compile.cells_evicted);
+  json.field("ops_recomputed", compile.ops_recomputed);
+  json.field("replay_max_depth", compile.replay_max_depth);
+  if (!compile.bank_peak_live.empty()) {
+    json.begin_array("bank_peak_live");
+    for (const auto peak : compile.bank_peak_live) {
+      json.value(peak);
+    }
+    json.end_array();
+  }
   json.field("verified", verified);
   json.begin_object("rewrite");
   json.field("gates_before", rewrite.gates_before);

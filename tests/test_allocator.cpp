@@ -224,5 +224,98 @@ TEST(BankedAllocator, PlacementCoversEveryCell) {
   }
 }
 
+// ---- eviction under capacity pressure ---------------------------------------
+
+TEST(Allocator, EvictionHandlerTurnsTheCliffIntoACallback) {
+  RramAllocator alloc(AllocationPolicy::fifo, 2);
+  const auto a = alloc.request();
+  (void)alloc.request();
+
+  // The handler spills `a` (the compiler would pick a recomputable
+  // victim); the pending request then reuses it instead of throwing.
+  std::uint32_t handler_bank = 0;
+  alloc.set_eviction_handler([&](std::uint32_t bank) {
+    handler_bank = bank;
+    alloc.release(a);
+    return true;
+  });
+  EXPECT_EQ(alloc.request(), a);
+  EXPECT_EQ(handler_bank, kAnyBank);  // flat allocation: any bank works
+  EXPECT_EQ(alloc.evictions(), 1u);
+  EXPECT_EQ(alloc.total_allocated(), 2u);  // #R never grew past the cap
+
+  // A surrendering handler restores the hard-failure behavior.
+  alloc.set_eviction_handler([](std::uint32_t) { return false; });
+  EXPECT_THROW((void)alloc.request(), RramCapExceeded);
+}
+
+TEST(Allocator, FreshPolicyCannotEvict) {
+  // Eviction frees cells for *reuse*; under `fresh` nothing is ever
+  // reused, so the handler must not even be consulted.
+  RramAllocator alloc(AllocationPolicy::fresh, 1);
+  const auto a = alloc.request();
+  bool consulted = false;
+  alloc.set_eviction_handler([&](std::uint32_t) {
+    consulted = true;
+    alloc.release(a);
+    return true;
+  });
+  EXPECT_THROW((void)alloc.request(), RramCapExceeded);
+  EXPECT_FALSE(consulted);
+}
+
+TEST(BankedAllocator, EvictionHandlerReceivesThePressuredBank) {
+  BankedAllocator alloc(2, AllocationPolicy::fifo, 2);
+  const auto a0 = alloc.request_in(0);  // cell 0
+  (void)alloc.request_in(1);            // cell 1 — global cap now full
+  std::vector<std::uint32_t> asked;
+  alloc.set_eviction_handler([&](std::uint32_t bank) {
+    asked.push_back(bank);
+    if (bank != 0) {
+      return false;
+    }
+    alloc.release(a0);
+    return true;
+  });
+  // Bank 0 is full at the global cap: only a bank-0 cell helps, and the
+  // handler is told exactly that.
+  EXPECT_EQ(alloc.request_in(0), a0);
+  ASSERT_EQ(asked.size(), 1u);
+  EXPECT_EQ(asked[0], 0u);
+  EXPECT_EQ(alloc.evictions(), 1u);
+}
+
+TEST(BankedAllocator, BankBudgetCapsEachBankIndependently) {
+  BankedAllocator alloc(2, AllocationPolicy::fifo);
+  alloc.set_bank_budget(2);
+  ASSERT_TRUE(alloc.bank_budget().has_value());
+  const auto a = alloc.request_in(0);
+  (void)alloc.request_in(0);
+  // Bank 0 exhausted its budget; bank 1 is untouched.
+  EXPECT_THROW((void)alloc.request_in(0), RramCapExceeded);
+  EXPECT_NO_THROW((void)alloc.request_in(1));
+  // Reuse within the budget is fine; fresh cells are not.
+  alloc.release(a);
+  EXPECT_EQ(alloc.request_in(0), a);
+  EXPECT_EQ(alloc.bank_allocated(0), 2u);
+  // Dropping the budget reopens the bank.
+  alloc.set_bank_budget(std::nullopt);
+  EXPECT_NO_THROW((void)alloc.request_in(0));
+}
+
+TEST(BankedAllocator, TracksPerBankHighWaterMarks) {
+  BankedAllocator alloc(2);
+  const auto a = alloc.request_in(0);
+  (void)alloc.request_in(0);
+  alloc.release(a);
+  (void)alloc.request_in(1);
+  EXPECT_EQ(alloc.bank_peak_live(0), 2u);
+  EXPECT_EQ(alloc.bank_live(0), 1u);
+  EXPECT_EQ(alloc.bank_peak_live(1), 1u);
+  // The global peak is the max of the *total* live set, not a sum of
+  // per-bank peaks (they can occur at different times).
+  EXPECT_EQ(alloc.peak_live(), 2u);
+}
+
 }  // namespace
 }  // namespace plim::core

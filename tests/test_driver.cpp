@@ -11,6 +11,7 @@
 #include "circuits/epfl.hpp"
 #include "core/pipeline.hpp"
 #include "io/blif.hpp"
+#include "util/metrics.hpp"
 
 namespace plim {
 namespace {
@@ -167,6 +168,145 @@ TEST(Driver, RramCapExceededIsStructured) {
       Driver(options).run(CompileRequest::from_benchmark("ctrl"));
   EXPECT_FALSE(outcome.ok());
   EXPECT_TRUE(has_code(outcome.diagnostics, "rram-cap-exceeded"));
+}
+
+// ---- capacity-pressure retry ladder ------------------------------------------
+
+namespace ladder {
+
+std::size_t count_code(const std::vector<Diagnostic>& diags,
+                       const std::string& code) {
+  std::size_t n = 0;
+  for (const auto& d : diags) {
+    n += d.code == code ? 1 : 0;
+  }
+  return n;
+}
+
+bool mentions(const std::vector<Diagnostic>& diags, const std::string& code,
+              const std::string& text) {
+  for (const auto& d : diags) {
+    if (d.code == code && d.message.find(text) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Options capped_options(std::uint32_t cap, std::uint32_t max_level = 3) {
+  Options options;
+  options.compile.rram_cap = cap;
+  options.compile.degradation.enabled = true;
+  options.compile.degradation.max_level = max_level;
+  options.verify.enabled = true;
+  options.verify.rounds = 2;
+  return options;
+}
+
+}  // namespace ladder
+
+TEST(OptionsValidate, DegradationLevelRange) {
+  Options options;
+  options.compile.rram_cap = 100;
+  options.compile.degradation.enabled = true;
+  options.compile.degradation.max_level = 0;
+  EXPECT_TRUE(has_code(options.validate(), "degradation-level-range"));
+  options.compile.degradation.max_level = 4;
+  EXPECT_TRUE(has_code(options.validate(), "degradation-level-range"));
+  options.compile.degradation.max_level = 3;
+  EXPECT_TRUE(options.validate().empty());
+}
+
+TEST(OptionsValidate, DegradationWithoutCapIsOnlyAWarning) {
+  Options options;
+  options.compile.degradation.enabled = true;  // no rram_cap: inert
+  const auto diags = options.validate();
+  EXPECT_FALSE(has_errors(diags));
+  EXPECT_TRUE(has_code(diags, "degradation-without-cap"));
+}
+
+TEST(RetryLadder, RoomyCapSucceedsAtLevelZeroSilently) {
+  // A cap above the unconstrained peak never enters the ladder: no
+  // retries, no degradation warning, bit-for-bit the plain program.
+  const auto outcome = Driver(ladder::capped_options(10000))
+                           .run(CompileRequest::from_benchmark("int2float"));
+  ASSERT_TRUE(outcome.ok()) << outcome.error_summary();
+  EXPECT_EQ(ladder::count_code(outcome.diagnostics, "rram-cap-retry"), 0u);
+  EXPECT_EQ(ladder::count_code(outcome.diagnostics, "rram-cap-degraded"), 0u);
+  EXPECT_EQ(outcome.stats.compile.cells_evicted, 0u);
+}
+
+TEST(RetryLadder, Level1RecomputeSucceedsUnderMildPressure) {
+  // max: unconstrained peak 260, but plain recompute (level 1, no
+  // cascades) already fits ~200 — exactly one retry, success at level 1.
+  const auto outcome = Driver(ladder::capped_options(200))
+                           .run(CompileRequest::from_benchmark("max"));
+  ASSERT_TRUE(outcome.ok()) << outcome.error_summary();
+  EXPECT_TRUE(outcome.stats.verified);
+  EXPECT_EQ(ladder::count_code(outcome.diagnostics, "rram-cap-retry"), 1u);
+  EXPECT_TRUE(ladder::mentions(outcome.diagnostics, "rram-cap-degraded",
+                               "degradation level 1"));
+  EXPECT_GT(outcome.stats.compile.cells_evicted, 0u);
+  EXPECT_LE(outcome.stats.compile.peak_live_rrams, 200u);
+}
+
+TEST(RetryLadder, Level2AggressiveSucceedsUnderTightPressure) {
+  // int2float: peak 23; level 1 holds down to ~21, cap 18 needs the
+  // aggressive cascades of level 2 — two retries, then success.
+  util::MetricsRegistry::global().set_enabled(true);
+  const auto before =
+      util::MetricsRegistry::global().counter("driver.rram_cap.retries");
+  const auto outcome = Driver(ladder::capped_options(18))
+                           .run(CompileRequest::from_benchmark("int2float"));
+  ASSERT_TRUE(outcome.ok()) << outcome.error_summary();
+  EXPECT_TRUE(outcome.stats.verified);
+  EXPECT_EQ(ladder::count_code(outcome.diagnostics, "rram-cap-retry"), 2u);
+  EXPECT_TRUE(ladder::mentions(outcome.diagnostics, "rram-cap-degraded",
+                               "degradation level 2"));
+  EXPECT_LE(outcome.stats.compile.peak_live_rrams, 18u);
+  // Attempts also land in the process-wide metrics registry.
+  EXPECT_EQ(
+      util::MetricsRegistry::global().counter("driver.rram_cap.retries"),
+      before + 2);
+}
+
+TEST(RetryLadder, MaxLevelBoundsTheLadder) {
+  // Same pressure as above, but the ladder is capped at level 1: one
+  // retry, then a structured failure — level 2 is never attempted.
+  const auto outcome = Driver(ladder::capped_options(18, 1))
+                           .run(CompileRequest::from_benchmark("int2float"));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(ladder::count_code(outcome.diagnostics, "rram-cap-retry"), 1u);
+  EXPECT_TRUE(has_code(outcome.diagnostics, "rram-cap-exceeded"));
+}
+
+TEST(RetryLadder, InfeasibleCapWalksEveryLevelAndReportsBound) {
+  // int2float has 7 distinct output signals — cap 5 is infeasible for
+  // any strategy. The ladder still walks all four rungs (attempts are
+  // recorded), and the final diagnostic carries the honest bound.
+  util::MetricsRegistry::global().set_enabled(true);
+  const auto failures_before =
+      util::MetricsRegistry::global().counter("driver.rram_cap.failures");
+  const auto outcome = Driver(ladder::capped_options(5))
+                           .run(CompileRequest::from_benchmark("int2float"));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(ladder::count_code(outcome.diagnostics, "rram-cap-retry"), 3u);
+  EXPECT_TRUE(ladder::mentions(outcome.diagnostics, "rram-cap-exceeded",
+                               "live-set lower bound of 7"));
+  EXPECT_EQ(
+      util::MetricsRegistry::global().counter("driver.rram_cap.failures"),
+      failures_before + 1);
+}
+
+TEST(RetryLadder, DegradedStatsReachTheReport) {
+  const auto outcome = Driver(ladder::capped_options(18))
+                           .run(CompileRequest::from_benchmark("int2float"));
+  ASSERT_TRUE(outcome.ok()) << outcome.error_summary();
+  const auto json = outcome.stats.to_json();
+  EXPECT_NE(json.find("\"rram_cap\":18"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cells_evicted\""), std::string::npos);
+  EXPECT_NE(json.find("\"ops_recomputed\""), std::string::npos);
+  EXPECT_NE(json.find("\"live_lower_bound\":7"), std::string::npos) << json;
 }
 
 TEST(PipelineShim, PreservesRramCapExceptionContract) {

@@ -111,6 +111,24 @@ std::string run_plimc(const std::string& flags, int& status) {
   return out;
 }
 
+/// Like run_plimc, but captures stderr (where plimc routes every
+/// diagnostic) and discards stdout.
+std::string run_plimc_stderr(const std::string& flags, int& status) {
+  const std::string cmd = "./plimc " + flags + " 2>&1 1>/dev/null";
+  std::array<char, 4096> buf{};
+  std::string out;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    status = -1;
+    return out;
+  }
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    out += buf.data();
+  }
+  status = pclose(pipe);
+  return out;
+}
+
 bool plimc_available() {
   std::ifstream bin("./plimc");
   return bin.good();
@@ -188,6 +206,42 @@ TEST(PlimcCli, DecoupledExecutionFlag) {
   // Decoupled execution without a schedule would be silently meaningless.
   (void)run_plimc("--benchmark ctrl --execution decoupled", status);
   EXPECT_NE(status, 0);
+}
+
+TEST(PlimcCli, WarningsGoToStderrAndKeepExitZero) {
+  if (!plimc_available()) {
+    GTEST_SKIP() << "plimc binary not in the working directory";
+  }
+  // --degrade without --cap is inert: a warning, never a failure.
+  int status = 0;
+  auto err = run_plimc_stderr("--benchmark ctrl --degrade --json -", status);
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(err.find("warning[degradation-without-cap]"), std::string::npos);
+  // The hint names the flag plimc actually accepts.
+  EXPECT_NE(err.find("--cap N"), std::string::npos);
+
+  // A degraded-but-successful compile: retry + degradation warnings on
+  // stderr, exit 0, and stdout stays pure JSON (warnings must not leak
+  // into a machine-read stream).
+  const auto out =
+      run_plimc("--benchmark int2float --cap 18 --degrade --json -", status);
+  EXPECT_EQ(status, 0);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.find("warning["), std::string::npos);
+  err = run_plimc_stderr("--benchmark int2float --cap 18 --degrade --json -",
+                         status);
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(err.find("warning[rram-cap-retry]"), std::string::npos);
+  EXPECT_NE(err.find("warning[rram-cap-degraded]"), std::string::npos);
+
+  // Below the live-set lower bound every rung fails: error on stderr,
+  // non-zero exit.
+  err = run_plimc_stderr("--benchmark int2float --cap 5 --degrade --json -",
+                         status);
+  EXPECT_NE(status, 0);
+  EXPECT_NE(err.find("error[rram-cap-exceeded]"), std::string::npos);
+  EXPECT_NE(err.find("live-set lower bound"), std::string::npos);
 }
 
 TEST(Pipeline, CustomRewriteEffortIsHonored) {
