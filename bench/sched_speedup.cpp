@@ -185,6 +185,15 @@ int main(int argc, char** argv) {
                 << " cycles\n";
       decoupled_bound_ok = false;
     }
+    // The event-driven lower bound (critical path without bus-server
+    // contention, maxed with the bus-throughput floor) must hold: a
+    // makespan below it means the timing model dropped a dependency.
+    if (s.makespan_lower_bound > s.decoupled_cycles) {
+      std::cerr << where << ": decoupled makespan " << s.decoupled_cycles
+                << " undercuts its own lower bound "
+                << s.makespan_lower_bound << " cycles\n";
+      decoupled_bound_ok = false;
+    }
     // Headline reduction only over multi-bank configs — a single bank
     // gains from pipelined fetch alone, which is not the point here.
     if (s.banks > 1 && s.lockstep_cycles > 0) {

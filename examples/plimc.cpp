@@ -41,6 +41,11 @@
 ///                    evaluation disagrees)
 ///   --placement M    post | compiler (see plim::PlacementMode)
 ///   --execution M    lockstep | decoupled (see sched::ExecutionModel)
+///   --objective M    auto | steps | makespan (see sched::Objective) —
+///                    what the scheduler optimizes; auto follows
+///                    --execution (decoupled schedules optimize the
+///                    event-driven makespan and run the stream-reorder
+///                    pass, lockstep ones the step count)
 ///   --batch <file>   compile every request of the manifest (one per
 ///                    line: "blif <path>", "benchmark <name>", or a bare
 ///                    benchmark name; '#' comments). Implies stats-only
@@ -98,6 +103,7 @@ int usage() {
                "[--refine-resync K]\n"
                "             [--placement post|compiler] "
                "[--execution lockstep|decoupled]\n"
+               "             [--objective auto|steps|makespan]\n"
                "             [--threads N] [--json <file|->] "
                "[--trace <file>] [--metrics]\n"
                "             [--no-verify] [--stats]\n";
@@ -154,8 +160,14 @@ void print_stats(const plim::CompileOutcome& outcome) {
                     : "lockstep")
             << " makespan " << s.makespan_cycles << " (lockstep "
             << s.lockstep_cycles << ", decoupled " << s.decoupled_cycles
-            << ", " << s.sync_tokens << " sync tokens, decoupling speedup "
-            << s.decoupled_speedup << "x)\nbank idle cycles:";
+            << ", lower bound " << s.makespan_lower_bound << ", "
+            << s.sync_tokens << " sync tokens, decoupling speedup "
+            << s.decoupled_speedup << "x)\n";
+  if (s.stream_reorder_saved_cycles > 0) {
+    std::cerr << "stream reorder: saved " << s.stream_reorder_saved_cycles
+              << " cycles\n";
+  }
+  std::cerr << "bank idle cycles:";
   for (const auto idle : s.bank_idle_cycles) {
     std::cerr << ' ' << idle;
   }
@@ -307,6 +319,20 @@ int main(int argc, char** argv) {
         options.schedule.execution = plim::sched::ExecutionModel::decoupled;
       } else if (std::strcmp(v, "lockstep") == 0) {
         options.schedule.execution = plim::sched::ExecutionModel::lockstep;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--objective") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      if (std::strcmp(v, "auto") == 0) {
+        options.schedule.objective = plim::sched::Objective::automatic;
+      } else if (std::strcmp(v, "steps") == 0) {
+        options.schedule.objective = plim::sched::Objective::steps;
+      } else if (std::strcmp(v, "makespan") == 0) {
+        options.schedule.objective = plim::sched::Objective::makespan;
       } else {
         return usage();
       }

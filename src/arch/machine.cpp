@@ -257,6 +257,11 @@ std::vector<std::uint64_t> Machine::run_decoupled_words(
   // Functional execution in start-time order: there is no step barrier —
   // every read sees the latest committed value, which the sync tokens
   // guarantee is exactly the value the lockstep schedule intended.
+  // Phase-level tokens keep this sound: decoupled_timing clamps token
+  // latencies at zero so a consumer never starts before its producer,
+  // and its order breaks start-time ties producer-first (lockstep step,
+  // then bank), so applying whole instructions in `timing.order` is
+  // equivalent to the phase-interleaved hardware execution.
   // (A flat per-bank instruction table, not sched::bank_streams — the
   // StreamOp token annotations would cost two vector allocations per
   // instruction on a path verification runs many times.)

@@ -281,6 +281,7 @@ CompileOutcome Driver::run_impl(const CompileRequest& request) const {
     sopts.refine_resync = options_.schedule.refine_resync;
     sopts.lookahead = options_.schedule.lookahead;
     sopts.execution = options_.schedule.execution;
+    sopts.objective = options_.schedule.objective;
     sopts.trace_label = request.label();
     sopts.trace_timeline = options_.trace.timeline;
     if (out.placement) {

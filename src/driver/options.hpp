@@ -114,6 +114,11 @@ struct Options {
     /// Execution model the headline cycle figures are reported for; the
     /// emitted program always carries both views (steps + sync tokens).
     sched::ExecutionModel execution = sched::ExecutionModel::lockstep;
+    /// Scheduling objective (plimc --objective {auto,steps,makespan}):
+    /// `steps` minimizes the lockstep step count, `makespan` the
+    /// decoupled event-driven makespan (and runs the stream-reorder
+    /// pass), `automatic` follows `execution`.
+    sched::Objective objective = sched::Objective::automatic;
   } schedule;
 
   /// End-to-end verification the driver runs on every outcome: the

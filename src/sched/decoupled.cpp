@@ -7,9 +7,16 @@
 #include <utility>
 #include <vector>
 
+#include "arch/machine.hpp"
+
 namespace plim::sched {
 
 namespace {
+
+/// RM3 instruction cycle the phase-level endpoints index into: 0 fetch,
+/// 1 read A, 2 read B, phases − 1 write.
+constexpr std::uint32_t kPhases = arch::Machine::phases_per_instruction;
+constexpr std::uint32_t kWritePhase = kPhases - 1;
 
 /// Flattened per-bank streams: global op id = off[bank] + pos, ids of
 /// one bank are contiguous and in step order.
@@ -83,7 +90,13 @@ bool reads_remote(const ParallelProgram& p, const Slot& slot) {
 /// (WAR). Reads and writes of one cell in the *same* step cannot happen
 /// (validate() forbids it), so the two binary searches cover everything;
 /// earlier/later writes of the owning chain are ordered transitively
-/// through the owner bank's own stream.
+/// through the owner bank's own stream. Requirements are phase-level:
+/// a RAW requirement stalls only the consumer phase that reads the
+/// operand (read A or read B) and signals at the producer's write-phase
+/// completion; a WAR requirement signals when the remote read's operand
+/// phase completes and stalls only the overwriter's write phase.
+/// Requirements equal up to phases are merged to the strictest pair
+/// (latest signal phase, earliest wait phase).
 std::vector<SyncEdge> required_edges(const ParallelProgram& p,
                                      const FlatStreams& fs) {
   const auto cells = p.num_rrams();
@@ -105,7 +118,10 @@ std::vector<SyncEdge> required_edges(const ParallelProgram& p,
     for (std::uint32_t pos = 0; pos < fs.len(b); ++pos) {
       const auto gid = fs.id(b, pos);
       const auto s = fs.step_of[gid];
-      for (const auto op : {fs.slot[gid].instr.a, fs.slot[gid].instr.b}) {
+      const arch::Operand operands[2] = {fs.slot[gid].instr.a,
+                                         fs.slot[gid].instr.b};
+      for (std::uint32_t oi = 0; oi < 2; ++oi) {
+        const auto op = operands[oi];
         if (!op.is_rram()) {
           continue;
         }
@@ -113,6 +129,8 @@ std::vector<SyncEdge> required_edges(const ParallelProgram& p,
         if ((c >= begin && c < end) || c >= cells) {
           continue;  // local read / out of range (validate() reports)
         }
+        // The phase this operand is read in: 1 = read A, 2 = read B.
+        const auto read_phase = oi + 1;
         const auto& w = writes[c];
         // RAW: wait on the last write strictly before the read's step.
         auto it = std::lower_bound(w.begin(), w.end(),
@@ -121,7 +139,8 @@ std::vector<SyncEdge> required_edges(const ParallelProgram& p,
           const auto wg = std::prev(it)->second;
           const auto wb = fs.bank_of[wg];
           if (wb != b) {
-            req.push_back({wb, wg - fs.off[wb], b, pos});
+            req.push_back(
+                {wb, wg - fs.off[wb], b, pos, kWritePhase, read_phase});
           }
         }
         // WAR: the cell's next overwrite waits on this read.
@@ -131,14 +150,36 @@ std::vector<SyncEdge> required_edges(const ParallelProgram& p,
           const auto wg = it->second;
           const auto wb = fs.bank_of[wg];
           if (wb != b) {
-            req.push_back({b, pos, wb, wg - fs.off[wb]});
+            req.push_back(
+                {b, pos, wb, wg - fs.off[wb], read_phase, kWritePhase});
           }
         }
       }
     }
   }
   std::sort(req.begin(), req.end());
-  req.erase(std::unique(req.begin(), req.end()), req.end());
+  // Merge requirements that differ only in phases (e.g. one op reading a
+  // remote cell through both operands) into the strictest pair: the
+  // signal must fire after the *latest* producer phase any of them
+  // watches, the wait must stall the *earliest* consumer phase any of
+  // them protects.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < req.size();) {
+    auto merged = req[i];
+    auto j = i + 1;
+    for (; j < req.size(); ++j) {
+      const auto& e = req[j];
+      if (e.from_bank != merged.from_bank || e.from_pos != merged.from_pos ||
+          e.to_bank != merged.to_bank || e.to_pos != merged.to_pos) {
+        break;
+      }
+      merged.from_phase = std::max(merged.from_phase, e.from_phase);
+      merged.to_phase = std::min(merged.to_phase, e.to_phase);
+    }
+    req[out++] = merged;
+    i = j;
+  }
+  req.resize(out);
   return req;
 }
 
@@ -176,7 +217,13 @@ void derive_sync(ParallelProgram& program) {
   // one that signals at a later-or-equal position and waits at an
   // earlier-or-equal one. Sorting by (pair, from_pos desc, to_pos asc)
   // and keeping edges with a strictly new minimum to_pos leaves exactly
-  // the undominated antichain — the coalesced signal/wait pairs.
+  // the undominated antichain — the coalesced signal/wait pairs. Phase
+  // offsets fold along: a dropped requirement is always dominated by
+  // the pair's most recently kept edge, and at a strictly later signal
+  // (or strictly earlier wait) position the stream's phases − 1 issue
+  // cadence covers any phase offset, so only position ties constrain
+  // the survivor's phases (signal phase raised, wait phase lowered to
+  // the strictest folded requirement).
   std::sort(req.begin(), req.end(), [](const SyncEdge& x, const SyncEdge& y) {
     if (x.from_bank != y.from_bank) {
       return x.from_bank < y.from_bank;
@@ -205,6 +252,18 @@ void derive_sync(ParallelProgram& program) {
     if (e.to_pos < min_to) {
       min_to = e.to_pos;
       kept.push_back(e);
+    } else {
+      // Dominated position-wise by the last kept edge of this pair
+      // (its from_pos is ≥ ours in the descending sweep, its to_pos is
+      // the pair's running minimum). Tighten the survivor's phases
+      // where the positions tie so it still implies this requirement.
+      auto& k = kept.back();
+      if (k.from_pos == e.from_pos) {
+        k.from_phase = std::max(k.from_phase, e.from_phase);
+      }
+      if (k.to_pos == e.to_pos) {
+        k.to_phase = std::min(k.to_phase, e.to_phase);
+      }
     }
   }
   std::sort(kept.begin(), kept.end());
@@ -237,6 +296,16 @@ std::string check_sync(const ParallelProgram& program) {
     if (e.to_pos >= fs.len(e.to_bank)) {
       return token(i) + ": wait position " + std::to_string(e.to_pos + 1) +
              " beyond bank " + std::to_string(e.to_bank) + "'s stream";
+    }
+    if (e.from_phase >= kPhases) {
+      return token(i) + ": signal phase " + std::to_string(e.from_phase) +
+             " beyond the " + std::to_string(kPhases) +
+             "-phase instruction cycle";
+    }
+    if (e.to_phase >= kPhases) {
+      return token(i) + ": wait phase " + std::to_string(e.to_phase) +
+             " beyond the " + std::to_string(kPhases) +
+             "-phase instruction cycle";
     }
   }
 
@@ -296,26 +365,38 @@ std::string check_sync(const ParallelProgram& program) {
   }
 
   // Coverage: every cross-bank hazard must be implied by a token between
-  // the same bank pair that signals no earlier and waits no later.
+  // the same bank pair that signals no earlier and waits no later. With
+  // phase-level endpoints the comparison is lexicographic: a token at a
+  // strictly later signal position (or strictly earlier wait position)
+  // covers any phase — the stream's phases − 1 issue cadence dominates a
+  // single instruction's phase offsets — while a position tie requires
+  // the token's signal phase to be ≥ (wait phase ≤) the hazard's.
   const auto req = required_edges(program, fs);
   if (req.empty()) {
     return {};
   }
-  // Per ordered pair: stored (from_pos, to_pos) sorted by from_pos with a
-  // suffix minimum over to_pos, so each query is one binary search.
-  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> stored(
+  // Per ordered pair: stored ((from_pos, from_phase), (to_pos, to_phase))
+  // keys sorted by the signal key with a suffix minimum over the wait
+  // key, so each query is one binary search. Phases are < kPhases (
+  // checked above), so packing them into the low bits keeps the packed
+  // order lexicographic.
+  const auto signal_key = [](std::uint32_t pos, std::uint32_t phase) {
+    return (std::uint64_t{pos} << 8) | phase;
+  };
+  const auto wait_key = signal_key;
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> stored(
       std::size_t{fs.banks} * fs.banks);
   for (const auto& e : sync) {
     stored[std::size_t{e.from_bank} * fs.banks + e.to_bank].emplace_back(
-        e.from_pos, e.to_pos);
+        signal_key(e.from_pos, e.from_phase), wait_key(e.to_pos, e.to_phase));
   }
-  std::vector<std::vector<std::uint32_t>> suffix_min(stored.size());
+  std::vector<std::vector<std::uint64_t>> suffix_min(stored.size());
   for (std::size_t k = 0; k < stored.size(); ++k) {
     auto& list = stored[k];
     std::sort(list.begin(), list.end());
     auto& mins = suffix_min[k];
     mins.resize(list.size());
-    std::uint32_t running = 0xffffffffu;
+    auto running = ~std::uint64_t{0};
     for (std::size_t j = list.size(); j-- > 0;) {
       running = std::min(running, list[j].second);
       mins[j] = running;
@@ -325,9 +406,10 @@ std::string check_sync(const ParallelProgram& program) {
     const auto k = std::size_t{r.from_bank} * fs.banks + r.to_bank;
     const auto& list = stored[k];
     const auto it = std::lower_bound(
-        list.begin(), list.end(), std::make_pair(r.from_pos, std::uint32_t{0}));
+        list.begin(), list.end(),
+        std::make_pair(signal_key(r.from_pos, r.from_phase), std::uint64_t{0}));
     const auto j = static_cast<std::size_t>(it - list.begin());
-    if (j >= list.size() || suffix_min[k][j] > r.to_pos) {
+    if (j >= list.size() || suffix_min[k][j] > wait_key(r.to_pos, r.to_phase)) {
       return "missing synchronization: bank " + std::to_string(r.to_bank) +
              "'s instruction " + std::to_string(r.to_pos + 1) +
              " reads across banks but no sync token orders it after bank " +
@@ -380,13 +462,20 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
   //    exactly when the previous write commits — array-port-limited,
   //    RM3-hazard-free). The lockstep machine cannot pipeline this:
   //    fetch there follows the global step commit.
-  //  - sync tokens: the full phases latency — the consumer's controller
-  //    only resumes once the producing instruction has completely
-  //    retired and the token has crossed the fabric.
+  //  - sync tokens: phase-level — the consumer phase `to_phase` begins
+  //    no earlier than the cycle after producer phase `from_phase`
+  //    completes, i.e. a start-to-start latency of from_phase + 1 −
+  //    to_phase cycles. The default full-retirement handshake
+  //    (from_phase = phases − 1, to_phase = 0) degenerates to the full
+  //    `phases`; a RAW token that stalls only the consumer's read phase
+  //    costs 1–2 cycles less. Clamped at 0 so a waiting instruction
+  //    never launches before the one it waits on (the in-order
+  //    handshake the functional execution order below relies on).
   //  - bus order (latency 0): the in-order arbiter grants bus slots in
   //    program (step) order, so a later copy never starts before an
   //    earlier one — the FIFO bus queue that keeps decoupled makespan
-  //    within the lockstep bound.
+  //    within the lockstep bound (phase-level latencies are only ever
+  //    tighter than the full-phase ones the bound was proved for).
   const auto stream_latency = phases > 1 ? phases - 1 : phases;
   enum class EdgeKind : std::uint8_t { stream, sync, bus };
   struct Edge {
@@ -403,11 +492,15 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
                        EdgeKind::stream});
     }
   }
+  const auto max_phase = phases > 0 ? phases - 1 : 0;
   for (const auto& e : program.sync_edges()) {
     if (e.from_bank < fs.banks && e.to_bank < fs.banks &&
         e.from_pos < fs.len(e.from_bank) && e.to_pos < fs.len(e.to_bank)) {
+      const auto fp = std::min<std::uint64_t>(e.from_phase, max_phase);
+      const auto tp = std::min<std::uint64_t>(e.to_phase, max_phase);
+      const auto latency = fp + 1 > tp ? fp + 1 - tp : 0;
       edges.push_back({fs.id(e.from_bank, e.from_pos),
-                       fs.id(e.to_bank, e.to_pos), phases, EdgeKind::sync});
+                       fs.id(e.to_bank, e.to_pos), latency, EdgeKind::sync});
     }
   }
   if (bus_width > 0) {
@@ -460,6 +553,13 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
   std::vector<std::uint64_t> dep_ready(fs.total, 0);
   std::vector<std::uint64_t> bus_floor(fs.total, 0);
   std::vector<std::uint64_t> start(fs.total, 0);
+  // Contention-relaxed twin of the traversal: the same event graph
+  // (stream, sync, and the arbiter's in-order grant chain) without the
+  // width-limited server pool. Its critical path can only be shorter,
+  // so the resulting span is an honest makespan lower bound.
+  std::vector<std::uint64_t> dep_ready_lb(fs.total, 0);
+  std::vector<std::uint64_t> bus_floor_lb(fs.total, 0);
+  std::uint64_t lb_span = 0;
   // Earliest issue implied by the bank's own pipelined stream alone; any
   // dependency readiness beyond it came through sync tokens, which is
   // how the per-op wait splits into sync_wait vs bus_wait below.
@@ -491,14 +591,18 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
     }
     start[i] = s;
     const auto finish = s + phases;
+    const auto s_lb = std::max(dep_ready_lb[i], bus_floor_lb[i]);
+    lb_span = std::max(lb_span, s_lb + phases);
     const auto b = fs.bank_of[i];
     t.bank_finish_cycles[b] = std::max(t.bank_finish_cycles[b], finish);
     for (auto k = succ_off[i]; k < succ_off[i + 1]; ++k) {
       const auto [j, latency, kind] = succ[k];
       if (kind == EdgeKind::bus) {
         bus_floor[j] = std::max(bus_floor[j], s);
+        bus_floor_lb[j] = std::max(bus_floor_lb[j], s_lb);
       } else {
         dep_ready[j] = std::max(dep_ready[j], s + latency);
+        dep_ready_lb[j] = std::max(dep_ready_lb[j], s_lb + latency);
         if (kind == EdgeKind::stream) {
           stream_ready[j] = std::max(stream_ready[j], s + latency);
         }
@@ -527,6 +631,27 @@ DecoupledTiming decoupled_timing(const ParallelProgram& program,
     t.makespan_cycles = std::max(t.makespan_cycles, t.bank_finish_cycles[b]);
   }
 
+  // Aggregate bus-throughput floor: every bus op occupies one of the
+  // `bus_width` servers for `phases` cycles, all inside the makespan.
+  t.makespan_lower_bound = lb_span;
+  if (bus_width > 0) {
+    std::uint64_t bus_ops = 0;
+    for (std::uint32_t i = 0; i < fs.total; ++i) {
+      bus_ops += uses_bus[i] ? 1 : 0;
+    }
+    t.makespan_lower_bound = std::max(
+        t.makespan_lower_bound, (bus_ops * phases + bus_width - 1) / bus_width);
+  }
+
+  // Functional execution order: (start, step, bank). Every data hazard
+  // is respected: a hazard's producer and consumer sit in different
+  // lockstep steps (same-step read/write is a validation error), its
+  // covering token forces consumer start ≥ producer start (clamped
+  // non-negative latencies; a token at a later signal position adds the
+  // stream cadence on top), and a start-time tie resolves
+  // producer-first via the step key. That is what lets a phase-level
+  // consumer *launch* before its producer retires while the simulator
+  // still applies whole ops in a hazard-respecting order.
   std::vector<std::uint32_t> order(fs.total);
   for (std::uint32_t i = 0; i < fs.total; ++i) {
     order[i] = i;

@@ -34,24 +34,35 @@ struct StreamOp {
 /// replacing any existing tokens. One ordering requirement exists per
 /// cross-bank hazard: a remote read (transfer copy) must happen after
 /// the last earlier write of the cell it reads (RAW) and before the
-/// cell's next overwrite (WAR). Requirements between the same ordered
-/// bank pair are reduced to their Pareto frontier — a requirement is
-/// dropped when another one signals later *and* waits earlier, so
-/// consecutive transfers between one bank pair coalesce into a single
-/// signal/wait — and each surviving requirement becomes one token with
-/// the signal placed as early and the wait as late as the hazard allows
+/// cell's next overwrite (WAR). Requirements carry phase-level
+/// endpoints (see SyncEdge): a RAW token signals at the producer's
+/// write-phase completion and stalls only the consumer phase that reads
+/// the operand (read A or read B), a WAR token signals when the remote
+/// read's operand phase completes and stalls only the overwriter's
+/// write phase. Requirements between the same ordered bank pair are
+/// reduced to their Pareto frontier — a requirement is dropped when
+/// another one signals later *and* waits earlier (folding its phase
+/// bounds into the survivor when the positions tie), so consecutive
+/// transfers between one bank pair coalesce into a single signal/wait —
+/// and each surviving requirement becomes one token with the signal
+/// placed as early and the wait as late as the hazard allows
 /// (slack-aware placement). Every derived token points from a lockstep
 /// step to a strictly later one, so the token graph is acyclic by
 /// construction and decoupled execution can never deadlock.
 void derive_sync(ParallelProgram& program);
 
 /// Checks the stored sync tokens: both endpoints name existing, distinct
-/// banks at in-range stream positions; stream order plus tokens form no
-/// cycle (a cycle means decoupled execution deadlocks); and every
-/// cross-bank hazard is covered by a token between the same bank pair
-/// that signals at least as late and waits at least as early as the
-/// hazard requires. Returns an empty string when the tokens are sound,
-/// otherwise a description of the first violation. Called by
+/// banks at in-range stream positions with in-range phase offsets
+/// (< arch::Machine::phases_per_instruction); stream order plus tokens
+/// form no cycle (a cycle means decoupled execution deadlocks); and
+/// every cross-bank hazard is covered by a token between the same bank
+/// pair that signals at least as late and waits at least as early as
+/// the hazard requires — at equal stream positions the token's phases
+/// must be at least as strict (signal phase ≥, wait phase ≤) as the
+/// hazard's; at strictly later signal / earlier wait positions the
+/// stream's own `phases − 1` issue cadence covers any phase offset.
+/// Returns an empty string when the tokens are sound, otherwise a
+/// description of the first violation. Called by
 /// ParallelProgram::validate() whenever tokens are present.
 [[nodiscard]] std::string check_sync(const ParallelProgram& program);
 
@@ -59,6 +70,14 @@ void derive_sync(ParallelProgram& program);
 struct DecoupledTiming {
   std::uint64_t makespan_cycles = 0;  ///< max over banks of finish time
   std::uint64_t bus_stall_cycles = 0;  ///< cycles ops waited for the bus
+  /// Honest lower bound on makespan_cycles: the same event graph with
+  /// bus *contention* relaxed (stream + sync + in-order grant-chain
+  /// edges kept, the width-limited server pool dropped), maxed with the
+  /// aggregate bus-throughput floor ⌈bus ops × phases / width⌉. Always
+  /// ≤ makespan_cycles — dropping constraints can only shorten the
+  /// critical path, and the throughput floor undercounts by ignoring
+  /// when bus ops become ready.
+  std::uint64_t makespan_lower_bound = 0;
   /// Dense pipelined span of each bank's own stream:
   /// (ops − 1) × (phases − 1) + phases.
   std::vector<std::uint64_t> bank_busy_cycles;
@@ -92,9 +111,14 @@ struct DecoupledTiming {
 /// array-port-limited and RM3-hazard-free). The lockstep machine cannot
 /// pipeline this: its fetch follows the global step commit, which is
 /// what makes a lockstep step cost the full `phases` for every bank,
-/// busy or not. A wait blocks until its token is signaled by the
-/// producing instruction's full retirement (tokens themselves are free —
-/// they ride the controller handshake); cross-bank copies contend for a
+/// busy or not. A wait blocks only the consumer phase the token names
+/// (SyncEdge::to_phase) until the producer phase it watches
+/// (SyncEdge::from_phase) completes — the start-to-start latency of a
+/// token is max(0, from_phase + 1 − to_phase) cycles, clamped so a
+/// consumer never launches before its producer (the in-order handshake
+/// the functional simulator's execution order relies on); tokens
+/// themselves are free — they ride the controller handshake.
+/// Cross-bank copies contend for a
 /// `bus_width`-wide bus (0 = unbounded) whose arbiter grants slots in
 /// program (lockstep step) order — a FIFO bus queue, which keeps the
 /// decoupled makespan at or below the lockstep `steps × phases` bound

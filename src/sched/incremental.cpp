@@ -5,10 +5,20 @@
 #include <utility>
 #include <vector>
 
+#include "arch/machine.hpp"
+
 namespace plim::sched {
 
 namespace {
 constexpr std::uint32_t npos = DependenceGraph::npos;
+
+/// Dense pipelined span of a serial stream of `n` ops (a decoupled bank
+/// controller issues every phases − 1 cycles, the last op retires after
+/// the full phases): the unit the makespan model prices loads in.
+std::uint64_t stream_span(std::uint64_t n) {
+  constexpr std::uint64_t phases = arch::Machine::phases_per_instruction;
+  return n > 0 ? (n - 1) * (phases - 1) + phases : 0;
+}
 }  // namespace
 
 IncrementalEval::IncrementalEval(const DependenceGraph& graph,
@@ -128,7 +138,18 @@ void IncrementalEval::resync(const std::vector<std::uint32_t>& seg_bank,
   overhead_ = exact.steps > bound
                   ? static_cast<std::uint32_t>(exact.steps - bound)
                   : 0;
-  current_ = {exact.steps, exact.transfers, exact.bus_stalls};
+  // Makespan anchor: the event-driven makespan rides on whichever span
+  // binds — the critical chain or the busiest bank's pipelined stream —
+  // with a signed offset capturing everything the span model cannot see
+  // (sync latencies, bus contention, packing).
+  makespan_modeled_ = exact.makespan > 0;
+  overhead_mk_ =
+      makespan_modeled_
+          ? static_cast<std::int64_t>(exact.makespan) -
+                static_cast<std::int64_t>(
+                    std::max(stream_span(chain_), stream_span(peak)))
+          : 0;
+  current_ = {exact.steps, exact.transfers, exact.bus_stalls, exact.makespan};
   anchored_ = true;
 }
 
@@ -238,6 +259,13 @@ IncrementalEval::Estimate IncrementalEval::apply_delta(const Delta& d) const {
   // the peak effective load the move just changed.
   est.steps = overhead_ + static_cast<std::uint32_t>(
                               std::max<std::uint64_t>(chain_, peak));
+  if (makespan_modeled_) {
+    const auto span =
+        static_cast<std::int64_t>(
+            std::max(stream_span(chain_), stream_span(peak))) +
+        overhead_mk_;
+    est.makespan = static_cast<std::uint64_t>(std::max<std::int64_t>(span, 0));
+  }
   const auto xfer =
       static_cast<std::int64_t>(current_.transfers) + d.transfers;
   est.transfers = static_cast<std::uint32_t>(std::max<std::int64_t>(xfer, 0));

@@ -39,6 +39,11 @@ class IncrementalEval {
     std::uint32_t steps = 0;
     std::uint32_t transfers = 0;
     std::uint32_t bus_stalls = 0;
+    /// Projected decoupled makespan (cycles): the anchor's event-driven
+    /// overhead on top of max(chain span, busiest pipelined stream
+    /// span), where span(n) = (n − 1)·(phases − 1) + phases. 0 unless
+    /// the anchor evaluation carried a makespan (makespan objective).
+    std::uint64_t makespan = 0;
   };
 
   /// A segment relocation the estimate prices: `seg` moved away from
@@ -126,6 +131,10 @@ class IncrementalEval {
   Estimate current_;
   std::uint32_t chain_ = 0;     ///< expanded-program chain bound (anchor)
   std::uint32_t overhead_ = 0;  ///< anchor steps − max(chain, peak load)
+  /// Anchor makespan − max(chain span, peak stream span); signed — the
+  /// pipelined-span model can overshoot the event-driven makespan.
+  std::int64_t overhead_mk_ = 0;
+  bool makespan_modeled_ = false;  ///< anchor carried a makespan
 
   // Scratch for the delta walk (mutable: estimate() is logically const).
   mutable std::vector<std::uint32_t> def_mark_;   ///< per-def visit stamp

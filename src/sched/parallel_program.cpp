@@ -32,6 +32,8 @@ void write_json_fields(const ScheduleStats& stats, util::JsonWriter& json) {
   json.field("decoupled_cycles", stats.decoupled_cycles);
   json.field("decoupled_bus_stall_cycles", stats.decoupled_bus_stall_cycles);
   json.field("decoupled_speedup", stats.decoupled_speedup);
+  json.field("makespan_lower_bound", stats.makespan_lower_bound);
+  json.field("stream_reorder_saved_cycles", stats.stream_reorder_saved_cycles);
   json.begin_array("bank_load");
   for (const auto load : stats.bank_load) {
     json.value(load);

@@ -25,20 +25,37 @@ struct Slot {
   friend bool operator==(const Slot&, const Slot&) noexcept = default;
 };
 
-/// One explicit cross-bank synchronization token (a signal/wait pair):
-/// the token is *signaled* by `from_bank` once its `from_pos`-th stream
-/// instruction completes, and *waited on* by `to_bank` before its
-/// `to_pos`-th stream instruction starts. Positions index a bank's
+/// One explicit cross-bank synchronization token (a signal/wait pair)
+/// with *phase-level* resolution: the token is signaled by `from_bank`
+/// when phase `from_phase` of its `from_pos`-th stream instruction
+/// completes, and waited on by `to_bank` before phase `to_phase` of its
+/// `to_pos`-th stream instruction begins. Positions index a bank's
 /// serial instruction stream — its slots in step order, 0-based (the
 /// per-bank projection of the lockstep step view, see
-/// sched/decoupled.hpp). Decoupled execution relies on these tokens for
-/// every cross-bank ordering; the lockstep model needs none, because the
-/// global step barrier over-synchronizes instead.
+/// sched/decoupled.hpp). Phases index the RM3 instruction cycle,
+/// 0-based: 0 fetch, 1 read A, 2 read B, 3 write
+/// (arch::Machine::phases_per_instruction). The timing contract is
+///
+///   to_start + to_phase  >=  from_start + from_phase + 1
+///
+/// i.e. the waiting phase begins no earlier than the cycle after the
+/// signaled phase completes. The defaults — signal at write-phase
+/// completion (`from_phase` 3), wait before fetch (`to_phase` 0) — are
+/// the conservative full-instruction handshake; sched::derive_sync
+/// tightens the wait to the consumer's actual read phase (a RAW
+/// consumer only needs the remote value when its operand phase reads
+/// it) and the signal to the producer's read phase on WAR tokens (the
+/// overwriter only needs the remote *read* to have happened), shaving
+/// 1–2 cycles off every cross-bank hop. Decoupled execution relies on
+/// these tokens for every cross-bank ordering; the lockstep model needs
+/// none, because the global step barrier over-synchronizes instead.
 struct SyncEdge {
   std::uint32_t from_bank = 0;
   std::uint32_t from_pos = 0;
   std::uint32_t to_bank = 0;
   std::uint32_t to_pos = 0;
+  std::uint32_t from_phase = 3;  ///< signal when this producer phase ends
+  std::uint32_t to_phase = 0;    ///< stall only this consumer phase
 
   friend bool operator==(const SyncEdge&, const SyncEdge&) noexcept = default;
   friend auto operator<=>(const SyncEdge&, const SyncEdge&) noexcept = default;
@@ -52,6 +69,20 @@ struct SyncEdge {
 ///    blocks only on explicit sync tokens and the shared inter-bank bus;
 ///    makespan = max over banks of its own cycle count.
 enum class ExecutionModel { lockstep, decoupled };
+
+/// What the scheduler's refinement keep-rule and seed selection rank
+/// first:
+///  - steps:     lexicographic (lockstep steps, transfers) — the right
+///               objective when the program runs under the global step
+///               clock;
+///  - makespan:  lexicographic (event-driven decoupled makespan, steps,
+///               transfers) — optimizes the cycle figure decoupled
+///               execution actually pays, using a sync-aware projection
+///               of every trial schedule;
+///  - automatic: follow the execution model (makespan under decoupled,
+///               steps under lockstep) — the default, so decoupled
+///               compilations are decoupled-native without extra knobs.
+enum class Objective { automatic, steps, makespan };
 
 /// A multi-bank PLiM program: a sequence of *steps*, each holding at most
 /// one RM3 instruction per bank, executed in lockstep (all reads see the
@@ -217,6 +248,16 @@ struct ScheduleStats {
   std::uint64_t decoupled_cycles = 0;
   std::uint64_t decoupled_bus_stall_cycles = 0;  ///< arbiter wait cycles
   double decoupled_speedup = 0.0;  ///< lockstep_cycles / decoupled_cycles
+  /// Honest lower bound on the decoupled makespan: the critical path
+  /// through the event graph (stream pipelining + phase-level sync +
+  /// the arbiter's in-order grant chain, contention relaxed) maxed with
+  /// the aggregate bus-throughput floor ⌈bus ops × phases / width⌉.
+  /// makespan_lower_bound ≤ decoupled_cycles always holds; the gap is
+  /// what bus contention and stream ordering still cost.
+  std::uint64_t makespan_lower_bound = 0;
+  /// Cycles the decoupled-native stream-order pass removed from the
+  /// makespan (0 when the pass did not run or found nothing better).
+  std::uint64_t stream_reorder_saved_cycles = 0;
   /// Per-bank idle cycles under `execution`: lockstep charges every bank
   /// each step, decoupled charges waits + tail idle until the makespan.
   std::vector<std::uint64_t> bank_idle_cycles;

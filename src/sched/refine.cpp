@@ -313,6 +313,8 @@ RefineStats refine(const DependenceGraph& graph,
   // deferred-mode (resync_interval > 1) accepts ride between resyncs.
   std::uint32_t cur_steps = best.steps;
   std::uint32_t cur_transfers = best.transfers;
+  std::uint64_t cur_makespan = best.makespan;
+  const bool by_makespan = options.makespan_objective;
   // Last exact anchor for deferred-mode rollback.
   std::vector<std::uint32_t> anchor_bank;
   if (use_inc && resync_interval > 1) {
@@ -365,10 +367,16 @@ RefineStats refine(const DependenceGraph& graph,
       move_seg(st.member_seg[k], undo[u++]);
     }
   };
-  // Lexicographic objective: makespan first, transfers as tie-break.
-  // Steps never increase; transfers may only rise when steps strictly
-  // fall (a spread move trades one extra copy for a shorter chain).
+  // Lexicographic objective. Steps mode: (steps, transfers) — steps
+  // never increase; transfers may only rise when steps strictly fall (a
+  // spread move trades one extra copy for a shorter chain). Makespan
+  // mode leads with the projected decoupled makespan and keeps steps as
+  // the first tie-break, so the lockstep view never regresses without
+  // an event-driven win to show for it.
   const auto improves = [&](const RefineEval& r) {
+    if (by_makespan && r.makespan != best.makespan) {
+      return r.makespan < best.makespan;
+    }
     return r.steps < best.steps ||
            (r.steps == best.steps && r.transfers < best.transfers);
   };
@@ -523,6 +531,7 @@ RefineStats refine(const DependenceGraph& graph,
     best = std::move(r);
     cur_steps = best.steps;
     cur_transfers = best.transfers;
+    cur_makespan = best.makespan;
     if (inc) {
       inc->resync(seg_bank, best);
     }
@@ -562,6 +571,7 @@ RefineStats refine(const DependenceGraph& graph,
     inc->resync(seg_bank, best);
     cur_steps = best.steps;
     cur_transfers = best.transfers;
+    cur_makespan = best.makespan;
     pending = 0;
   };
 
@@ -576,8 +586,10 @@ RefineStats refine(const DependenceGraph& graph,
     if (screened && inc) {
       const auto est = inc->estimate(seg_bank, moved);
       const bool promising =
-          est.steps < cur_steps ||
-          (est.steps == cur_steps && est.transfers < cur_transfers);
+          by_makespan && est.makespan != cur_makespan
+              ? est.makespan < cur_makespan
+              : est.steps < cur_steps ||
+                    (est.steps == cur_steps && est.transfers < cur_transfers);
       if (!promising) {
         ++stats.moves_screened;
         record_trial(cur_steps, cur_transfers, est.steps, est.transfers,
@@ -593,6 +605,7 @@ RefineStats refine(const DependenceGraph& graph,
                      true, true);
         cur_steps = est.steps;
         cur_transfers = est.transfers;
+        cur_makespan = est.makespan;
         ++stats.moves_kept;
         ++pending;
         if (pending >= resync_interval) {
@@ -922,6 +935,7 @@ RefineStats refine(const DependenceGraph& graph,
   settle_pending();
   stats.steps_after = best.steps;
   stats.transfers_after = best.transfers;
+  stats.makespan_after = best.makespan;
 
   if (registry.enabled()) {
     registry.gauge_set("refine.incremental", use_inc ? 1.0 : 0.0);

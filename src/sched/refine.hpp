@@ -33,6 +33,10 @@ struct RefineEval {
   /// execute in parallel — a makespan move the transfer surrogate cannot
   /// see.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> critical_local_edges;
+  /// Projected decoupled makespan (cycles) of the packed schedule — the
+  /// event-driven objective when RefineOptions::makespan_objective is
+  /// set. 0 when the evaluator does not model it (steps objective).
+  std::uint64_t makespan = 0;
 };
 
 using RefineEvaluator =
@@ -55,6 +59,12 @@ struct RefineOptions {
   /// estimate before one exact resync, rolling the whole batch back to
   /// the last exact anchor if the resync disagrees. Must be ≥ 1.
   std::uint32_t resync_interval = 1;
+  /// Optimize the decoupled event-driven makespan first (lexicographic
+  /// (makespan, steps, transfers)) instead of the lockstep step count
+  /// ((steps, transfers)). Requires the evaluator to fill
+  /// RefineEval::makespan (the scheduler's evaluator does when its
+  /// objective resolves to makespan).
+  bool makespan_objective = false;
 };
 
 struct RefineStats {
@@ -71,6 +81,10 @@ struct RefineStats {
   std::uint32_t steps_after = 0;
   std::uint32_t transfers_before = 0;
   std::uint32_t transfers_after = 0;
+  /// Projected makespan of the final assignment (0 unless the run used
+  /// the makespan objective) — lets the caller compare refined legs by
+  /// the same objective the passes optimized.
+  std::uint64_t makespan_after = 0;
 };
 
 /// Kernighan–Lin-style iterative improvement over the cluster→bank

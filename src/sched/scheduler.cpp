@@ -15,6 +15,7 @@
 #include "sched/clustering.hpp"
 #include "sched/decoupled.hpp"
 #include "sched/refine.hpp"
+#include "sched/stream_order.hpp"
 #include "sched/timeline.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -655,6 +656,85 @@ ListSchedule list_schedule(const Expansion& ex, std::uint32_t banks,
   return ls;
 }
 
+/// Projected decoupled makespan of a packed virtual schedule, before
+/// emission: the same event model decoupled_timing charges — per-bank
+/// pipelined streams (issue cadence phases − 1), phase-accurate
+/// cross-bank RAW latencies (read-A waits 3 cycles behind the
+/// producer's start, read-B 2), and the in-order bounded bus — run over
+/// the virtual program directly. The virtual program is SSA (no WAR/WAW
+/// from cell reuse) and ignores the physical allocator's slack-guarded
+/// recycling WARs, so this is an optimistic projection, but it moves
+/// with exactly the quantities refinement moves (chain shape, bank
+/// loads, transfer placement) — the right objective surrogate.
+std::uint64_t projected_makespan(const Expansion& ex, const ListSchedule& ls,
+                                 std::uint32_t banks,
+                                 std::uint32_t bus_width) {
+  constexpr std::uint64_t phases = arch::Machine::phases_per_instruction;
+  const auto& virt = ex.virt;
+  const auto vn = static_cast<std::uint32_t>(virt.size());
+  if (vn == 0) {
+    return 0;
+  }
+  // (step, bank) program order — topological (deps sit at earlier
+  // steps) and the bus arbiter's grant order.
+  std::vector<std::uint32_t> order;
+  order.reserve(vn);
+  for (const auto& step : ls.step_instrs) {
+    auto slots = step;
+    std::sort(slots.begin(), slots.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return virt[x].bank < virt[y].bank;
+              });
+    order.insert(order.end(), slots.begin(), slots.end());
+  }
+  std::vector<std::uint64_t> start(vn, 0);
+  std::vector<std::uint64_t> bank_free(banks, 0);
+  std::vector<bool> bank_issued(banks, false);
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      servers;
+  for (std::uint32_t k = 0; k < bus_width; ++k) {
+    servers.push(0);
+  }
+  std::uint64_t last_bus_start = 0;
+  std::uint64_t makespan = 0;
+  for (const auto i : order) {
+    const auto& v = virt[i];
+    auto s = bank_issued[v.bank] ? bank_free[v.bank] : 0;
+    for (const auto p : virt[i].deps) {
+      if (virt[p].bank == v.bank) {
+        continue;  // same-bank deps ride the stream cadence
+      }
+      // Which operand reads the dep decides the stalled phase: read A
+      // (phase 1) waits kWritePhase + 1 − 1 = 3 cycles behind the
+      // producer's start, read B 2. Deps not matching either operand
+      // (WAR-style chain edges) order starts without extra latency.
+      std::uint64_t latency = 0;
+      if (v.a.is_rram() && v.a.address() == virt[p].z) {
+        latency = phases - 1;
+      } else if (v.b.is_rram() && v.b.address() == virt[p].z) {
+        latency = phases - 2;
+      }
+      s = std::max(s, start[p] + latency);
+    }
+    if (v.uses_bus) {
+      s = std::max(s, last_bus_start);  // in-order grant chain
+      if (bus_width > 0) {
+        const auto server = servers.top();
+        servers.pop();
+        s = std::max(s, server);
+        servers.push(s + phases);
+      }
+      last_bus_start = s;
+    }
+    start[i] = s;
+    bank_free[v.bank] = s + (phases - 1);
+    bank_issued[v.bank] = true;
+    makespan = std::max(makespan, s + phases);
+  }
+  return makespan;
+}
+
 }  // namespace
 
 ScheduleResult schedule(const arch::Program& serial,
@@ -669,6 +749,13 @@ ScheduleResult schedule(const arch::Program& serial,
         "sched: program reads RRAM cells it never wrote; its behaviour "
         "depends on pre-existing memory content and cannot be bank-remapped");
   }
+  // Resolve the scheduling objective: `automatic` follows the execution
+  // model the cycle figures are reported for — a decoupled schedule is
+  // judged by its event-driven makespan, a lockstep one by steps.
+  const bool makespan_objective =
+      opts.objective == Objective::makespan ||
+      (opts.objective == Objective::automatic &&
+       opts.execution == ExecutionModel::decoupled);
   const auto banks = opts.banks;
   const auto n = graph.num_instructions();
   const auto num_segments = graph.num_segments();
@@ -704,14 +791,22 @@ ScheduleResult schedule(const arch::Program& serial,
     cache.ls = list_schedule(cache.ex, banks, opts.cost, opts.lookahead, true);
     cache.sb = sb;
     cache.valid = true;
-    return RefineEval{
+    RefineEval eval{
         static_cast<std::uint32_t>(cache.ls.step_instrs.size()),
         cache.ex.transfers, cache.ls.virtual_critical_path,
         cache.ls.bus_stalls, cache.ls.critical_cross_edges,
         cache.ls.critical_local_edges};
+    if (makespan_objective) {
+      eval.makespan =
+          projected_makespan(cache.ex, cache.ls, banks, opts.cost.bus_width);
+    }
+    return eval;
   };
-  const auto lexicographically_better = [](const RefineEval& x,
-                                           const RefineEval& y) {
+  const auto lexicographically_better = [&](const RefineEval& x,
+                                            const RefineEval& y) {
+    if (makespan_objective && x.makespan != y.makespan) {
+      return x.makespan < y.makespan;
+    }
     return x.steps < y.steps ||
            (x.steps == y.steps && x.transfers < y.transfers);
   };
@@ -795,8 +890,9 @@ ScheduleResult schedule(const arch::Program& serial,
       cluster_of = opts.cluster ? cluster_segments(graph, banks)
                                 : identity_clusters();
     }
-    const RefineOptions ropts{opts.refine_passes, opts.refine_incremental,
-                              opts.refine_resync};
+    RefineOptions ropts{opts.refine_passes, opts.refine_incremental,
+                        opts.refine_resync};
+    ropts.makespan_objective = makespan_objective;
     if (!second_start) {
       rstats = refine(graph, seg_bank, cluster_of, banks, opts.cost, ropts,
                       evaluate, start_eval ? &*start_eval : nullptr);
@@ -814,9 +910,11 @@ ScheduleResult schedule(const arch::Program& serial,
       RefineEval first_final;
       first_final.steps = rstats.steps_after;
       first_final.transfers = rstats.transfers_after;
+      first_final.makespan = rstats.makespan_after;
       RefineEval second_final;
       second_final.steps = rstats2.steps_after;
       second_final.transfers = rstats2.transfers_after;
+      second_final.makespan = rstats2.makespan_after;
       // Cost-side tallies sum over everything spent (both probes plus
       // the commit leg below); quality-side fields stay the winner's.
       auto total_passes = rstats.passes_run + rstats2.passes_run;
@@ -844,6 +942,7 @@ ScheduleResult schedule(const arch::Program& serial,
         total_resyncs += rstats3.resyncs;
         rstats.steps_after = rstats3.steps_after;
         rstats.transfers_after = rstats3.transfers_after;
+        rstats.makespan_after = rstats3.makespan_after;
         rstats.moves_kept += rstats3.moves_kept;
       }
       rstats.passes_run = total_passes;
@@ -1003,6 +1102,20 @@ ScheduleResult schedule(const arch::Program& serial,
     derive_sync(pp);
   }
 
+  // Decoupled-native stream ordering: under the makespan objective the
+  // emitted program gets one more pass that re-sequences each bank's
+  // stream for the event-driven clock (adopted only when the makespan
+  // strictly improves and the step count does not grow — see
+  // sched/stream_order.hpp), with sync tokens re-derived for the new
+  // streams.
+  StreamOrderResult reorder;
+  if (makespan_objective && banks > 1) {
+    const util::TraceSpan reorder_span("sched.stream_order");
+    reorder = reorder_streams(pp, opts.cost.bus_width,
+                              arch::Machine::phases_per_instruction);
+  }
+  const auto final_steps = pp.num_steps();
+
   auto& stats = result.stats;
   stats.banks = banks;
   stats.serial_instructions = n;
@@ -1010,7 +1123,8 @@ ScheduleResult schedule(const arch::Program& serial,
   stats.transfers = ex.transfers;
   stats.duplicates = ex.duplicates;
   stats.duplicated_instructions = ex.duplicated_instructions;
-  stats.steps = num_steps;
+  stats.steps = final_steps;
+  stats.stream_reorder_saved_cycles = reorder.saved_cycles;
   stats.critical_path = graph.critical_path();
   // Chain term: the renamed critical path, except that duplication can
   // detach a remote reader from the chain it reads (the replica carries
@@ -1038,11 +1152,11 @@ ScheduleResult schedule(const arch::Program& serial,
       static_cast<std::int64_t>(rstats.transfers_after);
   stats.bank_load = std::move(bank_load);
   stats.utilization =
-      num_steps > 0 ? static_cast<double>(vn) /
-                          (static_cast<double>(num_steps) * banks)
-                    : 1.0;
+      final_steps > 0 ? static_cast<double>(vn) /
+                            (static_cast<double>(final_steps) * banks)
+                      : 1.0;
   stats.speedup =
-      num_steps > 0 ? static_cast<double>(n) / num_steps : 1.0;
+      final_steps > 0 ? static_cast<double>(n) / final_steps : 1.0;
 
   // Cycle-level figures for both execution models. The lockstep figure
   // is the step clock (the schedule honours its own declared bus, so no
@@ -1052,7 +1166,7 @@ ScheduleResult schedule(const arch::Program& serial,
   constexpr auto phases = arch::Machine::phases_per_instruction;
   stats.execution = opts.execution;
   stats.sync_tokens = static_cast<std::uint32_t>(pp.sync_edges().size());
-  stats.lockstep_cycles = std::uint64_t{num_steps} * phases;
+  stats.lockstep_cycles = std::uint64_t{final_steps} * phases;
   double timing_ms = 0.0;
   DecoupledTiming timing;
   {
@@ -1068,6 +1182,7 @@ ScheduleResult schedule(const arch::Program& serial,
   }
   stats.decoupled_cycles = timing.makespan_cycles;
   stats.decoupled_bus_stall_cycles = timing.bus_stall_cycles;
+  stats.makespan_lower_bound = timing.makespan_lower_bound;
   stats.decoupled_speedup =
       timing.makespan_cycles > 0
           ? static_cast<double>(stats.lockstep_cycles) /
@@ -1081,7 +1196,7 @@ ScheduleResult schedule(const arch::Program& serial,
     stats.bank_idle_cycles.assign(banks, 0);
     for (std::uint32_t b = 0; b < banks; ++b) {
       stats.bank_idle_cycles[b] =
-          (std::uint64_t{num_steps} - stats.bank_load[b]) * phases;
+          (std::uint64_t{final_steps} - stats.bank_load[b]) * phases;
     }
   }
   stats.refine_ms = refine_ms;

@@ -75,6 +75,15 @@ struct ScheduleOptions {
   /// any schedule.
   ExecutionModel execution = ExecutionModel::lockstep;
 
+  /// What the scheduler optimizes (see sched::Objective): `steps` is
+  /// the classic lexicographic (lockstep steps, transfers); `makespan`
+  /// leads with the decoupled event-driven makespan — seed selection
+  /// and refinement compare projected makespans, and the emitted
+  /// program additionally runs the stream-reorder pass
+  /// (sched::reorder_streams). `automatic` follows `execution`:
+  /// decoupled schedules optimize makespan, lockstep ones steps.
+  Objective objective = Objective::automatic;
+
   /// Label for this schedule's trace artifacts (the name of the
   /// per-bank cycle timeline process when tracing is enabled and
   /// `execution` is decoupled) — the driver passes the benchmark name.

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "arch/text.hpp"
@@ -54,11 +55,17 @@ void write_text(const ParallelProgram& program, std::ostream& os) {
     }
     os << '\n';
   }
+  // Phase letters: f(etch)=0, a=read-A=1, b=read-B=2, w(rite)=3. The
+  // suffix pins the sync endpoint to a phase of the op's 4-phase cycle;
+  // tokens without a suffix parse as the legacy full-instruction edge
+  // (signal at write, wait before fetch).
+  constexpr const char* kPhaseLetters = "fabw";
   for (std::uint32_t i = 0; i < program.sync_edges().size(); ++i) {
     const auto& e = program.sync_edges()[i];
     os << "# sync t" << (i + 1) << ": b" << e.from_bank << '@'
-       << (e.from_pos + 1) << " -> b" << e.to_bank << '@' << (e.to_pos + 1)
-       << '\n';
+       << (e.from_pos + 1) << '.' << kPhaseLetters[e.from_phase & 3]
+       << " -> b" << e.to_bank << '@' << (e.to_pos + 1) << '.'
+       << kPhaseLetters[e.to_phase & 3] << '\n';
   }
   for (std::uint32_t i = 0; i < program.num_outputs(); ++i) {
     os << "# output " << program.output_name(i) << " @X"
@@ -161,7 +168,10 @@ ParallelProgram parse_parallel_impl(const std::string& text) {
       if (!saw_banks) {
         throw std::runtime_error("sync token before '# parallel banks'");
       }
-      // "t<id>: b<f>@<p> -> b<t>@<q>" (1-based stream positions).
+      // "t<id>: b<f>@<p>[.x] -> b<t>@<q>[.x]" (1-based stream
+      // positions; optional phase letter x in {f, a, b, w} = phases
+      // 0..3 — omitted means the legacy full-instruction edge:
+      // signal at write (w), wait before fetch (f)).
       const auto rest = trim(line.substr(7));
       const auto colon = rest.find(':');
       if (rest.empty() || rest[0] != 't' || colon == std::string::npos) {
@@ -179,7 +189,7 @@ ParallelProgram parse_parallel_impl(const std::string& text) {
         throw std::runtime_error(
             "unmatched sync token (missing signal -> wait pair): " + line);
       }
-      const auto endpoint = [&](std::string s) {
+      const auto endpoint = [&](std::string s, std::uint32_t default_phase) {
         s = trim(s);
         const auto at = s.find('@');
         if (s.size() < 4 || s[0] != 'b' || at == std::string::npos ||
@@ -187,16 +197,29 @@ ParallelProgram parse_parallel_impl(const std::string& text) {
           throw std::runtime_error("malformed sync endpoint in line: " + line);
         }
         const auto bank = std::stoul(s.substr(1, at - 1));
-        const auto pos = std::stoul(s.substr(at + 1));
+        auto pos_text = s.substr(at + 1);
+        auto phase = default_phase;
+        if (const auto dot = pos_text.find('.'); dot != std::string::npos) {
+          const auto letter = pos_text.substr(dot + 1);
+          const std::string letters = "fabw";
+          const auto k = letters.find(letter);
+          if (letter.size() != 1 || k == std::string::npos) {
+            throw std::runtime_error("malformed sync phase (expected one of"
+                                     " .f .a .b .w) in line: " + line);
+          }
+          phase = static_cast<std::uint32_t>(k);
+          pos_text.resize(dot);
+        }
+        const auto pos = std::stoul(pos_text);
         if (pos == 0) {
           throw std::runtime_error("sync positions are 1-based: " + line);
         }
-        return std::make_pair(static_cast<std::uint32_t>(bank),
-                              static_cast<std::uint32_t>(pos - 1));
+        return std::make_tuple(static_cast<std::uint32_t>(bank),
+                               static_cast<std::uint32_t>(pos - 1), phase);
       };
-      const auto [fb, fp] = endpoint(body.substr(0, arrow));
-      const auto [tb, tp] = endpoint(body.substr(arrow + 2));
-      p.add_sync({fb, fp, tb, tp});
+      const auto [fb, fp, fph] = endpoint(body.substr(0, arrow), 3);
+      const auto [tb, tp, tph] = endpoint(body.substr(arrow + 2), 0);
+      p.add_sync({fb, fp, tb, tp, fph, tph});
       continue;
     }
     if (line.rfind("# output ", 0) == 0) {

@@ -83,10 +83,13 @@ std::uint32_t trace_decoupled_timeline(const ParallelProgram& program,
     }
   }
 
-  // Sync tokens as flow arrows: from the signalling op's retirement on
-  // the producer track to the waiting op's issue on the consumer track —
-  // the arrows that make cross-bank bus transfers legible.
+  // Sync tokens as flow arrows: from the completion of the producer
+  // phase the token watches (start + from_phase + 1) to the start of
+  // the consumer phase it gates (start + to_phase) — phase-level tokens
+  // draw mid-instruction, full-instruction tokens from write commit to
+  // fetch, the arrows that make cross-bank bus transfers legible.
   const auto& sync = program.sync_edges();
+  const auto max_phase = phases > 0 ? phases - 1 : 0;
   for (std::size_t i = 0; i < sync.size(); ++i) {
     const auto& e = sync[i];
     if (e.from_bank >= banks || e.to_bank >= banks ||
@@ -97,10 +100,15 @@ std::uint32_t trace_decoupled_timeline(const ParallelProgram& program,
     const auto id = (std::uint64_t{pid} << 32) | i;  // unique across timelines
     tracer.flow_start("sync", pid, e.from_bank,
                       static_cast<double>(start_of[e.from_bank][e.from_pos] +
-                                          phases),
+                                          std::min<std::uint64_t>(e.from_phase,
+                                                                  max_phase) +
+                                          1),
                       id);
     tracer.flow_finish("sync", pid, e.to_bank,
-                       static_cast<double>(start_of[e.to_bank][e.to_pos]), id);
+                       static_cast<double>(start_of[e.to_bank][e.to_pos] +
+                                           std::min<std::uint64_t>(e.to_phase,
+                                                                   max_phase)),
+                       id);
   }
   return pid;
 }

@@ -16,7 +16,12 @@ Optional expectations (CI asserts trace *content*, not just shape):
                           (repeatable);
   --expect-bank-tracks N  at least N thread_name metadata entries naming
                           "bank <i>" tracks exist — the per-bank cycle
-                          timelines of decoupled execution.
+                          timelines of decoupled execution;
+  --expect-partial-waits  at least one "wait-sync" X event with
+                          0 < dur < phases exists — the signature of
+                          phase-level sync tokens, whose waits can be
+                          shorter than a whole instruction (--phases
+                          sets the instruction length, default 4).
 
 Exit codes: 0 valid, 1 validation failed, 2 usage/IO error.
 """
@@ -49,6 +54,18 @@ def main():
         metavar="N",
         help="require at least N 'bank <i>' thread_name tracks",
     )
+    parser.add_argument(
+        "--expect-partial-waits",
+        action="store_true",
+        help="require a 'wait-sync' X event shorter than one instruction",
+    )
+    parser.add_argument(
+        "--phases",
+        type=int,
+        default=4,
+        metavar="N",
+        help="cycles per instruction for --expect-partial-waits (default 4)",
+    )
     args = parser.parse_args()
 
     try:
@@ -71,6 +88,7 @@ def main():
     flow_finishes = {}
     span_names = set()
     bank_tracks = set()
+    partial_waits = 0
     for i, event in enumerate(events):
         where = f"event #{i}"
         if not isinstance(event, dict):
@@ -96,6 +114,8 @@ def main():
             if not isinstance(dur, (int, float)) or not math.isfinite(dur) or dur < 0:
                 return fail(f"{where}: X event with bad dur {dur!r}")
             span_names.add(event["name"])
+            if event["name"] == "wait-sync" and 0 < dur < args.phases:
+                partial_waits += 1
         elif ph == "s":
             flow_starts.setdefault(event.get("id"), 0)
             flow_starts[event.get("id")] += 1
@@ -133,6 +153,12 @@ def main():
         return fail(
             f"expected >= {args.expect_bank_tracks} bank timeline tracks, "
             f"found {len(bank_tracks)}"
+        )
+    if args.expect_partial_waits and partial_waits == 0:
+        return fail(
+            "expected at least one partial 'wait-sync' slice "
+            f"(0 < dur < {args.phases}) — phase-level sync tokens should "
+            "produce waits shorter than a whole instruction"
         )
 
     print(

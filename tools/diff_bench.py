@@ -8,6 +8,9 @@ cycle-level figure of merit of the decoupled execution model), or when
 higher-is-better yield the incremental evaluator's 10x pass budget
 pays for — shrinks by more than the tolerance (skipped when the
 committed run saved nothing, so zero-yield configs cannot trap noise).
+The top-level headline `average_decoupled_speedup_4_banks` is gated
+the same way: shrinking it by more than the tolerance fails the diff
+(missing on either side is noted and skipped).
 Configurations are matched by (benchmark, mode, banks, bus_width);
 entries present on only one side are reported but do not fail the diff
 (benchmarks and sweep shapes may legitimately grow), a metric missing
@@ -65,9 +68,11 @@ def main():
     args = parser.parse_args()
 
     with open(args.committed) as f:
-        committed = dict(entries(json.load(f)))
+        committed_top = json.load(f)
     with open(args.fresh) as f:
-        fresh = dict(entries(json.load(f)))
+        fresh_top = json.load(f)
+    committed = dict(entries(committed_top))
+    fresh = dict(entries(fresh_top))
 
     regressions = []
     compared = 0
@@ -96,6 +101,17 @@ def main():
         print(f"note: metric {metric} missing on one side, skipped")
     for key in sorted(set(fresh) - set(committed)):
         print(f"note: {key} only in fresh trajectory")
+
+    # Top-level headline: the average 4-bank decoupled cycle speedup
+    # (higher is better) must not shrink beyond the tolerance.
+    metric = "average_decoupled_speedup_4_banks"
+    if metric not in committed_top or metric not in fresh_top:
+        print(f"note: top-level metric {metric} missing on one side, skipped")
+    else:
+        before, after = committed_top[metric], fresh_top[metric]
+        if after < before * (1.0 - args.tolerance):
+            regressions.append((("<suite>", "post", 4, 0), metric,
+                                round(before, 5), round(after, 5)))
 
     if compared == 0:
         print("diff_bench: no comparable configurations — wrong files?")
