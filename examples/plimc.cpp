@@ -11,6 +11,8 @@
 ///   plimc --blif <file.blif> [options]
 ///   plimc --benchmark <name> [options]
 ///   plimc --batch <manifest> [--threads N] [options]
+///   plimc --serve [--socket <path>] [--listen <port>] [--threads N]
+///                 [--cache-mb N] [options]
 /// Options:
 ///   -o <file>        write the program there (default: stdout)
 ///   --effort N       rewriting iterations (default 4, 0 disables)
@@ -55,7 +57,27 @@
 ///                    end-of-batch latency summary (total, p50/p99) go
 ///                    to stderr, where they cannot perturb that
 ///                    determinism contract.
-///   --threads N      worker threads for --batch (default 1)
+///   --threads N      worker threads for --batch / --serve (default 1 for
+///                    --batch, 4 for --serve)
+///   --serve          run as a persistent compile daemon: JSON-lines
+///                    requests on stdin (responses on stdout) and on any
+///                    socket from --socket/--listen, compiled by a worker
+///                    pool behind a structural-hash result cache (see
+///                    README "Server mode" for the protocol). The option
+///                    flags above fix the daemon's compile options, like
+///                    they fix a batch's. SIGINT/SIGTERM (or stdin EOF,
+///                    or {"cmd":"shutdown"}) drains gracefully: accepted
+///                    requests are answered, --trace/--metrics flushed,
+///                    exit 0. A second signal aborts immediately.
+///   --socket <path>  (with --serve) also listen on this Unix socket
+///   --listen <port>  (with --serve) also listen on 127.0.0.1:<port>
+///                    (0 = OS-assigned; the bound port is announced on
+///                    stderr)
+///   --cache-mb N     compiled-program cache budget in MiB for --serve
+///                    and --batch (default 256; 0 disables). Batch
+///                    manifests with duplicate (circuit, options) pairs
+///                    compile once; hit counts go to stderr and the
+///                    stdout JSON stays byte-identical.
 ///   --json <file|->  machine-readable stats report (StatsReport schema)
 ///                    to a file or stdout; "--json -" without -o
 ///                    suppresses the program listing so the JSON block
@@ -75,7 +97,11 @@
 /// warnings and run-produced ones like rram-cap-degraded — go to stderr
 /// and never change the exit code; only errors exit non-zero.
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -85,6 +111,8 @@
 #include "arch/text.hpp"
 #include "driver/driver.hpp"
 #include "sched/text.hpp"
+#include "serve/cache.hpp"
+#include "serve/server.hpp"
 #include "util/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/trace.hpp"
@@ -93,7 +121,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: plimc (--blif <file> | --benchmark <name> | "
-               "--batch <manifest>)\n"
+               "--batch <manifest> | --serve)\n"
                "             [-o <file>] [--effort N] [--naive] "
                "[--alloc fifo|lifo|fresh] [--cap N]\n"
                "             [--degrade]\n"
@@ -106,8 +134,25 @@ int usage() {
                "             [--objective auto|steps|makespan]\n"
                "             [--threads N] [--json <file|->] "
                "[--trace <file>] [--metrics]\n"
-               "             [--no-verify] [--stats]\n";
+               "             [--no-verify] [--stats]\n"
+               "             [--serve [--socket <path>] [--listen <port>] "
+               "[--cache-mb N]]\n";
   return 2;
+}
+
+/// The serving daemon behind the signal handlers. The first SIGINT or
+/// SIGTERM flags the graceful drain (one atomic store — async-signal
+/// safe); a second signal means "now", so it hard-aborts.
+plim::serve::Server* g_server = nullptr;
+std::atomic<int> g_signals_seen{0};
+
+extern "C" void on_shutdown_signal(int /*signo*/) {
+  if (g_signals_seen.fetch_add(1, std::memory_order_acq_rel) == 0 &&
+      g_server != nullptr) {
+    g_server->request_shutdown();
+    return;
+  }
+  _exit(130);
 }
 
 /// Nearest-rank percentile over an ascending sample (q in [0, 1]).
@@ -184,9 +229,14 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
   unsigned threads = 1;
+  bool threads_set = false;
   bool verify = true;
   bool stats = false;
   bool metrics = false;
+  bool serve_mode = false;
+  std::string socket_path;
+  int listen_port = -1;
+  std::size_t cache_mb = 256;
   plim::Options options;
 
   try {
@@ -216,6 +266,27 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       if (const char* v = next()) {
         threads = static_cast<unsigned>(std::stoul(v));
+        threads_set = true;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--serve") {
+      serve_mode = true;
+    } else if (arg == "--socket") {
+      if (const char* v = next()) {
+        socket_path = v;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--listen") {
+      if (const char* v = next()) {
+        listen_port = static_cast<int>(std::stoul(v));
+      } else {
+        return usage();
+      }
+    } else if (arg == "--cache-mb") {
+      if (const char* v = next()) {
+        cache_mb = static_cast<std::size_t>(std::stoul(v));
       } else {
         return usage();
       }
@@ -370,17 +441,34 @@ int main(int argc, char** argv) {
   const bool batch = !batch_path.empty();
   const int sources =
       (blif_path.empty() ? 0 : 1) + (benchmark.empty() ? 0 : 1);
-  if (batch ? sources != 0 : sources != 1) {
-    return usage();  // exactly one request source required
-  }
-  if (threads != 1 && !batch) {
-    std::cerr << "plimc: --threads only applies to --batch runs\n";
-    return 2;
-  }
-  if (batch && (!out_path.empty() || stats)) {
-    std::cerr << "plimc: -o and --stats are not supported with --batch "
-                 "(batch output is the JSON report stream)\n";
-    return 2;
+  if (serve_mode) {
+    if (batch || sources != 0) {
+      std::cerr << "plimc: --serve takes requests over the protocol, not "
+                   "--blif/--benchmark/--batch\n";
+      return 2;
+    }
+    if (!out_path.empty() || stats || !json_path.empty()) {
+      std::cerr << "plimc: -o, --stats and --json are not supported with "
+                   "--serve (responses carry the reports)\n";
+      return 2;
+    }
+  } else {
+    if (!socket_path.empty() || listen_port >= 0) {
+      std::cerr << "plimc: --socket/--listen require --serve\n";
+      return 2;
+    }
+    if (batch ? sources != 0 : sources != 1) {
+      return usage();  // exactly one request source required
+    }
+    if (threads_set && threads != 1 && !batch) {
+      std::cerr << "plimc: --threads only applies to --batch/--serve runs\n";
+      return 2;
+    }
+    if (batch && (!out_path.empty() || stats)) {
+      std::cerr << "plimc: -o and --stats are not supported with --batch "
+                   "(batch output is the JSON report stream)\n";
+      return 2;
+    }
   }
 
   // Contradictory option sets are rejected up front with the validator's
@@ -414,6 +502,38 @@ int main(int argc, char** argv) {
     }
   };
 
+  // ---- serve mode -----------------------------------------------------------
+  if (serve_mode) {
+    plim::serve::ServerOptions server_options;
+    server_options.workers = threads_set ? std::max(threads, 1u) : 4u;
+    server_options.cache_bytes = cache_mb << 20;
+    server_options.stdio = true;
+    server_options.unix_socket = socket_path;
+    server_options.tcp_port = listen_port;
+    plim::serve::Server server(std::move(options), server_options);
+    // First SIGINT/SIGTERM → graceful drain; second → hard abort.
+    g_server = &server;
+    std::signal(SIGINT, on_shutdown_signal);
+    std::signal(SIGTERM, on_shutdown_signal);
+    const int rc = server.serve();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_server = nullptr;
+    const auto snapshot = server.snapshot();
+    std::cerr << "plimc: served " << snapshot.requests
+              << " compile requests (cache hit rate " << snapshot.hit_rate
+              << ", p50 " << snapshot.p50_ms << " ms, p99 "
+              << snapshot.p99_ms << " ms)\n";
+    if (metrics) {
+      std::cerr << plim::util::MetricsRegistry::global().summary();
+    }
+    if (!trace_path.empty() &&
+        !plim::util::Tracer::global().write_chrome_trace(trace_path)) {
+      return 1;
+    }
+    return rc;
+  }
+
   const plim::Driver driver(options);
 
   // ---- batch mode -----------------------------------------------------------
@@ -429,7 +549,19 @@ int main(int argc, char** argv) {
       std::cerr << "plimc: manifest " << batch_path << " holds no requests\n";
       return 2;
     }
-    auto outcomes = driver.run_batch(requests, threads);
+    // Duplicate (circuit, options) pairs in the manifest compile once:
+    // the structural-hash cache serves repeats. Hit counts are stderr
+    // news only — outcome content is identical either way, so the
+    // stdout JSON stays byte-identical across thread counts and cache
+    // states.
+    plim::serve::CompileCache cache(cache_mb << 20);
+    auto outcomes = driver.run_batch(requests, threads,
+                                     cache_mb > 0 ? &cache : nullptr);
+    if (cache_mb > 0) {
+      const auto cache_stats = cache.stats();
+      std::cerr << "plimc: batch cache: " << cache_stats.hits << " hits, "
+                << cache_stats.misses << " misses\n";
+    }
 
     bool all_ok = true;
     std::vector<double> latencies;

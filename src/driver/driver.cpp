@@ -16,6 +16,9 @@
 #include "mig/rewriting.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/verify.hpp"
+#include "serve/cache.hpp"
+#include "serve/mpmc_queue.hpp"
+#include "serve/structural_hash.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -344,8 +347,61 @@ CompileOutcome Driver::run_impl(const CompileRequest& request) const {
   return out;
 }
 
+Driver::CachedOutcome Driver::run_cached(const CompileRequest& request,
+                                         serve::CompileCache& cache) const {
+  CachedOutcome result;
+  if (has_errors(options_.validate())) {
+    // Contradictory options are never cached — run() reports them with
+    // the full per-outcome diagnostics story.
+    result.outcome = run(request);
+    return result;
+  }
+
+  // Load first (the cheap phase): the key is a digest of the *loaded*
+  // network, so the same circuit hits whether it arrives as a BLIF path,
+  // a named benchmark or an in-memory MIG.
+  std::optional<mig::Mig> loaded;
+  std::vector<Diagnostic> load_diags;
+  const mig::Mig* network = load_network(request, loaded, load_diags);
+  if (network == nullptr) {
+    result.outcome.stats.benchmark = request.label();
+    result.outcome.diagnostics = std::move(load_diags);
+    return result;
+  }
+
+  auto& registry = util::MetricsRegistry::global();
+  const auto key = serve::structural_key(*network, options_);
+  if (const auto cached = cache.lookup(key)) {
+    registry.counter_add("driver.cache.hits");
+    result.outcome = *cached;
+    // The one request-dependent field of a cached outcome: reports name
+    // the request, not whoever populated the cache line.
+    result.outcome.stats.benchmark = request.label();
+    result.cache_hit = true;
+    return result;
+  }
+  registry.counter_add("driver.cache.misses");
+
+  // Miss: compile the already-loaded network. Wrapping it as an
+  // in-memory request keeps every later pipeline phase (and its
+  // diagnostics) identical to a direct run while skipping the second
+  // parse; Kind::network requests already share their storage.
+  if (request.kind() == CompileRequest::Kind::network) {
+    result.outcome = run(request);
+  } else {
+    result.outcome = run(
+        CompileRequest::from_mig(std::move(*loaded), request.label()));
+  }
+  if (result.outcome.ok()) {
+    cache.insert(key,
+                 std::make_shared<const CompileOutcome>(result.outcome));
+  }
+  return result;
+}
+
 std::vector<CompileOutcome> Driver::run_batch(
-    const std::vector<CompileRequest>& requests, unsigned threads) const {
+    const std::vector<CompileRequest>& requests, unsigned threads,
+    serve::CompileCache* cache) const {
   std::vector<CompileOutcome> outcomes(requests.size());
   if (requests.empty()) {
     return outcomes;
@@ -354,17 +410,18 @@ std::vector<CompileOutcome> Driver::run_batch(
       std::min<std::size_t>(std::max(threads, 1u), requests.size()));
 
   // Deterministic by construction: outcome i is always computed from
-  // request i, whatever thread claims it — only the claiming order
-  // varies between runs, never the result placement.
-  std::atomic<std::size_t> next{0};
+  // request i, whatever worker claims it — only the claiming order
+  // varies between runs, never the result placement. The worklist flows
+  // through the same bounded MPMC queue the compile server dispatches
+  // on, so batch mode exercises the service's conduit.
+  serve::MpmcQueue<std::size_t> queue(
+      std::min<std::size_t>(requests.size(), 1024));
   const auto work = [&]() {
-    for (;;) {
-      const auto i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= requests.size()) {
-        return;
-      }
+    std::size_t i = 0;
+    while (queue.pop(i)) {
       try {
-        outcomes[i] = run(requests[i]);
+        outcomes[i] = cache != nullptr ? run_cached(requests[i], *cache).outcome
+                                       : run(requests[i]);
       } catch (const std::exception& e) {
         // run() captures expected failures itself; this is the backstop
         // that keeps one pathological request from tearing down a batch.
@@ -374,15 +431,15 @@ std::vector<CompileOutcome> Driver::run_batch(
     }
   };
 
-  if (workers == 1) {
-    work();
-    return outcomes;
-  }
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) {
     pool.emplace_back(work);
   }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    queue.push(i);
+  }
+  queue.close();
   for (auto& thread : pool) {
     thread.join();
   }

@@ -1,0 +1,78 @@
+#include "serve/cache.hpp"
+
+namespace plim::serve {
+
+std::shared_ptr<const CompileOutcome> CompileCache::lookup(
+    const StructuralKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->outcome;
+}
+
+void CompileCache::insert(const StructuralKey& key,
+                          std::shared_ptr<const CompileOutcome> outcome) {
+  if (outcome == nullptr) {
+    return;
+  }
+  const auto bytes = approx_bytes(*outcome);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes > max_bytes_) {
+    return;  // oversized (or caching disabled): never admitted
+  }
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(outcome), bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  ++insertions_;
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    const auto& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.max_bytes = max_bytes_;
+  return s;
+}
+
+std::size_t CompileCache::approx_bytes(const CompileOutcome& outcome) {
+  constexpr std::size_t kEntryOverhead = 1024;  // stats, diags, bookkeeping
+  std::size_t bytes = kEntryOverhead;
+  bytes += outcome.program.num_instructions() * sizeof(arch::Instruction);
+  if (outcome.placement) {
+    bytes += outcome.placement->cell_bank.size() * sizeof(std::uint32_t);
+  }
+  if (outcome.parallel) {
+    const auto& parallel = *outcome.parallel;
+    for (std::uint32_t s = 0; s < parallel.num_steps(); ++s) {
+      // A slot is an instruction plus its bank tag; 2x instruction size
+      // is a fair flat estimate.
+      bytes += parallel.step(s).size() * 2 * sizeof(arch::Instruction);
+    }
+    bytes += parallel.sync_edges().size() * 4 * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace plim::serve
